@@ -1,0 +1,49 @@
+"""Ablation — relationship-property strictness in subgraph matching.
+
+``max_age_diff_deviation`` controls when two edges count as "highly
+similar" (§3.3): the absolute difference between the old and new age
+differences must not exceed it.  Too strict (0) loses true edges whose
+ages carry reporting noise; too loose admits decoy structure.
+
+Expected shape: an interior optimum — quality peaks around 2-3 years
+of tolerated deviation and degrades at both extremes.
+"""
+
+from benchlib import once, write_result
+
+from repro.core.config import LinkageConfig
+from repro.evaluation.experiments import run_linkage
+from repro.evaluation.reporting import format_table
+
+DEVIATIONS = (0.0, 1.0, 2.0, 4.0, 8.0)
+
+
+def run_rpsim_ablation(workload):
+    return {
+        deviation: run_linkage(
+            workload, LinkageConfig(max_age_diff_deviation=deviation)
+        )
+        for deviation in DEVIATIONS
+    }
+
+
+def test_ablation_edge_tolerance(benchmark, pair_workload):
+    results = once(benchmark, run_rpsim_ablation, pair_workload)
+    rows = []
+    for deviation, quality in results.items():
+        rp, rr, rf = quality.record.as_percentages()
+        gp, gr, gf = quality.group.as_percentages()
+        rows.append([f"{deviation:.0f}", f"{rp:.1f}", f"{rr:.1f}",
+                     f"{rf:.1f}", f"{gf:.1f}"])
+    text = format_table(
+        ["max age-diff deviation", "rec P", "rec R", "rec F", "grp F"],
+        rows,
+        title="Ablation: edge age-difference tolerance",
+    )
+    write_result("ablation_rpsim.txt", text)
+
+    f_values = {d: q.record.f_measure for d, q in results.items()}
+    best = max(f_values, key=f_values.get)
+    # The optimum is interior (neither fully strict nor fully loose).
+    assert f_values[best] >= f_values[0.0]
+    assert f_values[best] >= f_values[8.0]

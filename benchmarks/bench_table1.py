@@ -1,0 +1,37 @@
+"""Table 1 — dataset overview of the six census snapshots.
+
+Regenerates the |R| / |G| / |fn+sn| / missing-ratio rows on a synthetic
+1851-1901 series.  Shape targets from the paper: monotone growth that
+decelerates over the decades, name ambiguity well above 1 record per
+(first name, surname) pair, and a missing-value ratio in the 3-6.5%
+band.
+"""
+
+from benchlib import BENCH_SEED, SERIES_HOUSEHOLDS, once, write_result
+
+from repro.evaluation.experiments import format_table1, run_table1
+
+
+def test_table1_dataset_overview(benchmark):
+    stats = once(
+        benchmark,
+        run_table1,
+        seed=BENCH_SEED,
+        initial_households=SERIES_HOUSEHOLDS,
+    )
+    write_result("table1.txt", format_table1(stats))
+
+    years = [item.year for item in stats]
+    assert years == [1851, 1861, 1871, 1881, 1891, 1901]
+    records = [item.num_records for item in stats]
+    households = [item.num_households for item in stats]
+    # Overall growth (paper: 17k -> 31k records, 3.3k -> 6.8k households);
+    # single decades may dip slightly at small simulation scales.
+    assert records[-1] > 1.2 * records[0]
+    assert households[-1] > 1.2 * households[0]
+    assert all(later > 0.9 * earlier
+               for earlier, later in zip(records, records[1:]))
+    # Name ambiguity present (paper: average frequency 2.23 -> 1.56).
+    assert all(item.average_name_frequency > 1.2 for item in stats)
+    # Missing values in a plausible band (paper: 3.0% - 6.5%).
+    assert all(0.02 < item.missing_value_ratio < 0.10 for item in stats)

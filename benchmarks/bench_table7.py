@@ -1,0 +1,24 @@
+"""Table 7 — group mapping vs GraphSim (Fu et al. [8]).
+
+Shape targets from the paper: the iterative approach beats GraphSim on
+group F-measure (+3.7 points there), mainly through recall — GraphSim's
+strict 1:1 initial record filter permanently loses ambiguous records —
+while GraphSim's precision stays on par (slightly higher in the paper).
+"""
+
+from benchlib import once, write_result
+
+from repro.evaluation.experiments import format_table7, run_table7
+
+
+def test_table7_vs_graphsim(benchmark, pair_workload):
+    results = once(benchmark, run_table7, pair_workload)
+    write_result("table7.txt", format_table7(results))
+
+    ours = results["iter-sub"]
+    graphsim = results["GraphSim"]
+    assert ours.f_measure >= graphsim.f_measure - 0.001
+    # Recall drives the difference (paper: 94.8 vs 90.1).
+    assert ours.recall >= graphsim.recall - 0.001
+    # GraphSim remains a precise matcher (paper: 97.6).
+    assert graphsim.precision > 0.8

@@ -1,0 +1,26 @@
+"""Helpers shared by the table/figure regeneration benchmarks."""
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Initial households of the 1871/1881 linkage workload.
+PAIR_HOUSEHOLDS = int(os.environ.get("REPRO_BENCH_HOUSEHOLDS", "250"))
+#: Initial households of the 6-snapshot evolution series.
+SERIES_HOUSEHOLDS = int(os.environ.get("REPRO_BENCH_SERIES_HOUSEHOLDS", "100"))
+BENCH_SEED = 20170321
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,26 @@
+"""Fixtures for the table/figure regeneration benchmarks.
+
+Every benchmark regenerates one table or figure of the paper on a
+synthetic workload, prints it (run pytest with ``-s`` to see it live)
+and writes it to ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Workload size is controlled by the ``REPRO_BENCH_HOUSEHOLDS`` /
+``REPRO_BENCH_SERIES_HOUSEHOLDS`` environment variables; the defaults
+keep the full suite in the minutes range on a laptop.  Scale them up
+(e.g. 3300 initial households, the paper's 1851 size) for a closer
+match to the published workload.
+"""
+
+import pytest
+
+from benchlib import BENCH_SEED, PAIR_HOUSEHOLDS
+
+from repro.evaluation.experiments import ExperimentWorkload
+
+
+@pytest.fixture(scope="session")
+def pair_workload() -> ExperimentWorkload:
+    """The 1871/1881 linkage workload shared by Tables 3-7."""
+    return ExperimentWorkload.default(
+        seed=BENCH_SEED, initial_households=PAIR_HOUSEHOLDS
+    )

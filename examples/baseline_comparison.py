@@ -1,0 +1,78 @@
+"""Baseline comparison on a synthetic 1871/1881 pair.
+
+Pits the paper's iterative subgraph approach ("iter-sub") against the
+three baselines of Section 5.3 on the same generated workload and
+scores every method against the complete ground truth:
+
+* CL        — greedy collective linkage (Lacoste-Julien et al. [14]),
+* GraphSim  — non-iterative household matching (Fu et al. [8]),
+* FS        — unsupervised Fellegi-Sunter probabilistic linkage (EM),
+* attr-only — plain attribute-threshold matching.
+
+Run:  python examples/baseline_comparison.py [initial_households]
+"""
+
+import sys
+import time
+
+from repro.baselines import (
+    AttributeOnlyLinkage,
+    CollectiveLinkage,
+    FellegiSunterLinkage,
+    GraphSimLinkage,
+)
+from repro.core import OMEGA2, LinkageConfig, link_datasets
+from repro.datagen import generate_pair
+from repro.evaluation.metrics import evaluate_mapping
+from repro.evaluation.reporting import format_table
+from repro.similarity import build_similarity_function
+
+
+def main():
+    households = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    print(f"Generating an 1871/1881 pair ({households} initial households)…")
+    series = generate_pair(seed=20170321, initial_households=households)
+    old, new = series.datasets
+    truth_records = series.ground_truth.record_mapping(old.year, new.year)
+    truth_groups = series.ground_truth.group_mapping(old.year, new.year)
+    print(f"  {len(old)} -> {len(new)} records, "
+          f"{len(truth_records)} true person links")
+
+    sim_func = build_similarity_function(list(OMEGA2), 0.5)
+    methods = {
+        "attr-only": lambda: AttributeOnlyLinkage(
+            sim_func.with_threshold(0.75)
+        ).link(old, new),
+        "CL": lambda: CollectiveLinkage(sim_func).link(old, new),
+        "FS": lambda: FellegiSunterLinkage(sim_func).link(old, new),
+        "GraphSim": lambda: GraphSimLinkage(sim_func).link(old, new),
+        "iter-sub": lambda: link_datasets(old, new, LinkageConfig()),
+    }
+
+    record_rows, group_rows = [], []
+    for name, run in methods.items():
+        start = time.time()
+        result = run()
+        elapsed = time.time() - start
+        record_quality = evaluate_mapping(result.record_mapping, truth_records)
+        group_quality = evaluate_mapping(result.group_mapping, truth_groups)
+        rp, rr, rf = record_quality.as_percentages()
+        gp, gr, gf = group_quality.as_percentages()
+        record_rows.append([name, f"{rp:.1f}", f"{rr:.1f}", f"{rf:.1f}",
+                            f"{elapsed:.1f}s"])
+        group_rows.append([name, f"{gp:.1f}", f"{gr:.1f}", f"{gf:.1f}", ""])
+
+    headers = ["method", "P (%)", "R (%)", "F (%)", "time"]
+    print(format_table(headers, record_rows,
+                       title="\nRecord mapping (cf. Table 6)"))
+    print(format_table(headers, group_rows,
+                       title="\nGroup mapping (cf. Table 7)"))
+    print(
+        "\nExpected shape: iter-sub wins overall; CL trails on recall "
+        "(movers and noisy records); GraphSim trails on recall (strict "
+        "1:1 initial filter)."
+    )
+
+
+if __name__ == "__main__":
+    main()

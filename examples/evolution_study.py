@@ -1,0 +1,94 @@
+"""Evolution study: household dynamics over a 50-year census series.
+
+Generates a synthetic six-snapshot series (1851-1901, calibrated to the
+paper's Table 1 shapes), links every successive pair with the iterative
+approach, and reports the paper's Section 5.4 analyses:
+
+* dataset overview (Table 1),
+* group evolution pattern frequencies per decade (Fig. 6),
+* households preserved per interval length (Table 8),
+* the largest connected component of the evolution graph.
+
+Run:  python examples/evolution_study.py [initial_households]
+"""
+
+import sys
+import time
+
+from repro.core import LinkageConfig
+from repro.datagen import GeneratorConfig, generate_series
+from repro.evolution import analyse_series, ground_truth_pair_linker
+from repro.evaluation.reporting import format_table
+
+
+def main():
+    households = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    print(f"Generating a 6-snapshot series ({households} initial households)…")
+    series = generate_series(
+        GeneratorConfig(seed=20170321, initial_households=households)
+    )
+
+    rows = []
+    for dataset in series.datasets:
+        stats = dataset.stats()
+        rows.append(
+            [
+                stats.year,
+                stats.num_records,
+                stats.num_households,
+                stats.unique_name_combinations,
+                f"{stats.missing_value_ratio * 100:.2f}%",
+            ]
+        )
+    print(format_table(
+        ["year", "|R|", "|G|", "|fn+sn|", "ratio_mv"], rows,
+        title="\nDataset overview (cf. Table 1)",
+    ))
+
+    print("\nLinking all successive pairs (this is the expensive part)…")
+    start = time.time()
+    linked = analyse_series(series.datasets, config=LinkageConfig())
+    print(f"  done in {time.time() - start:.1f}s")
+
+    truth = analyse_series(
+        series.datasets, ground_truth_pair_linker(series.ground_truth)
+    )
+
+    pattern_order = ["preserve_G", "move", "split", "merge", "add_G", "remove_G"]
+    rows = []
+    linked_table = linked.pattern_frequency_table()
+    truth_table = truth.pattern_frequency_table()
+    for pair in sorted(linked_table):
+        linked_counts = linked_table[pair]
+        truth_counts = truth_table[pair]
+        rows.append(
+            [f"{pair[0]}-{pair[1]}"]
+            + [
+                f"{linked_counts.get(p, 0)} ({truth_counts.get(p, 0)})"
+                for p in pattern_order
+            ]
+        )
+    print(format_table(
+        ["pair"] + pattern_order, rows,
+        title="\nGroup evolution patterns, linked (true) — cf. Fig. 6",
+    ))
+
+    rows = [
+        [interval, linked.preserve_interval_table().get(interval, 0),
+         truth.preserve_interval_table().get(interval, 0)]
+        for interval in (10, 20, 30, 40, 50)
+    ]
+    print(format_table(
+        ["interval (years)", "linked", "true"], rows,
+        title="\nPreserved households per interval (cf. Table 8)",
+    ))
+
+    print(
+        f"\nLargest connected component covers "
+        f"{linked.largest_component_share() * 100:.1f}% of all households "
+        f"(paper: ~52%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: allows `pip install -e . --no-use-pep517` on
+offline machines that lack the `wheel` package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — Temporal group linkage and evolution analysis for census data.
+
+A from-scratch reproduction of the EDBT 2017 paper by V. Christen,
+A. Groß, Q. Wang, P. Christen, J. Fisher and E. Rahm.  The package
+contains the full stack the paper needs:
+
+* :mod:`repro.model` — census records, household graphs, datasets and
+  the 1:1/N:M mapping types;
+* :mod:`repro.similarity` / :mod:`repro.blocking` — record-comparison
+  and candidate-generation substrates;
+* :mod:`repro.core` — the paper's contribution: iterative record and
+  group linkage via subgraph matching (Algorithms 1 and 2);
+* :mod:`repro.baselines` — the compared methods CL [14] and GraphSim [8];
+* :mod:`repro.evolution` — evolution patterns and the evolution graph;
+* :mod:`repro.datagen` — a synthetic census-series generator with
+  complete ground truth (substitute for the restricted UK data);
+* :mod:`repro.evaluation` — metrics, error analysis, grid-search
+  calibration and runners for every table/figure;
+* :mod:`repro.learning` — learned attribute weights (§5.2.1);
+* :mod:`repro.viz` — DOT exports of household and evolution graphs;
+* :mod:`repro.cli` — ``python -m repro.cli`` command-line interface.
+
+Quickstart::
+
+    from repro import LinkageConfig, link_datasets
+    from repro.datagen import generate_pair
+
+    series = generate_pair(seed=7, initial_households=200)
+    old, new = series.datasets
+    result = link_datasets(old, new, LinkageConfig())
+    print(len(result.record_mapping), "person links")
+    print(len(result.group_mapping), "household links")
+"""
+
+from .core.config import OMEGA1, OMEGA2, LinkageConfig
+from .core.pipeline import IterativeGroupLinkage, LinkageResult, link_datasets
+from .evaluation.metrics import QualityResult, evaluate_mapping
+from .evolution.analysis import EvolutionAnalysis, analyse_series
+from .model.dataset import CensusDataset
+from .model.mappings import GroupMapping, RecordMapping
+from .model.records import PersonRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OMEGA1",
+    "OMEGA2",
+    "LinkageConfig",
+    "IterativeGroupLinkage",
+    "LinkageResult",
+    "link_datasets",
+    "QualityResult",
+    "evaluate_mapping",
+    "EvolutionAnalysis",
+    "analyse_series",
+    "CensusDataset",
+    "GroupMapping",
+    "RecordMapping",
+    "PersonRecord",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Baseline linkage methods the paper compares against (Section 5.3)."""
+
+from .attribute_only import AttributeOnlyLinkage, BaselineResult
+from .collective import CollectiveLinkage
+from .fellegi_sunter import (
+    FellegiSunterLinkage,
+    FellegiSunterParams,
+    expectation_maximisation,
+)
+from .graphsim import GraphSimLinkage
+
+__all__ = [
+    "AttributeOnlyLinkage",
+    "BaselineResult",
+    "CollectiveLinkage",
+    "FellegiSunterLinkage",
+    "FellegiSunterParams",
+    "expectation_maximisation",
+    "GraphSimLinkage",
+]

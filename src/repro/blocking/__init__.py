@@ -1,0 +1,34 @@
+"""Candidate-pair generation (blocking) for record comparison."""
+
+from .pairs import (
+    Blocker,
+    pairs_above_threshold,
+    pairs_completeness,
+    reduction_ratio,
+    score_pairs,
+)
+from .sorted_neighbourhood import SortedNeighbourhoodBlocker, default_sort_key
+from .standard import (
+    DEFAULT_KEY_FUNCTIONS,
+    CrossProductBlocker,
+    StandardBlocker,
+    firstname_soundex_key,
+    surname_soundex_initial_key,
+    surname_soundex_key,
+)
+
+__all__ = [
+    "Blocker",
+    "pairs_above_threshold",
+    "pairs_completeness",
+    "reduction_ratio",
+    "score_pairs",
+    "SortedNeighbourhoodBlocker",
+    "default_sort_key",
+    "DEFAULT_KEY_FUNCTIONS",
+    "CrossProductBlocker",
+    "StandardBlocker",
+    "firstname_soundex_key",
+    "surname_soundex_initial_key",
+    "surname_soundex_key",
+]

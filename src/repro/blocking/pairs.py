@@ -1,0 +1,60 @@
+"""Candidate-pair utilities shared by blockers and matchers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Protocol, Sequence, Set, Tuple
+
+from ..model.records import PersonRecord
+from ..similarity.vector import SimilarityFunction
+
+
+class Blocker(Protocol):
+    """Anything that proposes candidate (old id, new id) pairs."""
+
+    def candidate_pairs(
+        self,
+        old_records: Sequence[PersonRecord],
+        new_records: Sequence[PersonRecord],
+    ) -> Set[Tuple[str, str]]:
+        ...
+
+
+def score_pairs(
+    pairs: Iterable[Tuple[str, str]],
+    old_index: Dict[str, PersonRecord],
+    new_index: Dict[str, PersonRecord],
+    sim_func: SimilarityFunction,
+) -> Dict[Tuple[str, str], float]:
+    """``agg_sim`` for every candidate pair (no threshold applied)."""
+    return {
+        (old_id, new_id): sim_func.agg_sim(old_index[old_id], new_index[new_id])
+        for old_id, new_id in pairs
+    }
+
+
+def pairs_above_threshold(
+    scores: Dict[Tuple[str, str], float], threshold: float
+) -> List[Tuple[str, str]]:
+    """Pairs whose score reaches ``threshold``, deterministically ordered."""
+    return sorted(pair for pair, score in scores.items() if score >= threshold)
+
+
+def reduction_ratio(
+    num_candidates: int, num_old: int, num_new: int
+) -> float:
+    """Fraction of the full cross product avoided by blocking."""
+    total = num_old * num_new
+    if total == 0:
+        return 0.0
+    return 1.0 - num_candidates / total
+
+
+def pairs_completeness(
+    candidates: Set[Tuple[str, str]], true_pairs: Iterable[Tuple[str, str]]
+) -> float:
+    """Fraction of true matches surviving blocking (blocking recall)."""
+    true_list = list(true_pairs)
+    if not true_list:
+        return 1.0
+    found = sum(1 for pair in true_list if pair in candidates)
+    return found / len(true_list)

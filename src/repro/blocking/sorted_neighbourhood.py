@@ -1,0 +1,60 @@
+"""Sorted-neighbourhood blocking.
+
+Records from both datasets are merged into one list sorted by a key; a
+sliding window of fixed size over that list yields the candidate pairs.
+Robust to moderate key errors because close-but-unequal keys still land in
+the same window.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Set, Tuple
+
+from ..model.records import PersonRecord
+
+SortKeyFunction = Callable[[PersonRecord], str]
+
+
+def default_sort_key(record: PersonRecord) -> str:
+    """surname + first name, lowercased — the classic SNM key."""
+    return f"{(record.surname or '').lower()}|{(record.first_name or '').lower()}"
+
+
+class SortedNeighbourhoodBlocker:
+    """Sliding-window candidate generation over a merged sorted list."""
+
+    def __init__(
+        self,
+        window_size: int = 5,
+        sort_key: SortKeyFunction = default_sort_key,
+    ) -> None:
+        if window_size < 2:
+            raise ValueError("window_size must be >= 2")
+        self.window_size = window_size
+        self.sort_key = sort_key
+
+    def candidate_pairs(
+        self,
+        old_records: Sequence[PersonRecord],
+        new_records: Sequence[PersonRecord],
+    ) -> Set[Tuple[str, str]]:
+        tagged = [
+            (self.sort_key(record), "old", record.record_id)
+            for record in old_records
+        ] + [
+            (self.sort_key(record), "new", record.record_id)
+            for record in new_records
+        ]
+        tagged.sort()
+        pairs: Set[Tuple[str, str]] = set()
+        for index, (_, side, record_id) in enumerate(tagged):
+            upper = min(len(tagged), index + self.window_size)
+            for other_index in range(index + 1, upper):
+                _, other_side, other_id = tagged[other_index]
+                if side == other_side:
+                    continue
+                if side == "old":
+                    pairs.add((record_id, other_id))
+                else:
+                    pairs.add((other_id, record_id))
+        return pairs

@@ -1,0 +1,83 @@
+"""Group enrichment (Section 3.1, ``completeGroups`` of Alg. 1).
+
+The raw household graph is a star around the head of household (each
+member's role points at the head).  Enrichment
+
+* adds an *implicit* relationship for every member pair,
+* replaces head-dependent roles by unified, symmetric relationship types
+  (:func:`repro.model.roles.unify_roles`), and
+* attaches the absolute age difference to every edge as a time-stable
+  relationship property (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, Optional
+
+from ..model.dataset import CensusDataset
+from ..model.households import Household, Relationship
+from ..model.records import PersonRecord
+from ..model.roles import HEAD, unify_roles
+
+
+def age_difference(
+    record_a: PersonRecord, record_b: PersonRecord
+) -> Optional[int]:
+    """Absolute age difference, or ``None`` when an age is missing."""
+    if record_a.age is None or record_b.age is None:
+        return None
+    return abs(record_a.age - record_b.age)
+
+
+def enrich_household(household: Household) -> Household:
+    """A new household whose graph is complete, typed and age-annotated.
+
+    The input household is not modified.  Every pair of members receives
+    an edge whose type comes from unifying their head-relative roles; the
+    edge between the head and another member is the (re-typed) original
+    relationship, all other edges are marked ``derived``.
+    """
+    enriched = household.copy_shell()
+    members = list(household.iter_records())
+    for record_a, record_b in combinations(members, 2):
+        rel_type = unify_roles(record_a.role, record_b.role)
+        derived = HEAD not in (record_a.role, record_b.role)
+        enriched.add_relationship(
+            Relationship.make(
+                record_a.record_id,
+                record_b.record_id,
+                rel_type,
+                age_difference(record_a, record_b),
+                derived=derived,
+            )
+        )
+    return enriched
+
+
+def complete_groups(dataset: CensusDataset) -> Dict[str, Household]:
+    """Enrich every household of a dataset (``completeGroups``)."""
+    return {
+        household.household_id: enrich_household(household)
+        for household in dataset.iter_households()
+    }
+
+
+def restrict_household(
+    enriched: Household, active_record_ids: Iterable[str]
+) -> Household:
+    """The induced subgraph of an enriched household on the given members.
+
+    Used in later iterations of Algorithm 1: already-linked records leave
+    the matching problem, so both the vertices and the edge counts that
+    normalise the edge similarity (Eq. 6) shrink accordingly.
+    """
+    active = set(active_record_ids)
+    restricted = Household(enriched.household_id)
+    for record in enriched.iter_records():
+        if record.record_id in active:
+            restricted.add_member(record)
+    for relationship in enriched.relationships.values():
+        if relationship.record_a in active and relationship.record_b in active:
+            restricted.add_relationship(relationship)
+    return restricted

@@ -1,0 +1,195 @@
+"""Iterative record and group linkage — Algorithm 1 end to end.
+
+:class:`IterativeGroupLinkage` wires together group enrichment,
+pre-matching, subgraph matching, group-link selection and the final
+remaining-record pass, relaxing the pre-matching threshold δ from
+``δ_high`` down to ``δ_low`` so that safe matches anchor the harder ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..model.dataset import CensusDataset
+from ..model.households import Household
+from ..model.mappings import (
+    GroupMapping,
+    RecordMapping,
+    household_of_map,
+    induced_group_mapping,
+)
+from ..model.records import PersonRecord
+from .config import LinkageConfig
+from .enrichment import complete_groups
+from .prematching import prematching
+from .remaining import match_remaining
+from .scoring import score_subgraphs
+from .selection import select_group_matches
+from .subgraph import build_all_subgraphs
+
+
+@dataclass
+class IterationStats:
+    """Diagnostics of one δ round of the iterative loop."""
+
+    iteration: int
+    delta: float
+    candidate_subgraphs: int
+    accepted_group_links: int
+    new_record_links: int
+    remaining_old: int
+    remaining_new: int
+
+
+@dataclass
+class LinkageResult:
+    """Output of Algorithm 1 plus per-round diagnostics."""
+
+    record_mapping: RecordMapping
+    group_mapping: GroupMapping
+    iterations: List[IterationStats] = field(default_factory=list)
+    remaining_record_links: int = 0
+    #: Record links found via subgraph matching (before the remaining pass).
+    subgraph_record_links: int = 0
+
+    @property
+    def num_record_links(self) -> int:
+        return len(self.record_mapping)
+
+    @property
+    def num_group_links(self) -> int:
+        return len(self.group_mapping)
+
+
+class IterativeGroupLinkage:
+    """Temporal record and group linkage between two census snapshots.
+
+    Usage::
+
+        linker = IterativeGroupLinkage(LinkageConfig())
+        result = linker.link(census_1871, census_1881)
+        result.record_mapping   # 1:1 person links
+        result.group_mapping    # N:M household links
+    """
+
+    def __init__(self, config: Optional[LinkageConfig] = None) -> None:
+        self.config = config or LinkageConfig()
+
+    # -- main entry point -----------------------------------------------------
+
+    def link(
+        self, old_dataset: CensusDataset, new_dataset: CensusDataset
+    ) -> LinkageResult:
+        """Run Algorithm 1 on two successive census datasets."""
+        config = self.config
+        blocker = config.build_blocker()
+
+        enriched_old = complete_groups(old_dataset)
+        enriched_new = complete_groups(new_dataset)
+        old_household_of = household_of_map(old_dataset)
+        new_household_of = household_of_map(new_dataset)
+
+        all_old = list(old_dataset.iter_records())
+        all_new = list(new_dataset.iter_records())
+
+        # Candidate pairs and their scores are δ-independent: generate and
+        # score once, reuse in every round.
+        cached_pairs: Set[Tuple[str, str]] = blocker.candidate_pairs(
+            all_old, all_new
+        )
+        cached_scores: Dict[Tuple[str, str], float] = {}
+
+        record_mapping = RecordMapping()
+        group_mapping = GroupMapping()
+        remaining_old = all_old
+        remaining_new = all_new
+        iterations: List[IterationStats] = []
+
+        for round_index, delta in enumerate(config.threshold_schedule(), start=1):
+            if not remaining_old or not remaining_new:
+                break
+            sim_func = config.build_sim_func(delta)
+            prematch = prematching(
+                remaining_old,
+                remaining_new,
+                sim_func,
+                blocker,
+                cached_scores=cached_scores,
+                cached_pairs=cached_pairs,
+                clustering=config.clustering,
+            )
+
+            subgraphs = build_all_subgraphs(
+                prematch,
+                enriched_old,
+                enriched_new,
+                config,
+                record_mapping=record_mapping,
+            )
+            score_subgraphs(subgraphs, prematch, config)
+            selection = select_group_matches(subgraphs)
+
+            partial_records = selection.extract_record_mapping()
+            record_mapping.update(partial_records)
+            group_mapping.update(selection.group_mapping)
+
+            remaining_old = [
+                record
+                for record in remaining_old
+                if not record_mapping.contains_old(record.record_id)
+            ]
+            remaining_new = [
+                record
+                for record in remaining_new
+                if not record_mapping.contains_new(record.record_id)
+            ]
+            iterations.append(
+                IterationStats(
+                    iteration=round_index,
+                    delta=delta,
+                    candidate_subgraphs=len(subgraphs),
+                    accepted_group_links=len(selection.group_mapping),
+                    new_record_links=len(partial_records),
+                    remaining_old=len(remaining_old),
+                    remaining_new=len(remaining_new),
+                )
+            )
+            if not selection.group_mapping and config.stop_on_empty_round:
+                break  # Alg. 1 line 16: stop when a round finds nothing
+
+        subgraph_links = len(record_mapping)
+
+        # Final attribute-only pass over leftover records (lines 17-19).
+        remaining_mapping = match_remaining(
+            remaining_old,
+            remaining_new,
+            config.build_remaining_sim_func(),
+            blocker,
+            config.year_gap,
+            config.max_normalised_age_difference,
+            config.remaining_ambiguity_margin,
+        )
+        record_mapping.update(remaining_mapping)
+        group_mapping.update(
+            induced_group_mapping(
+                remaining_mapping, old_household_of, new_household_of
+            )
+        )
+
+        return LinkageResult(
+            record_mapping=record_mapping,
+            group_mapping=group_mapping,
+            iterations=iterations,
+            remaining_record_links=len(remaining_mapping),
+            subgraph_record_links=subgraph_links,
+        )
+
+def link_datasets(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    config: Optional[LinkageConfig] = None,
+) -> LinkageResult:
+    """Convenience wrapper: link two datasets with the given (or default)
+    configuration."""
+    return IterativeGroupLinkage(config).link(old_dataset, new_dataset)

@@ -1,0 +1,145 @@
+"""Pre-matching: attribute-level clustering of records (Section 3.2).
+
+Candidate record pairs (after blocking) are scored with ``Sim_func``;
+pairs at or above the threshold δ become record links, and the connected
+components of these links form clusters.  Every record — including
+unmatched singletons — receives its cluster's label (Fig. 3).  Labels let
+subgraph matching identify "similar records" without re-computing
+similarities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..blocking.pairs import Blocker
+from ..model.records import PersonRecord
+from ..similarity.vector import SimilarityFunction
+from .clustering import CONNECTED_COMPONENTS, cluster_records
+
+
+@dataclass
+class PreMatchResult:
+    """Clusters, labels and pair similarities produced by pre-matching.
+
+    ``scores`` holds ``agg_sim`` for every *candidate* pair (not only the
+    matching ones); :meth:`pair_sim` computes missing entries lazily so
+    the group-scoring stage can always obtain the record similarity of a
+    vertex pair.
+    """
+
+    sim_func: SimilarityFunction
+    old_index: Dict[str, PersonRecord]
+    new_index: Dict[str, PersonRecord]
+    labels: Dict[str, int] = field(default_factory=dict)
+    clusters: Dict[int, List[str]] = field(default_factory=dict)
+    scores: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    matched_pairs: List[Tuple[str, str]] = field(default_factory=list)
+
+    def label_of(self, record_id: str) -> int:
+        return self.labels[record_id]
+
+    def cluster_of(self, record_id: str) -> List[str]:
+        return self.clusters[self.labels[record_id]]
+
+    def cluster_size(self, record_id: str) -> int:
+        """|label(r)| of Eq. 7: records carrying this record's label."""
+        return len(self.cluster_of(record_id))
+
+    def same_label(self, old_id: str, new_id: str) -> bool:
+        return self.labels.get(old_id) == self.labels.get(new_id)
+
+    def pair_sim(self, old_id: str, new_id: str) -> float:
+        """``agg_sim`` of a cross-dataset pair (computed lazily if needed)."""
+        key = (old_id, new_id)
+        score = self.scores.get(key)
+        if score is None:
+            score = self.sim_func.agg_sim(self.old_index[old_id], self.new_index[new_id])
+            self.scores[key] = score
+        return score
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    def multi_record_clusters(self) -> Dict[int, List[str]]:
+        """Clusters containing more than one record."""
+        return {
+            label: members
+            for label, members in self.clusters.items()
+            if len(members) > 1
+        }
+
+
+def prematching(
+    old_records: Sequence[PersonRecord],
+    new_records: Sequence[PersonRecord],
+    sim_func: SimilarityFunction,
+    blocker: Blocker,
+    cached_scores: Optional[Dict[Tuple[str, str], float]] = None,
+    cached_pairs: Optional[Set[Tuple[str, str]]] = None,
+    clustering: str = CONNECTED_COMPONENTS,
+) -> PreMatchResult:
+    """Cluster records of two datasets by attribute similarity.
+
+    ``cached_scores``/``cached_pairs`` allow the iterative pipeline to
+    score each candidate pair exactly once across all δ rounds: scores do
+    not depend on δ, only the cut-off does.  ``clustering`` selects the
+    strategy of :mod:`repro.core.clustering` (the paper uses connected
+    components).
+    """
+    old_index = {record.record_id: record for record in old_records}
+    new_index = {record.record_id: record for record in new_records}
+
+    if cached_pairs is None:
+        candidate_pairs = blocker.candidate_pairs(
+            list(old_records), list(new_records)
+        )
+    else:
+        candidate_pairs = {
+            (old_id, new_id)
+            for old_id, new_id in cached_pairs
+            if old_id in old_index and new_id in new_index
+        }
+
+    # Use the caller's cache directly when given: scores computed lazily
+    # during subgraph matching then persist across δ rounds.
+    scores: Dict[Tuple[str, str], float] = (
+        cached_scores if cached_scores is not None else {}
+    )
+    matched = []
+    for pair in candidate_pairs:
+        score = scores.get(pair)
+        if score is None:
+            old_id, new_id = pair
+            score = sim_func.agg_sim(old_index[old_id], new_index[new_id])
+            scores[pair] = score
+        if score >= sim_func.threshold:
+            matched.append(pair)
+    matched.sort()
+
+    # Cluster the match links (transitive closure by default); singleton
+    # clusters are emitted for unmatched records, as in Fig. 3.
+    all_ids = list(old_index) + list(new_index)
+    matched_scores = {pair: scores[pair] for pair in matched}
+    groups = cluster_records(
+        all_ids, matched_scores, sim_func.threshold, clustering
+    )
+
+    labels: Dict[str, int] = {}
+    clusters: Dict[int, List[str]] = {}
+    for label, members in enumerate(groups):
+        clusters[label] = members
+        for record_id in members:
+            labels[record_id] = label
+
+    return PreMatchResult(
+        sim_func=sim_func,
+        old_index=old_index,
+        new_index=new_index,
+        labels=labels,
+        clusters=clusters,
+        scores=scores,
+        matched_pairs=matched,
+    )

@@ -1,0 +1,93 @@
+"""Final attribute-only matching of remaining records (Alg. 1, line 17).
+
+Records that subgraph matching never placed into an accepted common
+subgraph — movers, members of dissolved households, singletons — get one
+more chance: a conservative attribute-only matcher (``Sim_func_rem``)
+with a hard temporal age filter, resolved greedily to a 1:1 mapping.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from ..blocking.pairs import Blocker
+from ..model.mappings import RecordMapping
+from ..model.records import PersonRecord
+from ..similarity.numeric import normalised_age_difference
+from ..similarity.vector import SimilarityFunction
+
+
+def match_remaining(
+    old_records: Sequence[PersonRecord],
+    new_records: Sequence[PersonRecord],
+    sim_func_rem: SimilarityFunction,
+    blocker: Blocker,
+    year_gap: int,
+    max_normalised_age_difference: float = 3.0,
+    ambiguity_margin: float = 0.0,
+) -> RecordMapping:
+    """Greedy 1:1 matching of leftover records.
+
+    Candidate pairs survive when ``agg_sim`` reaches the remaining
+    threshold *and* the age difference normalised by the census gap is at
+    most ``max_normalised_age_difference`` (footnote 2 of the paper; in
+    the main pipeline, subgraph matching enforces the analogous
+    constraint through edge properties).  Pairs with a missing age pass
+    the filter — missing data must not veto a link outright.
+
+    With ``ambiguity_margin > 0`` a pair is linked only when its score
+    beats every competing candidate of *both* endpoints by the margin:
+    frequent names (several age-compatible "Mary Ashworth"s) produce
+    near-tied candidates, and guessing among them costs precision.
+    """
+    old_index = {record.record_id: record for record in old_records}
+    new_index = {record.record_id: record for record in new_records}
+
+    scored: List[Tuple[float, str, str]] = []
+    old_scores: Dict[str, List[float]] = defaultdict(list)
+    new_scores: Dict[str, List[float]] = defaultdict(list)
+    for old_id, new_id in blocker.candidate_pairs(
+        list(old_records), list(new_records)
+    ):
+        old_record = old_index[old_id]
+        new_record = new_index[new_id]
+        age_gap = normalised_age_difference(
+            old_record.age, new_record.age, year_gap
+        )
+        if age_gap is not None and age_gap > max_normalised_age_difference:
+            continue
+        score = sim_func_rem.agg_sim(old_record, new_record)
+        if score >= sim_func_rem.threshold:
+            scored.append((score, old_id, new_id))
+            old_scores[old_id].append(score)
+            new_scores[new_id].append(score)
+
+    # Highest similarity first; ids as deterministic tie-break.
+    scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+    mapping = RecordMapping()
+    for score, old_id, new_id in scored:
+        if mapping.contains_old(old_id) or mapping.contains_new(new_id):
+            continue
+        if ambiguity_margin > 0.0:
+            if len(old_scores[old_id]) > 1 and not _beats_rest(
+                old_scores[old_id], score, ambiguity_margin
+            ):
+                continue
+            if len(new_scores[new_id]) > 1 and not _beats_rest(
+                new_scores[new_id], score, ambiguity_margin
+            ):
+                continue
+        mapping.add(old_id, new_id)
+    return mapping
+
+
+def _beats_rest(scores: List[float], score: float, margin: float) -> bool:
+    """True when ``score`` exceeds all *other* scores by ``margin``.
+
+    ``scores`` contains ``score`` itself once; equal duplicates mean a
+    genuine tie, which never passes a positive margin.
+    """
+    remaining = sorted(scores, reverse=True)
+    remaining.remove(score)
+    return all(score - other >= margin for other in remaining)

@@ -1,0 +1,79 @@
+"""Greedy selection of group links under record disjointness (Alg. 2).
+
+Scored subgraphs are consumed from a priority queue in descending
+``g_sim`` order.  A subgraph is accepted only when none of its old or new
+records has been claimed by a previously accepted subgraph — this keeps
+the derived record mapping 1:1 while still allowing N:M group mappings
+(two subgraphs of the same old group may both win if their record sets
+are disjoint, which is exactly a household split).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..model.mappings import GroupMapping, RecordMapping
+from .subgraph import SubgraphMatch
+
+
+@dataclass
+class SelectionResult:
+    """Accepted group links and the subgraphs that justify them."""
+
+    group_mapping: GroupMapping = field(default_factory=GroupMapping)
+    accepted: List[SubgraphMatch] = field(default_factory=list)
+    rejected: List[SubgraphMatch] = field(default_factory=list)
+
+    def extract_record_mapping(self) -> RecordMapping:
+        """Record links contained in the accepted subgraphs (Alg. 1 l.11).
+
+        Anchor vertices are already part of the overall record mapping
+        from earlier rounds and are not extracted again.
+        """
+        mapping = RecordMapping()
+        for subgraph in self.accepted:
+            for old_id, new_id in subgraph.new_link_vertices:
+                mapping.add(old_id, new_id)
+        return mapping
+
+
+def select_group_matches(subgraphs: Sequence[SubgraphMatch]) -> SelectionResult:
+    """``selectGroupMatches`` of Alg. 1 / Algorithm 2 of the paper.
+
+    Ties on ``g_sim`` break deterministically: larger subgraphs first,
+    then lexicographic group ids.
+    """
+    queue: List[Tuple[float, int, str, str, int]] = []
+    for index, subgraph in enumerate(subgraphs):
+        heapq.heappush(
+            queue,
+            (
+                -subgraph.g_sim,
+                -len(subgraph.vertices),
+                subgraph.old_group_id,
+                subgraph.new_group_id,
+                index,
+            ),
+        )
+
+    linked_old: Dict[str, Set[str]] = {}
+    linked_new: Dict[str, Set[str]] = {}
+    result = SelectionResult()
+
+    while queue:
+        _, _, _, _, index = heapq.heappop(queue)
+        subgraph = subgraphs[index]
+        old_claimed = linked_old.setdefault(subgraph.old_group_id, set())
+        new_claimed = linked_new.setdefault(subgraph.new_group_id, set())
+        old_ids = subgraph.old_record_ids
+        new_ids = subgraph.new_record_ids
+        if old_claimed & old_ids or new_claimed & new_ids:
+            result.rejected.append(subgraph)
+            continue
+        result.group_mapping.add(subgraph.old_group_id, subgraph.new_group_id)
+        result.accepted.append(subgraph)
+        old_claimed.update(old_ids)
+        new_claimed.update(new_ids)
+    return result

@@ -1,0 +1,49 @@
+"""Synthetic census data generation with complete ground truth.
+
+Substitutes for the (restricted-access) historical UK census data of the
+paper: an agent-based population simulator with calibrated name skew,
+demographic dynamics and data-quality noise.  See DESIGN.md §2.
+"""
+
+from .corruption import SPELLING_VARIANTS, CorruptionParams, RecordCorruptor
+from .entities import HouseholdEntity, PersonEntity, World
+from .generator import (
+    CensusSeries,
+    GeneratorConfig,
+    generate_pair,
+    generate_series,
+)
+from .groundtruth import SeriesGroundTruth
+from .names import (
+    FEMALE_FIRST_NAMES,
+    MALE_FIRST_NAMES,
+    OCCUPATIONS,
+    STREETS,
+    SURNAMES,
+    NameSampler,
+    zipf_weights,
+)
+from .population import PopulationSimulator, SimulationParams
+
+__all__ = [
+    "SPELLING_VARIANTS",
+    "CorruptionParams",
+    "RecordCorruptor",
+    "HouseholdEntity",
+    "PersonEntity",
+    "World",
+    "CensusSeries",
+    "GeneratorConfig",
+    "generate_pair",
+    "generate_series",
+    "SeriesGroundTruth",
+    "FEMALE_FIRST_NAMES",
+    "MALE_FIRST_NAMES",
+    "OCCUPATIONS",
+    "STREETS",
+    "SURNAMES",
+    "NameSampler",
+    "zipf_weights",
+    "PopulationSimulator",
+    "SimulationParams",
+]

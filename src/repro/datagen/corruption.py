@@ -1,0 +1,155 @@
+"""Data-quality noise channels for synthetic census records.
+
+Historical census data suffers enumerator spelling, transcription and OCR
+errors, estimated ages, and missing values (3–6.5 % of cells in Table 1).
+The :class:`RecordCorruptor` reproduces these channels on the clean
+attribute values coming out of the population simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+#: Common period spelling variants applied before character-level typos.
+SPELLING_VARIANTS: Dict[str, str] = {
+    "ann": "anne",
+    "catherine": "katherine",
+    "elizabeth": "elisabeth",
+    "steve": "stephen",
+    "susannah": "susanna",
+    "harriet": "harriett",
+    "fanny": "fannie",
+    "smith": "smyth",
+    "taylor": "tayler",
+    "haworth": "howorth",
+    "whittaker": "whitaker",
+    "ashworth": "ashworthe",
+    "greenwood": "grenwood",
+    "sutcliffe": "sutcliff",
+    "schofield": "scholfield",
+}
+
+
+@dataclass
+class CorruptionParams:
+    """Noise rates per attribute (probabilities per record)."""
+
+    missing_rates: Dict[str, float] = field(
+        default_factory=lambda: {
+            "first_name": 0.010,
+            "surname": 0.010,
+            "sex": 0.010,
+            "occupation": 0.050,
+            "address": 0.025,
+            "age": 0.010,
+        }
+    )
+    typo_rates: Dict[str, float] = field(
+        default_factory=lambda: {
+            "first_name": 0.045,
+            "surname": 0.055,
+            "occupation": 0.080,
+            "address": 0.060,
+        }
+    )
+    #: Probability a known spelling variant replaces the value (subsumed
+    #: in the typo decision).
+    variant_rate: float = 0.35
+    #: Probability the recorded age is off by one / by two years.
+    age_error_one: float = 0.14
+    age_error_two: float = 0.045
+    #: Probability an adult age is rounded to a multiple of five.
+    age_rounding: float = 0.05
+
+    def scaled(self, factor: float) -> "CorruptionParams":
+        """A copy with all rates multiplied by ``factor`` (clamped to 1)."""
+        return CorruptionParams(
+            missing_rates={
+                key: min(1.0, value * factor)
+                for key, value in self.missing_rates.items()
+            },
+            typo_rates={
+                key: min(1.0, value * factor)
+                for key, value in self.typo_rates.items()
+            },
+            variant_rate=self.variant_rate,
+            age_error_one=min(1.0, self.age_error_one * factor),
+            age_error_two=min(1.0, self.age_error_two * factor),
+            age_rounding=min(1.0, self.age_rounding * factor),
+        )
+
+
+class RecordCorruptor:
+    """Applies the configured noise channels to raw attribute values."""
+
+    def __init__(
+        self, rng: random.Random, params: Optional[CorruptionParams] = None
+    ) -> None:
+        self.rng = rng
+        self.params = params or CorruptionParams()
+
+    # -- string noise -------------------------------------------------------
+
+    def typo(self, text: str) -> str:
+        """One random character-level edit (never returns empty)."""
+        if not text:
+            return text
+        rng = self.rng
+        operation = rng.choice(("substitute", "delete", "insert", "transpose", "double"))
+        position = rng.randrange(len(text))
+        if operation == "substitute":
+            replacement = rng.choice(_ALPHABET)
+            return text[:position] + replacement + text[position + 1 :]
+        if operation == "delete" and len(text) > 1:
+            return text[:position] + text[position + 1 :]
+        if operation == "insert":
+            return text[:position] + rng.choice(_ALPHABET) + text[position:]
+        if operation == "transpose" and position < len(text) - 1:
+            return (
+                text[:position]
+                + text[position + 1]
+                + text[position]
+                + text[position + 2 :]
+            )
+        if operation == "double":
+            return text[: position + 1] + text[position] + text[position + 1 :]
+        return text
+
+    def corrupt_string(self, value: Optional[str], attribute: str) -> Optional[str]:
+        params = self.params
+        rng = self.rng
+        if value is not None and rng.random() < params.typo_rates.get(attribute, 0.0):
+            variant = SPELLING_VARIANTS.get(value)
+            if variant is not None and rng.random() < params.variant_rate:
+                value = variant
+            else:
+                value = self.typo(value)
+        if rng.random() < params.missing_rates.get(attribute, 0.0):
+            return None
+        return value
+
+    # -- numeric noise -------------------------------------------------------
+
+    def corrupt_age(self, age: Optional[int]) -> Optional[int]:
+        params = self.params
+        rng = self.rng
+        if age is not None:
+            roll = rng.random()
+            if roll < params.age_error_two:
+                age = max(0, age + rng.choice((-2, 2)))
+            elif roll < params.age_error_two + params.age_error_one:
+                age = max(0, age + rng.choice((-1, 1)))
+            if age >= 20 and rng.random() < params.age_rounding:
+                age = int(round(age / 5.0)) * 5
+        if rng.random() < params.missing_rates.get("age", 0.0):
+            return None
+        return age
+
+    def corrupt_sex(self, sex: Optional[str]) -> Optional[str]:
+        if self.rng.random() < self.params.missing_rates.get("sex", 0.0):
+            return None
+        return sex

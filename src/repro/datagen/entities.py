@@ -1,0 +1,226 @@
+"""Latent world state of the population simulator.
+
+Entities are the *true* people and households behind the census records.
+A :class:`PersonEntity` persists across decades (its attributes can
+change: surname at marriage, occupation over a career); a
+:class:`HouseholdEntity` groups co-resident persons.  Census snapshots
+and ground-truth mappings are derived views of this state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..model import roles as R
+
+
+@dataclass
+class PersonEntity:
+    """A real person in the simulated world."""
+
+    entity_id: str
+    sex: str
+    birth_year: int
+    first_name: str
+    surname: str
+    occupation: Optional[str] = None
+    father_id: Optional[str] = None
+    mother_id: Optional[str] = None
+    spouse_id: Optional[str] = None
+    alive: bool = True
+    #: False once the person emigrated out of the observed region.
+    present: bool = True
+    #: True for members who joined a household as hired help.
+    is_servant: bool = False
+
+    def age_in(self, year: int) -> int:
+        return max(0, year - self.birth_year)
+
+    def is_adult_in(self, year: int) -> bool:
+        return self.age_in(year) >= 18
+
+    @property
+    def observable(self) -> bool:
+        """Alive and inside the region — will appear in a snapshot."""
+        return self.alive and self.present
+
+
+@dataclass
+class HouseholdEntity:
+    """A real household: a head plus co-resident members."""
+
+    entity_id: str
+    address: str
+    head_id: str
+    member_ids: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.member_ids.add(self.head_id)
+
+    @property
+    def size(self) -> int:
+        return len(self.member_ids)
+
+    def add(self, person_id: str) -> None:
+        self.member_ids.add(person_id)
+
+    def remove(self, person_id: str) -> None:
+        self.member_ids.discard(person_id)
+
+
+class World:
+    """Registry of all person and household entities plus kinship lookups."""
+
+    def __init__(self) -> None:
+        self.persons: Dict[str, PersonEntity] = {}
+        self.households: Dict[str, HouseholdEntity] = {}
+        self.household_of: Dict[str, str] = {}
+        self._person_seq = 0
+        self._household_seq = 0
+
+    # -- creation --------------------------------------------------------------
+
+    def new_person(self, **kwargs) -> PersonEntity:
+        self._person_seq += 1
+        person = PersonEntity(entity_id=f"p{self._person_seq:06d}", **kwargs)
+        self.persons[person.entity_id] = person
+        return person
+
+    def new_household(self, address: str, head_id: str) -> HouseholdEntity:
+        self._household_seq += 1
+        household = HouseholdEntity(
+            entity_id=f"h{self._household_seq:06d}",
+            address=address,
+            head_id=head_id,
+        )
+        self.households[household.entity_id] = household
+        self.household_of[head_id] = household.entity_id
+        return household
+
+    # -- membership --------------------------------------------------------------
+
+    def move_person(self, person_id: str, target_household_id: str) -> None:
+        """Move a person between households (removing empty leftovers is the
+        caller's responsibility via :meth:`drop_if_empty`)."""
+        current = self.household_of.get(person_id)
+        if current == target_household_id:
+            return
+        if current is not None:
+            self.households[current].remove(person_id)
+        self.households[target_household_id].add(person_id)
+        self.household_of[person_id] = target_household_id
+
+    def detach_person(self, person_id: str) -> Optional[str]:
+        """Remove a person from their household; returns the household id."""
+        current = self.household_of.pop(person_id, None)
+        if current is not None:
+            self.households[current].remove(person_id)
+        return current
+
+    def drop_if_empty(self, household_id: str) -> bool:
+        """Delete a household with no members left; returns True if dropped."""
+        household = self.households.get(household_id)
+        if household is not None and not household.member_ids:
+            del self.households[household_id]
+            return True
+        return False
+
+    def members_of(self, household_id: str) -> List[PersonEntity]:
+        """Members in deterministic (id) order."""
+        household = self.households[household_id]
+        return [self.persons[pid] for pid in sorted(household.member_ids)]
+
+    # -- kinship --------------------------------------------------------------
+
+    def children_of(self, person_id: str) -> List[PersonEntity]:
+        return [
+            person
+            for person in self._sorted_persons()
+            if person_id in (person.father_id, person.mother_id)
+        ]
+
+    def are_siblings(self, id_a: str, id_b: str) -> bool:
+        a, b = self.persons[id_a], self.persons[id_b]
+        shared_father = a.father_id is not None and a.father_id == b.father_id
+        shared_mother = a.mother_id is not None and a.mother_id == b.mother_id
+        return shared_father or shared_mother
+
+    def is_child_of(self, child_id: str, parent_id: str) -> bool:
+        child = self.persons[child_id]
+        return parent_id in (child.father_id, child.mother_id)
+
+    def is_grandchild_of(self, child_id: str, elder_id: str) -> bool:
+        child = self.persons[child_id]
+        for parent_id in (child.father_id, child.mother_id):
+            if parent_id is not None and parent_id in self.persons:
+                if self.is_child_of(parent_id, elder_id):
+                    return True
+        return False
+
+    def _sorted_persons(self) -> List[PersonEntity]:
+        return [self.persons[pid] for pid in sorted(self.persons)]
+
+    # -- role derivation --------------------------------------------------------
+
+    def role_relative_to_head(self, person_id: str, head_id: str) -> str:
+        """Head-relative census role of a household member."""
+        if person_id == head_id:
+            return R.HEAD
+        person = self.persons[person_id]
+        head = self.persons[head_id]
+        if head.spouse_id == person_id:
+            return R.WIFE if person.sex == "f" else R.HUSBAND
+        if self.is_child_of(person_id, head_id) or (
+            head.spouse_id is not None
+            and self.is_child_of(person_id, head.spouse_id)
+        ):
+            return R.SON if person.sex == "m" else R.DAUGHTER
+        if self.is_child_of(head_id, person_id):
+            return R.FATHER if person.sex == "m" else R.MOTHER
+        if head.spouse_id is not None and self.is_child_of(head_id, person_id) is False:
+            # Parent of the head's spouse -> in-law.
+            if self.is_child_of(head.spouse_id, person_id):
+                return (
+                    R.FATHER_IN_LAW if person.sex == "m" else R.MOTHER_IN_LAW
+                )
+        if self.are_siblings(person_id, head_id):
+            return R.BROTHER if person.sex == "m" else R.SISTER
+        if self.is_grandchild_of(person_id, head_id):
+            return R.GRANDSON if person.sex == "m" else R.GRANDDAUGHTER
+        # Spouse of one of the head's children -> child-in-law.
+        if person.spouse_id is not None and (
+            self.is_child_of(person.spouse_id, head_id)
+            or (
+                head.spouse_id is not None
+                and self.is_child_of(person.spouse_id, head.spouse_id)
+            )
+        ):
+            return R.SON_IN_LAW if person.sex == "m" else R.DAUGHTER_IN_LAW
+        # Sibling's child -> nephew/niece.
+        for parent_id in (person.father_id, person.mother_id):
+            if (
+                parent_id is not None
+                and parent_id in self.persons
+                and self.are_siblings(parent_id, head_id)
+            ):
+                return R.NEPHEW if person.sex == "m" else R.NIECE
+        if person.is_servant:
+            return R.SERVANT
+        return R.LODGER
+
+    # -- views --------------------------------------------------------------
+
+    def observable_households(self) -> List[HouseholdEntity]:
+        """Households with at least one observable member, id-ordered."""
+        found = []
+        for household_id in sorted(self.households):
+            household = self.households[household_id]
+            if any(
+                self.persons[pid].observable for pid in household.member_ids
+            ):
+                found.append(household)
+        return found
+
+    def observable_persons(self) -> List[PersonEntity]:
+        return [person for person in self._sorted_persons() if person.observable]

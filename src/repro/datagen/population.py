@@ -1,0 +1,565 @@
+"""Decade-by-decade population simulation for a Victorian mill town.
+
+The simulator evolves a latent :class:`~repro.datagen.entities.World`
+through ten-year steps, generating the demographic events that make
+temporal census linkage hard — and that the paper's evolution patterns
+(Section 4) are designed to detect:
+
+* deaths and births (``remove_R`` / ``add_R``),
+* marriages: couples found new households, brides change surname
+  (``move`` and the Alice-Ashworth-to-Alice-Smith case of Fig. 1),
+* grown children leaving home as lodgers or servants (``move``),
+* sibling pairs or young families moving out together (``split``),
+* widowed parents moving in with married children (``merge``),
+* whole-household immigration and emigration (``add_G`` / ``remove_G``),
+* occupation drift and household relocation (attribute instability).
+
+All randomness flows through one seeded ``random.Random``, so a given
+parameter set reproduces an identical world.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .entities import HouseholdEntity, PersonEntity, World
+from .names import CHILD_OCCUPATION, NameSampler
+
+
+@dataclass
+class SimulationParams:
+    """Demographic rates per ten-year step (calibrated to Table 1 shapes)."""
+
+    #: Mortality probability per decade by (max age, probability) bands.
+    mortality_bands: Sequence[Tuple[int, float]] = (
+        (5, 0.10),
+        (15, 0.05),
+        (40, 0.08),
+        (55, 0.16),
+        (70, 0.40),
+        (85, 0.75),
+        (200, 0.98),
+    )
+    #: Probability that an unmarried adult marries within the decade,
+    #: by (max age, probability) bands.
+    marriage_bands: Sequence[Tuple[int, float]] = (
+        (19, 0.10),
+        (24, 0.50),
+        (30, 0.45),
+        (40, 0.25),
+        (200, 0.06),
+    )
+    #: Probability a newly married couple leaves the region right away
+    #: (in a small district most newlyweds settled elsewhere — this is
+    #: what keeps the paper's ``move`` pattern relatively rare).
+    newlywed_emigration_rate: float = 0.55
+    #: Mean number of surviving children born per fertile couple per decade.
+    fertility_mean: float = 2.2
+    #: Wife's maximum fertile age.
+    max_fertile_age: int = 44
+    #: Probability a whole household emigrates out of the region.
+    household_emigration_rate: float = 0.075
+    #: Probability an unmarried adult (18-35) leaves the region alone.
+    individual_emigration_rate: float = 0.06
+    #: Immigrant households arriving per decade, as a fraction of the
+    #: current household count (one entry per simulated step; the last
+    #: entry repeats when more steps are run).
+    immigration_schedule: Sequence[float] = (0.28, 0.20, 0.17, 0.16, 0.17)
+    #: Probability a never-married adult child (>=20) leaves home to lodge
+    #: or serve in another household.
+    leave_home_rate: float = 0.07
+    #: Probability a large household splits off a sibling group.
+    sibling_split_rate: float = 0.06
+    #: Probability a widowed elder merges into a married child's household.
+    widow_merge_rate: float = 0.45
+    #: Probability a surviving household changes address within a decade.
+    relocation_rate: float = 0.18
+    #: Probability an adult's recorded occupation changes within a decade.
+    occupation_change_rate: float = 0.28
+    #: Probability a new (initial or immigrant) household employs servants.
+    servant_rate: float = 0.07
+    #: Age at which children start appearing with an occupation of their own.
+    working_age: int = 13
+    #: Zipf exponents of the name pools; larger values concentrate the
+    #: population on the frequent names (John, Mary, Ashworth, Smith) and
+    #: raise the linkage ambiguity (Table 1's |fn+sn| statistic).
+    name_exponent: float = 1.15
+    surname_exponent: float = 1.05
+
+    def mortality(self, age: int) -> float:
+        for max_age, probability in self.mortality_bands:
+            if age <= max_age:
+                return probability
+        return 1.0
+
+    def marriage_probability(self, age: int) -> float:
+        for max_age, probability in self.marriage_bands:
+            if age <= max_age:
+                return probability
+        return 0.0
+
+
+class PopulationSimulator:
+    """Evolves a synthetic town and exposes its latent world state."""
+
+    def __init__(
+        self,
+        seed: int = 42,
+        params: Optional[SimulationParams] = None,
+        start_year: int = 1851,
+        initial_households: int = 300,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.params = params or SimulationParams()
+        self.year = start_year
+        self.world = World()
+        self.names = NameSampler(
+            self.rng,
+            name_exponent=self.params.name_exponent,
+            surname_exponent=self.params.surname_exponent,
+        )
+        self._step_index = 0
+        self._bootstrap(initial_households)
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+
+    def _bootstrap(self, initial_households: int) -> None:
+        """Create the starting population for the first census year."""
+        for _ in range(initial_households):
+            self._create_immigrant_household(self.year)
+
+    def _create_immigrant_household(self, year: int) -> HouseholdEntity:
+        """A fresh household: usually a family, sometimes a single person."""
+        rng = self.rng
+        address = self.names.address()
+        kind = rng.random()
+        if kind < 0.76:
+            household = self._create_family(year, address)
+        elif kind < 0.91:
+            household = self._create_widowed_family(year, address)
+        else:
+            household = self._create_single_household(year, address)
+        if rng.random() < self.params.servant_rate:
+            for _ in range(rng.randint(1, 2)):
+                servant = self._new_adult(
+                    year, sex=self.names.sex(), min_age=14, max_age=30
+                )
+                servant.is_servant = True
+                servant.occupation = (
+                    "domestic servant" if servant.sex == "f" else "labourer"
+                )
+                self.world.move_person(servant.entity_id, household.entity_id)
+        return household
+
+    def _new_adult(
+        self, year: int, sex: str, min_age: int, max_age: int
+    ) -> PersonEntity:
+        age = self.rng.randint(min_age, max_age)
+        return self.world.new_person(
+            sex=sex,
+            birth_year=year - age,
+            first_name=self.names.first_name(sex),
+            surname=self.names.surname(),
+            occupation=self.names.occupation(sex),
+        )
+
+    def _create_family(self, year: int, address: str) -> HouseholdEntity:
+        rng = self.rng
+        head = self._new_adult(year, "m", 22, 55)
+        wife = self._new_adult(year, "f", 20, 50)
+        wife.surname = head.surname
+        wife.occupation = None if rng.random() < 0.45 else wife.occupation
+        head.spouse_id = wife.entity_id
+        wife.spouse_id = head.entity_id
+        household = self.world.new_household(address, head.entity_id)
+        self.world.move_person(wife.entity_id, household.entity_id)
+
+        head_age = head.age_in(year)
+        max_children = max(1, min(8, (head_age - 18) // 3))
+        for _ in range(rng.randint(1, max_children)):
+            self._birth(head, wife, year - rng.randint(0, 17), household)
+        # Occasionally an elderly parent lives in.
+        if rng.random() < 0.06:
+            parent_sex = self.names.sex()
+            parent = self._new_adult(year, parent_sex, head_age + 20, head_age + 32)
+            parent.surname = head.surname
+            parent.occupation = None
+            if parent_sex == "m":
+                head.father_id = parent.entity_id
+            else:
+                head.mother_id = parent.entity_id
+            self.world.move_person(parent.entity_id, household.entity_id)
+        return household
+
+    def _create_widowed_family(self, year: int, address: str) -> HouseholdEntity:
+        rng = self.rng
+        sex = "f" if rng.random() < 0.65 else "m"
+        head = self._new_adult(year, sex, 35, 65)
+        household = self.world.new_household(address, head.entity_id)
+        for _ in range(rng.randint(1, 5)):
+            child_sex = self.names.sex()
+            child_age = rng.randint(0, 20)
+            child = self.world.new_person(
+                sex=child_sex,
+                birth_year=year - child_age,
+                first_name=self.names.first_name(child_sex),
+                surname=head.surname,
+                occupation=self._child_occupation(child_age),
+                father_id=head.entity_id if sex == "m" else None,
+                mother_id=head.entity_id if sex == "f" else None,
+            )
+            self.world.move_person(child.entity_id, household.entity_id)
+        return household
+
+    def _create_single_household(self, year: int, address: str) -> HouseholdEntity:
+        head = self._new_adult(year, self.names.sex(), 25, 70)
+        return self.world.new_household(address, head.entity_id)
+
+    def _child_occupation(self, age: int) -> Optional[str]:
+        if age < 5:
+            return None
+        if age < self.params.working_age:
+            return CHILD_OCCUPATION
+        return self.names.occupation()
+
+    def _birth(
+        self,
+        father: Optional[PersonEntity],
+        mother: Optional[PersonEntity],
+        birth_year: int,
+        household: HouseholdEntity,
+    ) -> PersonEntity:
+        sex = self.names.sex()
+        surname = (father or mother).surname
+        child = self.world.new_person(
+            sex=sex,
+            birth_year=birth_year,
+            first_name=self.names.first_name(sex),
+            surname=surname,
+            occupation=self._child_occupation(max(0, self.year - birth_year)),
+            father_id=father.entity_id if father else None,
+            mother_id=mother.entity_id if mother else None,
+        )
+        self.world.move_person(child.entity_id, household.entity_id)
+        return child
+
+    # ------------------------------------------------------------------
+    # Decade step
+    # ------------------------------------------------------------------
+
+    def step_decade(self) -> None:
+        """Advance the world by ten years of demographic events."""
+        old_year = self.year
+        self.year = old_year + 10
+        self._apply_deaths()
+        self._apply_emigration()
+        self._apply_marriages()
+        self._apply_births(old_year)
+        self._apply_leaving_home()
+        self._apply_sibling_splits()
+        self._apply_widow_merges()
+        self._apply_immigration()
+        self._repair_households()
+        self._apply_attribute_drift()
+        self._step_index += 1
+
+    # -- events ----------------------------------------------------------
+
+    def _observable_person_ids(self) -> List[str]:
+        return [
+            person.entity_id for person in self.world.observable_persons()
+        ]
+
+    def _apply_deaths(self) -> None:
+        for person_id in self._observable_person_ids():
+            person = self.world.persons[person_id]
+            # Expected age at mid-decade drives the mortality band.
+            if self.rng.random() < self.params.mortality(person.age_in(self.year) - 5):
+                person.alive = False
+                household_id = self.world.detach_person(person_id)
+                if person.spouse_id and person.spouse_id in self.world.persons:
+                    self.world.persons[person.spouse_id].spouse_id = None
+                person.spouse_id = None
+                if household_id:
+                    self.world.drop_if_empty(household_id)
+
+    def _apply_emigration(self) -> None:
+        # Whole households leave the region.
+        for household in list(self.world.observable_households()):
+            if self.rng.random() < self.params.household_emigration_rate:
+                for member in self.world.members_of(household.entity_id):
+                    member.present = False
+                    self.world.detach_person(member.entity_id)
+                self.world.drop_if_empty(household.entity_id)
+        # Single young adults strike out on their own.
+        for person_id in self._observable_person_ids():
+            person = self.world.persons[person_id]
+            if (
+                person.spouse_id is None
+                and 18 <= person.age_in(self.year) <= 35
+                and self.rng.random() < self.params.individual_emigration_rate
+            ):
+                person.present = False
+                household_id = self.world.detach_person(person_id)
+                if household_id:
+                    self.world.drop_if_empty(household_id)
+
+    def _apply_marriages(self) -> None:
+        rng = self.rng
+        params = self.params
+        bachelors: List[PersonEntity] = []
+        spinsters: List[PersonEntity] = []
+        for person_id in self._observable_person_ids():
+            person = self.world.persons[person_id]
+            if person.spouse_id is not None:
+                continue
+            age = person.age_in(self.year)
+            if age < 17:
+                continue
+            if rng.random() < params.marriage_probability(age):
+                (bachelors if person.sex == "m" else spinsters).append(person)
+        rng.shuffle(bachelors)
+        # Pair by age plausibility: sort both sides by age and zip.
+        bachelors.sort(key=lambda p: (p.birth_year, p.entity_id))
+        spinsters.sort(key=lambda p: (p.birth_year, p.entity_id))
+        for groom, bride in zip(bachelors, spinsters):
+            if self.world.household_of.get(groom.entity_id) == self.world.household_of.get(
+                bride.entity_id
+            ):
+                continue  # no marriages inside one household
+            self._marry(groom, bride)
+
+    def _marry(self, groom: PersonEntity, bride: PersonEntity) -> None:
+        rng = self.rng
+        groom.spouse_id = bride.entity_id
+        bride.spouse_id = groom.entity_id
+        bride.surname = groom.surname
+        bride.is_servant = False
+        groom.is_servant = False
+        if rng.random() < self.params.newlywed_emigration_rate:
+            # The couple settles outside the observed region.
+            for person in (groom, bride):
+                person.present = False
+                old_home = self.world.detach_person(person.entity_id)
+                if old_home:
+                    self.world.drop_if_empty(old_home)
+            return
+        groom_home = self.world.household_of.get(groom.entity_id)
+        choice = rng.random()
+        if choice < 0.82 or groom_home is None:
+            # Found a new household.
+            old_bride_home = self.world.detach_person(bride.entity_id)
+            old_groom_home = self.world.detach_person(groom.entity_id)
+            household = self.world.new_household(
+                self.names.address(), groom.entity_id
+            )
+            self.world.move_person(bride.entity_id, household.entity_id)
+            for old_home in (old_bride_home, old_groom_home):
+                if old_home:
+                    self.world.drop_if_empty(old_home)
+            # A widower brings his children along (split material).
+            self._bring_dependent_children(groom, household)
+            self._bring_dependent_children(bride, household)
+        else:
+            # Bride moves in with the groom's family.
+            old_home = self.world.detach_person(bride.entity_id)
+            self.world.move_person(bride.entity_id, groom_home)
+            if old_home:
+                self.world.drop_if_empty(old_home)
+
+    def _bring_dependent_children(
+        self, parent: PersonEntity, household: HouseholdEntity
+    ) -> None:
+        for child in self.world.children_of(parent.entity_id):
+            if not child.observable or child.spouse_id is not None:
+                continue
+            if child.age_in(self.year) < 16:
+                old_home = self.world.detach_person(child.entity_id)
+                self.world.move_person(child.entity_id, household.entity_id)
+                if old_home:
+                    self.world.drop_if_empty(old_home)
+
+    def _apply_births(self, old_year: int) -> None:
+        rng = self.rng
+        params = self.params
+        for household in list(self.world.observable_households()):
+            members = self.world.members_of(household.entity_id)
+            for person in members:
+                if person.sex != "f" or person.spouse_id is None:
+                    continue
+                spouse = self.world.persons.get(person.spouse_id)
+                if spouse is None or not spouse.observable:
+                    continue
+                if self.world.household_of.get(spouse.entity_id) != household.entity_id:
+                    continue
+                wife_age = person.age_in(self.year)
+                if wife_age > params.max_fertile_age + 9 or wife_age < 16:
+                    continue
+                # Expected surviving births over the decade.
+                count = self._poisson(params.fertility_mean)
+                for _ in range(count):
+                    birth_year = rng.randint(old_year + 1, self.year)
+                    if person.age_in(birth_year) > params.max_fertile_age:
+                        continue
+                    self._birth(spouse, person, birth_year, household)
+
+    def _poisson(self, mean: float) -> int:
+        # Knuth's method; mean is small (< 5) in all configurations.
+        import math
+
+        limit = math.exp(-mean)
+        count, product = 0, self.rng.random()
+        while product > limit:
+            count += 1
+            product *= self.rng.random()
+        return count
+
+    def _apply_leaving_home(self) -> None:
+        """Never-married grown children leave to lodge or serve elsewhere."""
+        rng = self.rng
+        households = self.world.observable_households()
+        if len(households) < 2:
+            return
+        household_ids = [household.entity_id for household in households]
+        for person_id in self._observable_person_ids():
+            person = self.world.persons[person_id]
+            if person.spouse_id is not None:
+                continue
+            if not (20 <= person.age_in(self.year) <= 34):
+                continue
+            home_id = self.world.household_of.get(person_id)
+            if home_id is None:
+                continue
+            home = self.world.households[home_id]
+            if home.head_id == person_id:
+                continue
+            if rng.random() >= self.params.leave_home_rate:
+                continue
+            if rng.random() < 0.5:
+                # Strike out alone as a new single household.
+                self.world.detach_person(person_id)
+                self.world.new_household(self.names.address(), person_id)
+            else:
+                target_id = rng.choice(household_ids)
+                if target_id == home_id:
+                    continue
+                person.is_servant = person.sex == "f" and rng.random() < 0.6
+                self.world.move_person(person_id, target_id)
+            self.world.drop_if_empty(home_id)
+
+    def _apply_sibling_splits(self) -> None:
+        """Two or more grown siblings move out together (a true *split*)."""
+        rng = self.rng
+        for household in list(self.world.observable_households()):
+            if household.size < 6 or rng.random() >= self.params.sibling_split_rate:
+                continue
+            head_id = household.head_id
+            movers = [
+                member
+                for member in self.world.members_of(household.entity_id)
+                if member.entity_id != head_id
+                and member.spouse_id is None
+                and member.observable
+                and 16 <= member.age_in(self.year) <= 40
+                and self.world.is_child_of(member.entity_id, head_id)
+            ]
+            if len(movers) < 2:
+                continue
+            movers = movers[:2] if rng.random() < 0.7 else movers[:3]
+            eldest = min(movers, key=lambda p: (p.birth_year, p.entity_id))
+            self.world.detach_person(eldest.entity_id)
+            new_home = self.world.new_household(
+                self.names.address(), eldest.entity_id
+            )
+            for mover in movers:
+                if mover.entity_id != eldest.entity_id:
+                    self.world.move_person(mover.entity_id, new_home.entity_id)
+
+    def _apply_widow_merges(self) -> None:
+        """Widowed elders (and dependents) move in with married children."""
+        rng = self.rng
+        for household in list(self.world.observable_households()):
+            head = self.world.persons[household.head_id]
+            if head.spouse_id is not None or head.age_in(self.year) < 55:
+                continue
+            if rng.random() >= self.params.widow_merge_rate:
+                continue
+            target_home: Optional[str] = None
+            for child in self.world.children_of(head.entity_id):
+                if not child.observable or child.spouse_id is None:
+                    continue
+                child_home = self.world.household_of.get(child.entity_id)
+                if child_home and child_home != household.entity_id:
+                    target_home = child_home
+                    break
+            if target_home is None:
+                continue
+            for member in self.world.members_of(household.entity_id):
+                self.world.move_person(member.entity_id, target_home)
+            self.world.drop_if_empty(household.entity_id)
+
+    def _apply_immigration(self) -> None:
+        schedule = self.params.immigration_schedule
+        index = min(self._step_index, len(schedule) - 1)
+        rate = schedule[index]
+        arriving = int(round(rate * len(self.world.observable_households())))
+        for _ in range(arriving):
+            self._create_immigrant_household(self.year)
+
+    def _repair_households(self) -> None:
+        """Re-head households whose head died or left; drop empty shells."""
+        for household_id in sorted(self.world.households):
+            household = self.world.households.get(household_id)
+            if household is None:
+                continue
+            if not household.member_ids:
+                del self.world.households[household_id]
+                continue
+            if household.head_id in household.member_ids:
+                head = self.world.persons[household.head_id]
+                if head.observable:
+                    continue
+            members = [
+                member
+                for member in self.world.members_of(household_id)
+                if member.observable
+            ]
+            if not members:
+                del self.world.households[household_id]
+                continue
+            # Prefer the widowed spouse, then the eldest adult, then anyone.
+            members.sort(
+                key=lambda p: (
+                    0 if p.spouse_id is None else 1,
+                    p.birth_year,
+                    p.entity_id,
+                )
+            )
+            household.head_id = members[0].entity_id
+
+    def _apply_attribute_drift(self) -> None:
+        """Occupation changes; households relocate (unstable attributes)."""
+        rng = self.rng
+        params = self.params
+        for household in self.world.observable_households():
+            if rng.random() < params.relocation_rate:
+                household.address = self.names.address()
+            for member in self.world.members_of(household.entity_id):
+                age = member.age_in(self.year)
+                if age < 5:
+                    member.occupation = None
+                elif age < params.working_age:
+                    member.occupation = CHILD_OCCUPATION
+                elif member.occupation in (None, CHILD_OCCUPATION):
+                    if member.sex == "f" and member.spouse_id is not None:
+                        member.occupation = (
+                            None if rng.random() < 0.35 else self.names.occupation("f")
+                        )
+                    else:
+                        member.occupation = self.names.occupation(member.sex)
+                elif rng.random() < params.occupation_change_rate:
+                    member.occupation = self.names.occupation(member.sex)

@@ -1,0 +1,66 @@
+"""Evaluation: quality metrics, experiment runners and reporting."""
+
+from .experiments import (
+    DEFAULT_PAIR_HOUSEHOLDS,
+    DEFAULT_SEED,
+    DEFAULT_SERIES_HOUSEHOLDS,
+    ExperimentWorkload,
+    LinkageQuality,
+    run_evolution_analysis,
+    run_figure6,
+    run_linkage,
+    run_table1,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+)
+from .calibration import GridPoint, GridSearchResult, grid_search
+from .demography import (
+    age_pyramid,
+    demography_report,
+    household_size_distribution,
+    mean_household_size,
+    series_growth_table,
+    surname_concentration,
+)
+from .errors import ErrorReport, analyse_errors
+from .metrics import QualityResult, evaluate_mapping, evaluate_restricted
+from .reporting import format_table, quality_block, quality_row
+
+__all__ = [
+    "DEFAULT_PAIR_HOUSEHOLDS",
+    "DEFAULT_SEED",
+    "DEFAULT_SERIES_HOUSEHOLDS",
+    "ExperimentWorkload",
+    "LinkageQuality",
+    "run_evolution_analysis",
+    "run_figure6",
+    "run_linkage",
+    "run_table1",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+    "GridPoint",
+    "GridSearchResult",
+    "grid_search",
+    "age_pyramid",
+    "demography_report",
+    "household_size_distribution",
+    "mean_household_size",
+    "series_growth_table",
+    "surname_concentration",
+    "ErrorReport",
+    "analyse_errors",
+    "QualityResult",
+    "evaluate_mapping",
+    "evaluate_restricted",
+    "format_table",
+    "quality_block",
+    "quality_row",
+]

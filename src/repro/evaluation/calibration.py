@@ -1,0 +1,126 @@
+"""Configuration calibration: grid search over LinkageConfig parameters.
+
+Automates the parameter studies of Section 5.2: given a labelled
+workload (e.g. a generated pair, or a real pair with a partial
+reference), every combination of the supplied parameter grid is run and
+scored, and the best configuration by a chosen metric is returned.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import LinkageConfig
+from ..core.pipeline import link_datasets
+from ..model.dataset import CensusDataset
+from ..model.mappings import GroupMapping, RecordMapping
+from .metrics import QualityResult, evaluate_mapping
+
+#: Scoring targets selectable for the search.
+RECORD_F = "record_f"
+GROUP_F = "group_f"
+MEAN_F = "mean_f"
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One evaluated configuration with its quality."""
+
+    overrides: Tuple[Tuple[str, object], ...]
+    record: QualityResult
+    group: QualityResult
+
+    def objective(self, target: str) -> float:
+        if target == RECORD_F:
+            return self.record.f_measure
+        if target == GROUP_F:
+            return self.group.f_measure
+        if target == MEAN_F:
+            return 0.5 * (self.record.f_measure + self.group.f_measure)
+        raise ValueError(f"unknown target {target!r}")
+
+    def as_config(self, base: Optional[LinkageConfig] = None) -> LinkageConfig:
+        return dataclasses.replace(
+            base or LinkageConfig(), **dict(self.overrides)
+        )
+
+
+@dataclass
+class GridSearchResult:
+    """All evaluated points, sorted best-first for the chosen target."""
+
+    target: str
+    points: List[GridPoint] = field(default_factory=list)
+
+    @property
+    def best(self) -> GridPoint:
+        if not self.points:
+            raise ValueError("grid search produced no points")
+        return self.points[0]
+
+    def top(self, count: int = 5) -> List[GridPoint]:
+        return self.points[:count]
+
+
+def _validate_grid(base: LinkageConfig, grid: Dict[str, Sequence]) -> None:
+    valid_fields = {item.name for item in dataclasses.fields(LinkageConfig)}
+    for name, values in grid.items():
+        if name not in valid_fields:
+            raise ValueError(f"unknown LinkageConfig field {name!r}")
+        if not values:
+            raise ValueError(f"empty value list for {name!r}")
+
+
+def grid_search(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    reference_records: RecordMapping,
+    grid: Dict[str, Sequence],
+    reference_groups: Optional[GroupMapping] = None,
+    base_config: Optional[LinkageConfig] = None,
+    target: str = MEAN_F,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> GridSearchResult:
+    """Exhaustively evaluate every combination of the parameter grid.
+
+    ``grid`` maps LinkageConfig field names to candidate values, e.g.
+    ``{"delta_low": (0.4, 0.5), "alpha": (0.2, 0.5)}``.  Invalid
+    combinations (e.g. α+β > 1) are skipped rather than raised, so
+    grids over both α and β stay easy to write.
+    """
+    base = base_config or LinkageConfig()
+    _validate_grid(base, grid)
+    if target not in (RECORD_F, GROUP_F, MEAN_F):
+        raise ValueError(f"unknown target {target!r}")
+    if reference_groups is None and target != RECORD_F:
+        target = RECORD_F  # group quality unavailable without a reference
+
+    names = sorted(grid)
+    combinations = list(itertools.product(*(grid[name] for name in names)))
+    points: List[GridPoint] = []
+    for index, combination in enumerate(combinations, start=1):
+        overrides = tuple(zip(names, combination))
+        try:
+            config = dataclasses.replace(base, **dict(overrides))
+        except ValueError:
+            continue  # invalid combination, e.g. alpha + beta > 1
+        result = link_datasets(old_dataset, new_dataset, config)
+        record_quality = evaluate_mapping(
+            result.record_mapping, reference_records
+        )
+        group_quality = (
+            evaluate_mapping(result.group_mapping, reference_groups)
+            if reference_groups is not None
+            else QualityResult(0, 0, 0)
+        )
+        points.append(GridPoint(overrides, record_quality, group_quality))
+        if progress is not None:
+            progress(index, len(combinations))
+
+    points.sort(
+        key=lambda point: (-point.objective(target), point.overrides)
+    )
+    return GridSearchResult(target=target, points=points)

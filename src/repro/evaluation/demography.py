@@ -1,0 +1,193 @@
+"""Demographic reporting over census datasets and series.
+
+Summaries historians actually look at — age pyramids, household-size
+distributions, surname concentration, role composition — both to sanity
+check the synthetic generator against period statistics and to profile
+real datasets before linking them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.dataset import CensusDataset
+from .reporting import format_table
+
+
+@dataclass
+class AgeBand:
+    lower: int
+    upper: int  # inclusive
+    males: int = 0
+    females: int = 0
+    unknown: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.males + self.females + self.unknown
+
+    @property
+    def label(self) -> str:
+        return f"{self.lower}-{self.upper}"
+
+
+def age_pyramid(
+    dataset: CensusDataset, band_width: int = 10, max_age: int = 89
+) -> List[AgeBand]:
+    """Counts per age band and sex (records with missing age excluded)."""
+    if band_width < 1:
+        raise ValueError("band_width must be >= 1")
+    bands = [
+        AgeBand(lower, min(lower + band_width - 1, max_age))
+        for lower in range(0, max_age + 1, band_width)
+    ]
+    overflow = AgeBand(max_age + 1, 150)
+    for record in dataset.iter_records():
+        if record.age is None:
+            continue
+        band = (
+            bands[min(record.age // band_width, len(bands) - 1)]
+            if record.age <= max_age
+            else overflow
+        )
+        if record.sex == "m":
+            band.males += 1
+        elif record.sex == "f":
+            band.females += 1
+        else:
+            band.unknown += 1
+    if overflow.total:
+        bands.append(overflow)
+    return bands
+
+
+def household_size_distribution(dataset: CensusDataset) -> Dict[int, int]:
+    """Number of households per member count."""
+    return dict(
+        Counter(household.size for household in dataset.iter_households())
+    )
+
+
+def mean_household_size(dataset: CensusDataset) -> float:
+    if not dataset.households:
+        return 0.0
+    return len(dataset.records) / len(dataset.households)
+
+
+def surname_concentration(
+    dataset: CensusDataset, top: int = 10
+) -> List[Tuple[str, int, float]]:
+    """The ``top`` most frequent surnames with their population share."""
+    counts = Counter(
+        record.surname
+        for record in dataset.iter_records()
+        if record.surname
+    )
+    total = sum(counts.values())
+    return [
+        (surname, count, count / total if total else 0.0)
+        for surname, count in counts.most_common(top)
+    ]
+
+
+def role_composition(dataset: CensusDataset) -> Dict[str, int]:
+    """Records per household role."""
+    return dict(Counter(record.role for record in dataset.iter_records()))
+
+
+def sex_ratio(dataset: CensusDataset) -> float:
+    """Males per 100 females (records with missing sex excluded)."""
+    males = sum(1 for r in dataset.iter_records() if r.sex == "m")
+    females = sum(1 for r in dataset.iter_records() if r.sex == "f")
+    return 100.0 * males / females if females else 0.0
+
+
+def dependency_ratio(dataset: CensusDataset) -> float:
+    """(children < 15 + elders >= 65) per working-age person."""
+    young = working = old = 0
+    for record in dataset.iter_records():
+        if record.age is None:
+            continue
+        if record.age < 15:
+            young += 1
+        elif record.age >= 65:
+            old += 1
+        else:
+            working += 1
+    return (young + old) / working if working else 0.0
+
+
+def demography_report(dataset: CensusDataset) -> str:
+    """A multi-section plain-text demographic profile."""
+    sections: List[str] = []
+
+    pyramid_rows = [
+        [band.label, str(band.males), str(band.females)]
+        for band in age_pyramid(dataset)
+    ]
+    sections.append(
+        format_table(
+            ["age band", "males", "females"], pyramid_rows,
+            title=f"Age pyramid, {dataset.year}",
+        )
+    )
+
+    size_rows = [
+        [str(size), str(count)]
+        for size, count in sorted(household_size_distribution(dataset).items())
+    ]
+    sections.append(
+        format_table(
+            ["household size", "count"], size_rows,
+            title=(
+                f"Household sizes "
+                f"(mean {mean_household_size(dataset):.2f})"
+            ),
+        )
+    )
+
+    surname_rows = [
+        [surname, str(count), f"{share * 100:.1f}%"]
+        for surname, count, share in surname_concentration(dataset)
+    ]
+    sections.append(
+        format_table(
+            ["surname", "count", "share"], surname_rows,
+            title="Most frequent surnames",
+        )
+    )
+
+    sections.append(
+        f"sex ratio: {sex_ratio(dataset):.1f} males per 100 females\n"
+        f"dependency ratio: {dependency_ratio(dataset):.2f}"
+    )
+    return "\n\n".join(sections)
+
+
+def series_growth_table(datasets: Sequence[CensusDataset]) -> str:
+    """Per-snapshot growth rates over a series."""
+    rows = []
+    previous: Optional[CensusDataset] = None
+    for dataset in datasets:
+        growth = (
+            f"{(len(dataset) / len(previous) - 1) * 100:+.1f}%"
+            if previous is not None and len(previous)
+            else "-"
+        )
+        rows.append(
+            [
+                str(dataset.year),
+                str(len(dataset)),
+                str(len(dataset.households)),
+                f"{mean_household_size(dataset):.2f}",
+                growth,
+            ]
+        )
+        previous = dataset
+    return format_table(
+        ["year", "records", "households", "mean size", "growth"],
+        rows,
+        title="Series growth",
+    )

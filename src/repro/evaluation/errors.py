@@ -1,0 +1,141 @@
+"""Error analysis: categorise where a linkage run goes wrong.
+
+Splits false negatives and false positives into the interpretable
+classes that drove this reproduction's debugging — surname changes
+(brides), typo victims, frequent-name confusion, lone movers — so a
+user tuning the pipeline sees *what kind* of links they are trading.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..model.dataset import CensusDataset
+from ..model.mappings import RecordMapping
+from ..similarity.levenshtein import levenshtein_distance
+from ..similarity.numeric import normalised_age_difference
+
+# False-negative categories.
+FN_SURNAME_CHANGED = "surname-changed"  # e.g. bride took husband's name
+FN_NAME_NOISE = "name-noise"  # typos/variants on first or last name
+FN_MISSING_VALUES = "missing-values"  # a name is absent on one side
+FN_STOLEN = "linked-elsewhere"  # one endpoint got a different link
+FN_OTHER = "other"
+
+# False-positive categories.
+FP_NAMESAKE = "namesake-confusion"  # same/near-same names, wrong person
+FP_AGE_IMPLAUSIBLE = "age-implausible"  # normalised age deviation > 3
+FP_OTHER = "other"
+
+
+@dataclass
+class ErrorReport:
+    """Categorised linkage errors for one record mapping."""
+
+    false_negatives: Counter = field(default_factory=Counter)
+    false_positives: Counter = field(default_factory=Counter)
+    fn_examples: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+    fp_examples: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = ["False negatives:"]
+        for category, count in self.false_negatives.most_common():
+            lines.append(f"  {category:<20} {count}")
+        lines.append("False positives:")
+        for category, count in self.false_positives.most_common():
+            lines.append(f"  {category:<20} {count}")
+        return "\n".join(lines)
+
+
+def _name_noise(old_value: Optional[str], new_value: Optional[str]) -> bool:
+    if not old_value or not new_value:
+        return False
+    if old_value == new_value:
+        return False
+    return levenshtein_distance(old_value, new_value, max_distance=2) <= 2
+
+
+def categorise_false_negative(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    predicted: RecordMapping,
+    old_id: str,
+    new_id: str,
+) -> str:
+    old_record = old_dataset.record(old_id)
+    new_record = new_dataset.record(new_id)
+    if predicted.contains_old(old_id) or predicted.contains_new(new_id):
+        return FN_STOLEN
+    if (
+        old_record.surname
+        and new_record.surname
+        and old_record.surname != new_record.surname
+        and not _name_noise(old_record.surname, new_record.surname)
+    ):
+        return FN_SURNAME_CHANGED
+    if old_record.is_missing("first_name") or new_record.is_missing("first_name") \
+            or old_record.is_missing("surname") or new_record.is_missing("surname"):
+        return FN_MISSING_VALUES
+    if _name_noise(old_record.first_name, new_record.first_name) or _name_noise(
+        old_record.surname, new_record.surname
+    ):
+        return FN_NAME_NOISE
+    return FN_OTHER
+
+
+def categorise_false_positive(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    old_id: str,
+    new_id: str,
+    year_gap: int,
+) -> str:
+    old_record = old_dataset.record(old_id)
+    new_record = new_dataset.record(new_id)
+    deviation = normalised_age_difference(
+        old_record.age, new_record.age, year_gap
+    )
+    if deviation is not None and deviation > 3:
+        return FP_AGE_IMPLAUSIBLE
+    if old_record.name_key == new_record.name_key or (
+        _name_noise(old_record.first_name, new_record.first_name)
+        and _name_noise(old_record.surname, new_record.surname)
+    ):
+        return FP_NAMESAKE
+    return FP_OTHER
+
+
+def analyse_errors(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    predicted: RecordMapping,
+    reference: RecordMapping,
+    year_gap: int = 10,
+    max_examples: int = 5,
+) -> ErrorReport:
+    """Categorise every FN and FP of ``predicted`` against ``reference``."""
+    report = ErrorReport()
+    predicted_set = set(predicted.pairs())
+    reference_set = set(reference.pairs())
+
+    for old_id, new_id in sorted(reference_set - predicted_set):
+        category = categorise_false_negative(
+            old_dataset, new_dataset, predicted, old_id, new_id
+        )
+        report.false_negatives[category] += 1
+        examples = report.fn_examples.setdefault(category, [])
+        if len(examples) < max_examples:
+            examples.append((old_id, new_id))
+
+    for old_id, new_id in sorted(predicted_set - reference_set):
+        category = categorise_false_positive(
+            old_dataset, new_dataset, old_id, new_id, year_gap
+        )
+        report.false_positives[category] += 1
+        examples = report.fp_examples.setdefault(category, [])
+        if len(examples) < max_examples:
+            examples.append((old_id, new_id))
+
+    return report

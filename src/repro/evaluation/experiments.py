@@ -1,0 +1,368 @@
+"""Experiment runners that regenerate every table and figure of the paper.
+
+Each ``run_table*`` / ``run_figure6`` function produces the rows of the
+corresponding table of the paper on synthetic data, and each has a
+``format_*`` companion that renders them paper-style.  The benchmark
+harness under ``benchmarks/`` calls these runners; EXPERIMENTS.md records
+measured-vs-published numbers.
+
+Evaluation protocol: predicted mappings are compared against the
+generator's *complete* ground truth (the paper could only use a manually
+linked reference subset; see DESIGN.md §2).  ``reference_scope=True``
+restricts scoring to households an expert could confidently match,
+mimicking the paper's setting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..baselines.collective import CollectiveLinkage
+from ..baselines.graphsim import GraphSimLinkage
+from ..core.config import OMEGA1, OMEGA2, LinkageConfig
+from ..core.pipeline import link_datasets
+from ..datagen.generator import CensusSeries, GeneratorConfig, generate_series
+from ..evolution.analysis import EvolutionAnalysis, analyse_series
+from ..model.dataset import CensusDataset, DatasetStats
+from ..model.mappings import GroupMapping, RecordMapping
+from ..similarity.vector import build_similarity_function
+from .metrics import QualityResult, evaluate_mapping, evaluate_restricted
+from .reporting import format_table
+
+#: Default synthetic workload sizes (kept small enough that a full table
+#: regenerates in minutes on a laptop; raise for a closer match to the
+#: paper's 26k/29k-record 1871/1881 pair).
+DEFAULT_PAIR_HOUSEHOLDS = 250
+DEFAULT_SERIES_HOUSEHOLDS = 120
+DEFAULT_SEED = 20170321  # EDBT 2017 opening day
+
+
+@dataclass
+class LinkageQuality:
+    """Record- and group-mapping quality of one configuration."""
+
+    record: QualityResult
+    group: QualityResult
+
+
+@dataclass
+class ExperimentWorkload:
+    """A generated 1871/1881 pair plus its ground truth."""
+
+    series: CensusSeries
+    reference_scope: bool = False
+
+    @classmethod
+    def default(
+        cls,
+        seed: int = DEFAULT_SEED,
+        initial_households: int = DEFAULT_PAIR_HOUSEHOLDS,
+        reference_scope: bool = False,
+    ) -> "ExperimentWorkload":
+        series = generate_series(
+            GeneratorConfig(
+                seed=seed,
+                start_year=1871,
+                num_snapshots=2,
+                initial_households=initial_households,
+            )
+        )
+        return cls(series=series, reference_scope=reference_scope)
+
+    @property
+    def old(self) -> CensusDataset:
+        return self.series.datasets[0]
+
+    @property
+    def new(self) -> CensusDataset:
+        return self.series.datasets[1]
+
+    def truth(self) -> Tuple[RecordMapping, GroupMapping]:
+        ground_truth = self.series.ground_truth
+        return (
+            ground_truth.record_mapping(self.old.year, self.new.year),
+            ground_truth.group_mapping(self.old.year, self.new.year),
+        )
+
+    def _scopes(self) -> Tuple[Optional[Set[str]], Optional[Set[str]]]:
+        if not self.reference_scope:
+            return None, None
+        ground_truth = self.series.ground_truth
+        household_scope = ground_truth.reference_household_subset(
+            self.old.year, self.new.year
+        )
+        record_scope = {
+            record_id
+            for record_id, household_id in ground_truth.record_household[
+                self.old.year
+            ].items()
+            if household_id in household_scope
+        }
+        return record_scope, household_scope
+
+    def evaluate(
+        self, record_mapping: RecordMapping, group_mapping: GroupMapping
+    ) -> LinkageQuality:
+        truth_record, truth_group = self.truth()
+        record_scope, household_scope = self._scopes()
+        return LinkageQuality(
+            record=evaluate_restricted(record_mapping, truth_record, record_scope),
+            group=evaluate_restricted(group_mapping, truth_group, household_scope),
+        )
+
+
+def run_linkage(
+    workload: ExperimentWorkload, config: LinkageConfig
+) -> LinkageQuality:
+    """Run the iterative approach with one configuration and score it."""
+    result = link_datasets(workload.old, workload.new, config)
+    return workload.evaluate(result.record_mapping, result.group_mapping)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — dataset overview
+# ---------------------------------------------------------------------------
+
+
+def run_table1(
+    seed: int = DEFAULT_SEED,
+    initial_households: int = DEFAULT_SERIES_HOUSEHOLDS,
+) -> List[DatasetStats]:
+    """Dataset statistics of a full 1851–1901 synthetic series."""
+    series = generate_series(
+        GeneratorConfig(seed=seed, initial_households=initial_households)
+    )
+    return [dataset.stats() for dataset in series.datasets]
+
+
+def format_table1(stats: Sequence[DatasetStats]) -> str:
+    headers = ["t_i"] + [str(item.year) for item in stats]
+    rows = [
+        ["|R|"] + [str(item.num_records) for item in stats],
+        ["|G|"] + [str(item.num_households) for item in stats],
+        ["|fn+sn|"] + [str(item.unique_name_combinations) for item in stats],
+        ["ratio_mv"]
+        + [f"{item.missing_value_ratio * 100:.2f}%" for item in stats],
+    ]
+    return format_table(headers, rows, title="Table 1: dataset overview")
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — pre-matching configuration (ω, δ_low)
+# ---------------------------------------------------------------------------
+
+TABLE3_DELTA_LOWS = (0.40, 0.45, 0.50, 0.55)
+
+
+def run_table3(
+    workload: ExperimentWorkload,
+    delta_lows: Sequence[float] = TABLE3_DELTA_LOWS,
+) -> Dict[str, Dict[float, LinkageQuality]]:
+    """Quality for ω1 vs ω2 across lower threshold bounds δ_low."""
+    results: Dict[str, Dict[float, LinkageQuality]] = {}
+    for label, weights in (("omega1", OMEGA1), ("omega2", OMEGA2)):
+        results[label] = {}
+        for delta_low in delta_lows:
+            config = LinkageConfig(weights=weights, delta_low=delta_low)
+            results[label][delta_low] = run_linkage(workload, config)
+    return results
+
+
+def format_table3(results: Dict[str, Dict[float, LinkageQuality]]) -> str:
+    blocks = []
+    for mapping_kind in ("group", "record"):
+        headers = ["omega", "delta_low", "Precision (%)", "Recall (%)", "F-measure (%)"]
+        rows = []
+        for omega_label, per_delta in results.items():
+            for delta_low, quality in sorted(per_delta.items()):
+                metric = getattr(quality, mapping_kind)
+                precision, recall, f_measure = metric.as_percentages()
+                rows.append(
+                    [
+                        omega_label,
+                        f"{delta_low:.2f}",
+                        f"{precision:.1f}",
+                        f"{recall:.1f}",
+                        f"{f_measure:.1f}",
+                    ]
+                )
+        blocks.append(
+            format_table(headers, rows, title=f"Table 3 ({mapping_kind} mapping)")
+        )
+    return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — group-selection weights (α, β)
+# ---------------------------------------------------------------------------
+
+TABLE4_WEIGHTS = ((1.0, 0.0), (0.0, 1.0), (0.5, 0.5), (0.33, 0.33), (0.2, 0.7))
+
+
+def run_table4(
+    workload: ExperimentWorkload,
+    weight_pairs: Sequence[Tuple[float, float]] = TABLE4_WEIGHTS,
+) -> Dict[Tuple[float, float], LinkageQuality]:
+    """Quality for the five (α, β) combinations of Table 4."""
+    results: Dict[Tuple[float, float], LinkageQuality] = {}
+    for alpha, beta in weight_pairs:
+        config = LinkageConfig(alpha=alpha, beta=beta)
+        results[(alpha, beta)] = run_linkage(workload, config)
+    return results
+
+
+def format_table4(results: Dict[Tuple[float, float], LinkageQuality]) -> str:
+    blocks = []
+    for mapping_kind in ("group", "record"):
+        headers = ["(alpha, beta)", "Precision (%)", "Recall (%)", "F-measure (%)"]
+        rows = []
+        for (alpha, beta), quality in results.items():
+            metric = getattr(quality, mapping_kind)
+            precision, recall, f_measure = metric.as_percentages()
+            rows.append(
+                [
+                    f"({alpha}, {beta})",
+                    f"{precision:.1f}",
+                    f"{recall:.1f}",
+                    f"{f_measure:.1f}",
+                ]
+            )
+        blocks.append(
+            format_table(headers, rows, title=f"Table 4 ({mapping_kind} mapping)")
+        )
+    return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Table 5 — iterative vs non-iterative
+# ---------------------------------------------------------------------------
+
+
+def run_table5(workload: ExperimentWorkload) -> Dict[str, LinkageQuality]:
+    """Iterative schedule vs a single round at δ = δ_low."""
+    iterative = LinkageConfig()
+    non_iterative = iterative.non_iterative()
+    return {
+        "non-iterative": run_linkage(workload, non_iterative),
+        "iterative": run_linkage(workload, iterative),
+    }
+
+
+def format_table5(results: Dict[str, LinkageQuality]) -> str:
+    blocks = []
+    for mapping_kind in ("group", "record"):
+        headers = ["method", "Precision (%)", "Recall (%)", "F-measure (%)"]
+        rows = []
+        for label in ("non-iterative", "iterative"):
+            metric = getattr(results[label], mapping_kind)
+            precision, recall, f_measure = metric.as_percentages()
+            rows.append(
+                [label, f"{precision:.1f}", f"{recall:.1f}", f"{f_measure:.1f}"]
+            )
+        blocks.append(
+            format_table(headers, rows, title=f"Table 5 ({mapping_kind} mapping)")
+        )
+    return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Table 6 — comparison with collective linkage (CL)
+# ---------------------------------------------------------------------------
+
+
+def run_table6(workload: ExperimentWorkload) -> Dict[str, QualityResult]:
+    """Record-mapping quality: CL [14] vs the iterative approach."""
+    sim_func = build_similarity_function(list(OMEGA2), 0.5)
+    collective = CollectiveLinkage(sim_func).link(workload.old, workload.new)
+    ours = run_linkage(workload, LinkageConfig())
+    cl_quality = workload.evaluate(
+        collective.record_mapping, collective.group_mapping
+    )
+    return {"CL": cl_quality.record, "iter-sub": ours.record}
+
+
+def format_table6(results: Dict[str, QualityResult]) -> str:
+    headers = ["method", "Precision (%)", "Recall (%)", "F-measure (%)"]
+    rows = []
+    for label in ("CL", "iter-sub"):
+        precision, recall, f_measure = results[label].as_percentages()
+        rows.append([label, f"{precision:.1f}", f"{recall:.1f}", f"{f_measure:.1f}"])
+    return format_table(headers, rows, title="Table 6 (record mapping)")
+
+
+# ---------------------------------------------------------------------------
+# Table 7 — comparison with GraphSim
+# ---------------------------------------------------------------------------
+
+
+def run_table7(workload: ExperimentWorkload) -> Dict[str, QualityResult]:
+    """Group-mapping quality: GraphSim [8] vs the iterative approach."""
+    sim_func = build_similarity_function(list(OMEGA2), 0.5)
+    graphsim = GraphSimLinkage(sim_func).link(workload.old, workload.new)
+    ours = run_linkage(workload, LinkageConfig())
+    graphsim_quality = workload.evaluate(
+        graphsim.record_mapping, graphsim.group_mapping
+    )
+    return {"GraphSim": graphsim_quality.group, "iter-sub": ours.group}
+
+
+def format_table7(results: Dict[str, QualityResult]) -> str:
+    headers = ["method", "Precision (%)", "Recall (%)", "F-measure (%)"]
+    rows = []
+    for label in ("GraphSim", "iter-sub"):
+        precision, recall, f_measure = results[label].as_percentages()
+        rows.append([label, f"{precision:.1f}", f"{recall:.1f}", f"{f_measure:.1f}"])
+    return format_table(headers, rows, title="Table 7 (group mapping)")
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 and Table 8 — evolution analysis over the full series
+# ---------------------------------------------------------------------------
+
+
+def run_evolution_analysis(
+    seed: int = DEFAULT_SEED,
+    initial_households: int = DEFAULT_SERIES_HOUSEHOLDS,
+    config: Optional[LinkageConfig] = None,
+) -> EvolutionAnalysis:
+    """Link all successive pairs of a 6-snapshot series and analyse it."""
+    series = generate_series(
+        GeneratorConfig(seed=seed, initial_households=initial_households)
+    )
+    return analyse_series(series.datasets, config=config)
+
+
+def run_figure6(
+    analysis: EvolutionAnalysis,
+) -> Dict[Tuple[int, int], Dict[str, int]]:
+    """Group evolution pattern frequencies per census pair (Fig. 6)."""
+    return analysis.pattern_frequency_table()
+
+
+def format_figure6(counts: Dict[Tuple[int, int], Dict[str, int]]) -> str:
+    pattern_order = ["preserve_G", "move", "split", "merge", "add_G", "remove_G"]
+    headers = ["pair"] + pattern_order
+    rows = []
+    for (old_year, new_year), per_pattern in sorted(counts.items()):
+        rows.append(
+            [f"{old_year}-{new_year}"]
+            + [str(per_pattern.get(pattern, 0)) for pattern in pattern_order]
+        )
+    return format_table(
+        headers, rows, title="Figure 6: group evolution pattern frequencies"
+    )
+
+
+def run_table8(analysis: EvolutionAnalysis) -> Dict[int, int]:
+    """|preserve_G| per interval length in years (Table 8)."""
+    return analysis.preserve_interval_table()
+
+
+def format_table8(intervals: Dict[int, int]) -> str:
+    headers = ["interval", "|preserve_G|"]
+    rows = [
+        [str(interval), str(count)] for interval, count in sorted(intervals.items())
+    ]
+    return format_table(headers, rows, title="Table 8: preserved households")

@@ -1,0 +1,100 @@
+"""Precision, recall and F-measure for record and group mappings.
+
+These follow the standard record-linkage definitions [Christen 2012] used
+in the paper's evaluation: a predicted pair is a true positive iff it
+occurs in the reference mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple, Union
+
+from ..model.mappings import GroupMapping, RecordMapping
+
+Mapping = Union[RecordMapping, GroupMapping]
+
+
+@dataclass(frozen=True)
+class QualityResult:
+    """Counts plus the derived quality measures of one evaluation."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        predicted = self.true_positives + self.false_positives
+        return self.true_positives / predicted if predicted else 0.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 0.0
+
+    @property
+    def f_measure(self) -> float:
+        denominator = self.precision + self.recall
+        if denominator == 0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / denominator
+
+    def as_percentages(self) -> Tuple[float, float, float]:
+        """(precision, recall, F-measure) in percent, paper-style."""
+        return (
+            100.0 * self.precision,
+            100.0 * self.recall,
+            100.0 * self.f_measure,
+        )
+
+    def __str__(self) -> str:
+        precision, recall, f_measure = self.as_percentages()
+        return (
+            f"P={precision:.1f}% R={recall:.1f}% F={f_measure:.1f}% "
+            f"(tp={self.true_positives}, fp={self.false_positives}, "
+            f"fn={self.false_negatives})"
+        )
+
+
+def _pair_set(mapping: Mapping) -> Set[Tuple[str, str]]:
+    return set(mapping.pairs())
+
+
+def evaluate_mapping(predicted: Mapping, reference: Mapping) -> QualityResult:
+    """Compare a predicted mapping against a reference mapping."""
+    predicted_pairs = _pair_set(predicted)
+    reference_pairs = _pair_set(reference)
+    true_positives = len(predicted_pairs & reference_pairs)
+    return QualityResult(
+        true_positives=true_positives,
+        false_positives=len(predicted_pairs) - true_positives,
+        false_negatives=len(reference_pairs) - true_positives,
+    )
+
+
+def evaluate_restricted(
+    predicted: Mapping,
+    reference: Mapping,
+    old_scope: Optional[Set[str]] = None,
+) -> QualityResult:
+    """Evaluation restricted to links whose old-side id is in scope.
+
+    Mirrors the paper's setting where the reference mapping covers only a
+    manually linked subset of households: predictions outside the scope
+    are neither rewarded nor punished.
+    """
+    if old_scope is None:
+        return evaluate_mapping(predicted, reference)
+    predicted_pairs = {
+        pair for pair in _pair_set(predicted) if pair[0] in old_scope
+    }
+    reference_pairs = {
+        pair for pair in _pair_set(reference) if pair[0] in old_scope
+    }
+    true_positives = len(predicted_pairs & reference_pairs)
+    return QualityResult(
+        true_positives=true_positives,
+        false_positives=len(predicted_pairs) - true_positives,
+        false_negatives=len(reference_pairs) - true_positives,
+    )

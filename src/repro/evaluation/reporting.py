@@ -1,0 +1,55 @@
+"""Plain-text table formatting for experiment results.
+
+Keeps the benchmark output close to the paper's tables so measured and
+published numbers can be compared side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .metrics import QualityResult
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    columns = [
+        [str(header)] + [str(row[index]) for row in rows]
+        for index, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append(separator)
+    for row in rows:
+        lines.append(
+            " | ".join(
+                str(cell).ljust(width) for cell, width in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def quality_row(label: str, quality: QualityResult) -> List[str]:
+    """[label, P%, R%, F%] formatted like the paper's tables."""
+    precision, recall, f_measure = quality.as_percentages()
+    return [label, f"{precision:.1f}", f"{recall:.1f}", f"{f_measure:.1f}"]
+
+
+def quality_block(
+    qualities: Dict[str, QualityResult], mapping_kind: str
+) -> str:
+    """One P/R/F table over several configurations of one mapping kind."""
+    rows = [quality_row(label, quality) for label, quality in qualities.items()]
+    return format_table(
+        [mapping_kind, "Precision (%)", "Recall (%)", "F-measure (%)"], rows
+    )

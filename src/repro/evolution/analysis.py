@@ -1,0 +1,119 @@
+"""Multi-census evolution analysis (Section 5.4).
+
+Links every successive dataset pair of a series, derives the evolution
+patterns, assembles the evolution graph and computes the aggregate
+statistics the paper reports: pattern frequencies per census pair
+(Fig. 6), preserve-chain counts per interval length (Table 8) and the
+largest connected household component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import LinkageConfig
+from ..core.pipeline import IterativeGroupLinkage
+from ..model.dataset import CensusDataset
+from ..model.mappings import GroupMapping, RecordMapping
+from .graph import EvolutionGraph
+from .patterns import PairPatterns, extract_patterns
+
+#: Anything that produces (record mapping, group mapping) for a pair.
+PairLinker = Callable[
+    [CensusDataset, CensusDataset], Tuple[RecordMapping, GroupMapping]
+]
+
+
+@dataclass
+class EvolutionAnalysis:
+    """The evolution graph plus per-pair patterns of a census series."""
+
+    graph: EvolutionGraph
+    pair_patterns: List[PairPatterns] = field(default_factory=list)
+
+    def pattern_frequency_table(self) -> Dict[Tuple[int, int], Dict[str, int]]:
+        """Group-pattern counts per census pair — the data behind Fig. 6."""
+        return {
+            (patterns.old_year, patterns.new_year): patterns.groups.counts()
+            for patterns in self.pair_patterns
+        }
+
+    def preserve_interval_table(self, interval_years: int = 10) -> Dict[int, int]:
+        """|preserve_G| per time interval in years — Table 8."""
+        return {
+            chain_length * interval_years: count
+            for chain_length, count in sorted(
+                self.graph.preserve_chain_counts().items()
+            )
+        }
+
+    def largest_component_share(self) -> float:
+        """Fraction of all household vertices inside the largest connected
+        component of the evolution graph (reported as ~52% in §5.4)."""
+        total = self.graph.num_group_vertices()
+        if total == 0:
+            return 0.0
+        return len(self.graph.largest_group_component()) / total
+
+
+def linkage_pair_linker(config: Optional[LinkageConfig] = None) -> PairLinker:
+    """A pair linker running the paper's iterative approach."""
+    linker = IterativeGroupLinkage(config)
+
+    def run(
+        old_dataset: CensusDataset, new_dataset: CensusDataset
+    ) -> Tuple[RecordMapping, GroupMapping]:
+        result = linker.link(old_dataset, new_dataset)
+        return result.record_mapping, result.group_mapping
+
+    return run
+
+
+def analyse_series(
+    datasets: Sequence[CensusDataset],
+    pair_linker: Optional[PairLinker] = None,
+    config: Optional[LinkageConfig] = None,
+) -> EvolutionAnalysis:
+    """Run the full evolution analysis over a series of census datasets.
+
+    ``pair_linker`` defaults to the iterative group linkage with the
+    given (or default) configuration; pass a custom callable to analyse
+    e.g. ground-truth mappings or baseline results instead.
+    """
+    if len(datasets) < 2:
+        raise ValueError("evolution analysis needs at least two datasets")
+    years = [dataset.year for dataset in datasets]
+    if years != sorted(set(years)):
+        raise ValueError("datasets must have strictly increasing years")
+    linker = pair_linker or linkage_pair_linker(config)
+
+    graph = EvolutionGraph()
+    for dataset in datasets:
+        graph.add_snapshot(dataset.year, dataset.record_ids, dataset.household_ids)
+
+    analysis = EvolutionAnalysis(graph=graph)
+    for old_dataset, new_dataset in zip(datasets, datasets[1:]):
+        record_mapping, group_mapping = linker(old_dataset, new_dataset)
+        patterns = extract_patterns(
+            old_dataset, new_dataset, record_mapping, group_mapping
+        )
+        graph.add_pair_patterns(patterns)
+        analysis.pair_patterns.append(patterns)
+    return analysis
+
+
+def ground_truth_pair_linker(ground_truth) -> PairLinker:
+    """A pair linker that replays the generator's true mappings —
+    useful to study the *actual* household dynamics of a synthetic
+    series, independent of linkage quality."""
+
+    def run(
+        old_dataset: CensusDataset, new_dataset: CensusDataset
+    ) -> Tuple[RecordMapping, GroupMapping]:
+        return (
+            ground_truth.record_mapping(old_dataset.year, new_dataset.year),
+            ground_truth.group_mapping(old_dataset.year, new_dataset.year),
+        )
+
+    return run

@@ -1,0 +1,209 @@
+"""The evolution graph over two or more successive censuses (Section 4.2).
+
+Vertices are (year, record id) and (year, household id) pairs; edges
+connect them across successive snapshots, typed by the evolution pattern
+that produced them.  The graph supports the paper's two showcase
+analyses: connected components of related households over the whole
+period, and counting households preserved across k consecutive intervals
+(Table 8).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..graphutil.components import connected_components
+from .patterns import (
+    GROUP_PATTERN_TYPES,
+    MERGE,
+    MOVE,
+    PRESERVE_G,
+    PRESERVE_R,
+    SPLIT,
+    PairPatterns,
+)
+
+#: A vertex: ("record" | "group", census year, id within that census).
+Vertex = Tuple[str, int, str]
+
+
+def record_vertex(year: int, record_id: str) -> Vertex:
+    return ("record", year, record_id)
+
+
+def group_vertex(year: int, household_id: str) -> Vertex:
+    return ("group", year, household_id)
+
+
+@dataclass(frozen=True)
+class EvolutionEdge:
+    """A typed edge between two vertices of successive censuses."""
+
+    source: Vertex
+    target: Vertex
+    edge_type: str
+
+
+@dataclass
+class EvolutionGraph:
+    """Aggregated change representation across a census series."""
+
+    years: List[int] = field(default_factory=list)
+    vertices: Set[Vertex] = field(default_factory=set)
+    edges: List[EvolutionEdge] = field(default_factory=list)
+    #: preserve_G edges indexed by (old year, old household id).
+    _preserve_index: Dict[Tuple[int, str], str] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------------
+
+    def add_snapshot(
+        self, year: int, record_ids: Iterable[str], household_ids: Iterable[str]
+    ) -> None:
+        if year in self.years:
+            raise ValueError(f"snapshot {year} already added")
+        if self.years and year <= self.years[-1]:
+            raise ValueError("snapshots must be added in increasing year order")
+        self.years.append(year)
+        for record_id in record_ids:
+            self.vertices.add(record_vertex(year, record_id))
+        for household_id in household_ids:
+            self.vertices.add(group_vertex(year, household_id))
+
+    def add_pair_patterns(self, patterns: PairPatterns) -> None:
+        """Add the typed edges derived from one census pair's patterns."""
+        old_year, new_year = patterns.old_year, patterns.new_year
+        if old_year not in self.years or new_year not in self.years:
+            raise ValueError("add both snapshots before their patterns")
+
+        for old_id, new_id in patterns.records.preserved:
+            self._add_edge(
+                record_vertex(old_year, old_id),
+                record_vertex(new_year, new_id),
+                PRESERVE_R,
+            )
+        for old_id, new_id in patterns.groups.preserved:
+            self._add_edge(
+                group_vertex(old_year, old_id),
+                group_vertex(new_year, new_id),
+                PRESERVE_G,
+            )
+            self._preserve_index[(old_year, old_id)] = new_id
+        for old_id, new_id in patterns.groups.moves:
+            self._add_edge(
+                group_vertex(old_year, old_id),
+                group_vertex(new_year, new_id),
+                MOVE,
+            )
+        for old_id, new_ids in sorted(patterns.groups.splits.items()):
+            for new_id in new_ids:
+                self._add_edge(
+                    group_vertex(old_year, old_id),
+                    group_vertex(new_year, new_id),
+                    SPLIT,
+                )
+        for new_id, old_ids in sorted(patterns.groups.merges.items()):
+            for old_id in old_ids:
+                self._add_edge(
+                    group_vertex(old_year, old_id),
+                    group_vertex(new_year, new_id),
+                    MERGE,
+                )
+
+    def _add_edge(self, source: Vertex, target: Vertex, edge_type: str) -> None:
+        self.vertices.add(source)
+        self.vertices.add(target)
+        self.edges.append(EvolutionEdge(source, target, edge_type))
+
+    # -- queries ------------------------------------------------------------------
+
+    def edges_of_type(self, edge_type: str) -> List[EvolutionEdge]:
+        return [edge for edge in self.edges if edge.edge_type == edge_type]
+
+    def group_edges(self) -> List[EvolutionEdge]:
+        return [
+            edge for edge in self.edges if edge.edge_type in GROUP_PATTERN_TYPES
+        ]
+
+    def group_components(self) -> List[List[Vertex]]:
+        """Connected components over household vertices and group edges."""
+        group_vertices = [
+            vertex for vertex in self.vertices if vertex[0] == "group"
+        ]
+        edge_list = [
+            (edge.source, edge.target) for edge in self.group_edges()
+        ]
+        return connected_components(group_vertices, edge_list)
+
+    def largest_group_component(self) -> List[Vertex]:
+        components = self.group_components()
+        if not components:
+            return []
+        return max(components, key=len)
+
+    def num_group_vertices(self) -> int:
+        return sum(1 for vertex in self.vertices if vertex[0] == "group")
+
+    # -- preserve chains (Table 8) --------------------------------------------------
+
+    def preserve_chain_counts(self) -> Dict[int, int]:
+        """Number of households preserved over each interval length.
+
+        A household is preserved over ``k`` intervals when a path of
+        ``k`` consecutive ``preserve_G`` edges starts at it; the count
+        for interval ``k * gap`` years aggregates over all possible
+        start years, exactly as in Table 8 (so the 10-year count equals
+        the total number of ``preserve_G`` patterns).
+        """
+        counts: Dict[int, int] = defaultdict(int)
+        max_chain = len(self.years) - 1
+        if max_chain < 1:
+            return {}
+        for start_index, start_year in enumerate(self.years[:-1]):
+            start_households = [
+                household_id
+                for (year, household_id) in self._preserve_starts(start_year)
+            ]
+            for household_id in start_households:
+                length = self._chain_length(start_index, household_id)
+                for chain in range(1, length + 1):
+                    counts[chain] += 1
+        # A chain of length L also contains sub-chains starting later;
+        # those are counted by their own start years above, so no
+        # double-counting correction is needed here.
+        return dict(counts)
+
+    def _preserve_starts(self, year: int) -> List[Tuple[int, str]]:
+        return sorted(
+            key for key in self._preserve_index if key[0] == year
+        )
+
+    def _chain_length(self, start_index: int, household_id: str) -> int:
+        """Length of the preserve chain beginning at this household."""
+        length = 0
+        current = household_id
+        for year in self.years[start_index:-1]:
+            next_id = self._preserve_index.get((year, current))
+            if next_id is None:
+                break
+            length += 1
+            current = next_id
+        return length
+
+    def preserved_for_interval(self, intervals: int) -> int:
+        """Households preserved over at least ``intervals`` consecutive
+        censuses (one row of Table 8)."""
+        return self.preserve_chain_counts().get(intervals, 0)
+
+    def pattern_counts_by_pair(self) -> Dict[Tuple[int, int], Dict[str, int]]:
+        """Edge-type counts per successive year pair (Fig. 6 input)."""
+        counts: Dict[Tuple[int, int], Dict[str, int]] = {}
+        year_pairs = list(zip(self.years, self.years[1:]))
+        for old_year, new_year in year_pairs:
+            counts[(old_year, new_year)] = defaultdict(int)
+        for edge in self.edges:
+            key = (edge.source[1], edge.target[1])
+            if key in counts:
+                counts[key][edge.edge_type] += 1
+        return {key: dict(value) for key, value in counts.items()}

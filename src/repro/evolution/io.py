@@ -1,0 +1,75 @@
+"""JSON serialisation of evolution graphs.
+
+Linking a long census series is expensive; persisting the resulting
+evolution graph lets analyses (pattern mining, component studies) rerun
+without relinking.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .graph import EvolutionEdge, EvolutionGraph, Vertex
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: EvolutionGraph) -> dict:
+    """A JSON-serialisable representation of the graph."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "years": list(graph.years),
+        "vertices": [list(vertex) for vertex in sorted(graph.vertices)],
+        "edges": [
+            {
+                "source": list(edge.source),
+                "target": list(edge.target),
+                "type": edge.edge_type,
+            }
+            for edge in graph.edges
+        ],
+        "preserve_index": [
+            [year, old_id, new_id]
+            for (year, old_id), new_id in sorted(graph._preserve_index.items())
+        ],
+    }
+
+
+def graph_from_dict(payload: dict) -> EvolutionGraph:
+    """Rebuild an evolution graph from :func:`graph_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported evolution-graph format {version!r}")
+    graph = EvolutionGraph()
+    graph.years = [int(year) for year in payload["years"]]
+    for kind, year, identifier in payload["vertices"]:
+        graph.vertices.add((kind, int(year), identifier))
+    for item in payload["edges"]:
+        source = tuple(item["source"])
+        target = tuple(item["target"])
+        graph.edges.append(
+            EvolutionEdge(
+                (source[0], int(source[1]), source[2]),
+                (target[0], int(target[1]), target[2]),
+                item["type"],
+            )
+        )
+    for year, old_id, new_id in payload.get("preserve_index", []):
+        graph._preserve_index[(int(year), old_id)] = new_id
+    return graph
+
+
+def write_graph(graph: EvolutionGraph, path: PathLike) -> None:
+    """Write the graph as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle, indent=1)
+
+
+def read_graph(path: PathLike) -> EvolutionGraph:
+    """Load a graph written by :func:`write_graph`."""
+    with open(path, encoding="utf-8") as handle:
+        return graph_from_dict(json.load(handle))

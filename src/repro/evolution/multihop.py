@@ -1,0 +1,150 @@
+"""Multi-hop temporal linkage: records across non-adjacent censuses.
+
+Two complementary routes to a 1851→1871 (or longer) mapping:
+
+* **composition** — chain the successive pairwise mappings
+  (1851→1861→1871); precise but loses anyone missed in a middle census;
+* **direct linkage** — run the pipeline on the non-adjacent pair with
+  the appropriate ``year_gap``; recovers middle-census dropouts but
+  faces twenty-plus years of attribute drift.
+
+:func:`reconciled_mapping` merges both, and
+:func:`consistency_report` quantifies how often they agree — a useful
+self-diagnostic when no ground truth is available.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.config import LinkageConfig
+from ..core.pipeline import link_datasets
+from ..model.dataset import CensusDataset
+from ..model.mappings import RecordMapping
+
+
+def compose_mappings(mappings: Sequence[RecordMapping]) -> RecordMapping:
+    """Chain 1:1 mappings: (a→b) ∘ (b→c) ∘ ... → (a→last).
+
+    Only records linked through *every* hop survive; composition of 1:1
+    mappings is again 1:1 by construction.
+    """
+    if not mappings:
+        raise ValueError("at least one mapping is required")
+    composed = RecordMapping(mappings[0].pairs())
+    for mapping in mappings[1:]:
+        chained = []
+        for start, middle in composed:
+            end = mapping.get_new(middle)
+            if end is not None:
+                chained.append((start, end))
+        composed = RecordMapping(chained)
+    return composed
+
+
+def direct_mapping(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    config: Optional[LinkageConfig] = None,
+) -> RecordMapping:
+    """Link a (possibly non-adjacent) dataset pair directly.
+
+    The configured ``year_gap`` is overridden with the pair's actual
+    gap so age normalisation stays correct.
+    """
+    base = config or LinkageConfig()
+    gap = new_dataset.year - old_dataset.year
+    if gap <= 0:
+        raise ValueError("new dataset must be later than the old one")
+    adjusted = dataclasses.replace(base, year_gap=gap)
+    return link_datasets(old_dataset, new_dataset, adjusted).record_mapping
+
+
+@dataclass
+class ConsistencyReport:
+    """Agreement between composed and direct multi-hop mappings."""
+
+    agreeing: int
+    conflicting: int
+    only_composed: int
+    only_direct: int
+
+    @property
+    def total_composed(self) -> int:
+        return self.agreeing + self.conflicting + self.only_composed
+
+    @property
+    def total_direct(self) -> int:
+        return self.agreeing + self.conflicting + self.only_direct
+
+    @property
+    def agreement_rate(self) -> float:
+        """Share of links proposed by both routes that coincide."""
+        overlap = self.agreeing + self.conflicting
+        return self.agreeing / overlap if overlap else 1.0
+
+
+def consistency_report(
+    composed: RecordMapping, direct: RecordMapping
+) -> ConsistencyReport:
+    """Compare the two routes record by record."""
+    agreeing = 0
+    conflicting = 0
+    only_composed = 0
+    for old_id, new_id in composed:
+        direct_target = direct.get_new(old_id)
+        if direct_target is None:
+            only_composed += 1
+        elif direct_target == new_id:
+            agreeing += 1
+        else:
+            conflicting += 1
+    only_direct = sum(
+        1 for old_id, _ in direct if not composed.contains_old(old_id)
+    )
+    return ConsistencyReport(
+        agreeing=agreeing,
+        conflicting=conflicting,
+        only_composed=only_composed,
+        only_direct=only_direct,
+    )
+
+
+def reconciled_mapping(
+    composed: RecordMapping,
+    direct: RecordMapping,
+    prefer: str = "composed",
+) -> RecordMapping:
+    """Merge the two routes into one 1:1 mapping.
+
+    On conflict the preferred route wins (composition by default: each
+    hop was confirmed by household structure).  Non-conflicting links
+    unique to either route are added when they keep the mapping 1:1.
+    """
+    if prefer not in ("composed", "direct"):
+        raise ValueError("prefer must be 'composed' or 'direct'")
+    primary, secondary = (
+        (composed, direct) if prefer == "composed" else (direct, composed)
+    )
+    merged = RecordMapping(primary.pairs())
+    for old_id, new_id in secondary:
+        merged.try_add(old_id, new_id)
+    return merged
+
+
+def link_series_multihop(
+    datasets: Sequence[CensusDataset],
+    config: Optional[LinkageConfig] = None,
+) -> Tuple[RecordMapping, ConsistencyReport]:
+    """First-to-last mapping of a series via both routes, reconciled."""
+    if len(datasets) < 2:
+        raise ValueError("at least two datasets are required")
+    pairwise: List[RecordMapping] = []
+    for old_dataset, new_dataset in zip(datasets, datasets[1:]):
+        pairwise.append(direct_mapping(old_dataset, new_dataset, config))
+    composed = compose_mappings(pairwise)
+    direct = direct_mapping(datasets[0], datasets[-1], config)
+    report = consistency_report(composed, direct)
+    return reconciled_mapping(composed, direct), report

@@ -1,0 +1,212 @@
+"""Record and group evolution patterns (Section 4.1).
+
+Given the record mapping, the group mapping and the two datasets, the
+pattern extractor classifies what happened to every person and household
+between two successive censuses:
+
+* records: ``preserve_R``, ``add_R``, ``remove_R``;
+* groups: ``preserve_G`` (1:1 link, >=2 preserved members), ``move``
+  (linked groups sharing exactly one member), ``split`` (one old group
+  feeding >=2 new groups with >=2 members each), ``merge`` (the
+  opposite), ``add_G`` and ``remove_G``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..model.dataset import CensusDataset
+from ..model.mappings import GroupMapping, RecordMapping
+
+# Pattern type names (used as edge types in the evolution graph).
+PRESERVE_R = "preserve_R"
+ADD_R = "add_R"
+REMOVE_R = "remove_R"
+PRESERVE_G = "preserve_G"
+MOVE = "move"
+SPLIT = "split"
+MERGE = "merge"
+ADD_G = "add_G"
+REMOVE_G = "remove_G"
+
+GROUP_PATTERN_TYPES = (PRESERVE_G, MOVE, SPLIT, MERGE, ADD_G, REMOVE_G)
+RECORD_PATTERN_TYPES = (PRESERVE_R, ADD_R, REMOVE_R)
+
+
+@dataclass
+class RecordPatterns:
+    """Record-level evolution patterns between two censuses."""
+
+    preserved: List[Tuple[str, str]] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            PRESERVE_R: len(self.preserved),
+            ADD_R: len(self.added),
+            REMOVE_R: len(self.removed),
+        }
+
+
+@dataclass
+class GroupPatterns:
+    """Group-level evolution patterns between two censuses.
+
+    ``splits`` maps an old household to the new households it split
+    into; ``merges`` maps a new household to the old households merged
+    into it.
+    """
+
+    preserved: List[Tuple[str, str]] = field(default_factory=list)
+    moves: List[Tuple[str, str]] = field(default_factory=list)
+    splits: Dict[str, List[str]] = field(default_factory=dict)
+    merges: Dict[str, List[str]] = field(default_factory=dict)
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            PRESERVE_G: len(self.preserved),
+            MOVE: len(self.moves),
+            SPLIT: len(self.splits),
+            MERGE: len(self.merges),
+            ADD_G: len(self.added),
+            REMOVE_G: len(self.removed),
+        }
+
+
+def extract_record_patterns(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    record_mapping: RecordMapping,
+) -> RecordPatterns:
+    """Classify every record as preserved, added or removed."""
+    patterns = RecordPatterns()
+    patterns.preserved = record_mapping.pairs()
+    patterns.removed = [
+        record_id
+        for record_id in old_dataset.record_ids
+        if not record_mapping.contains_old(record_id)
+    ]
+    patterns.added = [
+        record_id
+        for record_id in new_dataset.record_ids
+        if not record_mapping.contains_new(record_id)
+    ]
+    return patterns
+
+
+def group_overlaps(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    record_mapping: RecordMapping,
+) -> Dict[Tuple[str, str], int]:
+    """Number of preserved members per linked household pair."""
+    overlaps: Dict[Tuple[str, str], int] = defaultdict(int)
+    for old_id, new_id in record_mapping:
+        pair = (
+            old_dataset.record(old_id).household_id,
+            new_dataset.record(new_id).household_id,
+        )
+        overlaps[pair] += 1
+    return dict(overlaps)
+
+
+def extract_group_patterns(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    record_mapping: RecordMapping,
+    group_mapping: GroupMapping,
+) -> GroupPatterns:
+    """Classify household changes according to Section 4.1.
+
+    Classification uses both the group mapping (which pairs are linked)
+    and the record mapping (how many members the links preserve).
+    """
+    patterns = GroupPatterns()
+    overlaps = group_overlaps(old_dataset, new_dataset, record_mapping)
+
+    # add_G / remove_G: households absent from the group mapping.
+    patterns.removed = [
+        household_id
+        for household_id in old_dataset.household_ids
+        if not group_mapping.contains_old(household_id)
+    ]
+    patterns.added = [
+        household_id
+        for household_id in new_dataset.household_ids
+        if not group_mapping.contains_new(household_id)
+    ]
+
+    # move: linked pairs sharing exactly one preserved member.
+    for old_id, new_id in group_mapping:
+        if overlaps.get((old_id, new_id), 0) == 1:
+            patterns.moves.append((old_id, new_id))
+
+    # "Strong" correspondences carry >=2 preserved members; they decide
+    # between preserve (1:1 among strong links), split (one old group
+    # with >=2 strong targets) and merge (one new group with >=2 strong
+    # sources).  A household that additionally loses a single member to
+    # another group (a move) still counts as preserved — exactly the
+    # situation of Fig. 5(a), where household a is preserved although
+    # Alice moved out of it.
+    strong_targets: Dict[str, List[str]] = defaultdict(list)
+    strong_sources: Dict[str, List[str]] = defaultdict(list)
+    for (old_id, new_id), count in sorted(overlaps.items()):
+        if count >= 2 and (old_id, new_id) in group_mapping:
+            strong_targets[old_id].append(new_id)
+            strong_sources[new_id].append(old_id)
+
+    for old_id in sorted(strong_targets):
+        targets = sorted(strong_targets[old_id])
+        if len(targets) >= 2:
+            patterns.splits[old_id] = targets
+    for new_id in sorted(strong_sources):
+        sources = sorted(strong_sources[new_id])
+        if len(sources) >= 2:
+            patterns.merges[new_id] = sources
+
+    for old_id in sorted(strong_targets):
+        targets = strong_targets[old_id]
+        if len(targets) != 1:
+            continue
+        new_id = targets[0]
+        if len(strong_sources[new_id]) == 1:
+            patterns.preserved.append((old_id, new_id))
+
+    return patterns
+
+
+@dataclass
+class PairPatterns:
+    """All patterns between one pair of successive censuses."""
+
+    old_year: int
+    new_year: int
+    records: RecordPatterns
+    groups: GroupPatterns
+
+    def counts(self) -> Dict[str, int]:
+        combined = dict(self.records.counts())
+        combined.update(self.groups.counts())
+        return combined
+
+
+def extract_patterns(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    record_mapping: RecordMapping,
+    group_mapping: GroupMapping,
+) -> PairPatterns:
+    """Record and group patterns for one census pair in one call."""
+    return PairPatterns(
+        old_year=old_dataset.year,
+        new_year=new_dataset.year,
+        records=extract_record_patterns(old_dataset, new_dataset, record_mapping),
+        groups=extract_group_patterns(
+            old_dataset, new_dataset, record_mapping, group_mapping
+        ),
+    )

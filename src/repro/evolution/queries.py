@@ -1,0 +1,136 @@
+"""Graph-mining queries over the evolution graph (the paper's §4.2/§7
+future-work direction).
+
+These helpers answer the analysis questions the paper sketches:
+follow a person through the decades (timeline), follow a household
+lineage through preserves/splits/merges, and mine frequent change
+sequences (which pattern chains occur most often).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .graph import EvolutionGraph, Vertex
+from .patterns import GROUP_PATTERN_TYPES, PRESERVE_R
+
+
+@dataclass(frozen=True)
+class TimelineStep:
+    """One hop of a person or household through the censuses."""
+
+    year: int
+    identifier: str
+    edge_type: Optional[str] = None  # edge that led here (None for start)
+
+
+def person_timeline(
+    graph: EvolutionGraph, start_year: int, record_id: str
+) -> List[TimelineStep]:
+    """Follow a person's ``preserve_R`` chain from a starting record.
+
+    Returns the consecutive (year, record id) steps; length 1 means the
+    person was not linked onward.
+    """
+    forward: Dict[Vertex, Vertex] = {}
+    for edge in graph.edges:
+        if edge.edge_type == PRESERVE_R:
+            forward[edge.source] = edge.target
+    steps = [TimelineStep(start_year, record_id)]
+    current = ("record", start_year, record_id)
+    while current in forward:
+        current = forward[current]
+        steps.append(TimelineStep(current[1], current[2], PRESERVE_R))
+    return steps
+
+
+def household_lineage(
+    graph: EvolutionGraph, start_year: int, household_id: str
+) -> List[List[TimelineStep]]:
+    """All forward paths of a household through typed group edges.
+
+    Unlike a person, a household can fan out (splits) — the result is a
+    list of root-to-leaf paths through the group-pattern edges.
+    """
+    forward: Dict[Vertex, List[Tuple[Vertex, str]]] = defaultdict(list)
+    for edge in graph.edges:
+        if edge.edge_type in GROUP_PATTERN_TYPES:
+            forward[edge.source].append((edge.target, edge.edge_type))
+
+    paths: List[List[TimelineStep]] = []
+
+    def walk(vertex: Vertex, path: List[TimelineStep]) -> None:
+        successors = sorted(forward.get(vertex, []))
+        if not successors:
+            paths.append(path)
+            return
+        for target, edge_type in successors:
+            walk(target, path + [TimelineStep(target[1], target[2], edge_type)])
+
+    walk(
+        ("group", start_year, household_id),
+        [TimelineStep(start_year, household_id)],
+    )
+    return paths
+
+
+def frequent_change_sequences(
+    graph: EvolutionGraph, length: int = 2
+) -> Counter:
+    """Count the pattern-type sequences household chains go through.
+
+    A household with consecutive edges (preserve_G, split) contributes
+    one ``("preserve_G", "split")`` sequence, and so on; the counter is
+    the basis for "frequent or unusual change scenario" mining.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    forward: Dict[Vertex, List[Tuple[Vertex, str]]] = defaultdict(list)
+    for edge in graph.edges:
+        if edge.edge_type in GROUP_PATTERN_TYPES:
+            forward[edge.source].append((edge.target, edge.edge_type))
+
+    sequences: Counter = Counter()
+
+    def walk(vertex: Vertex, trail: Tuple[str, ...]) -> None:
+        if len(trail) == length:
+            sequences[trail] += 1
+            return
+        for target, edge_type in sorted(forward.get(vertex, [])):
+            walk(target, trail + (edge_type,))
+
+    for vertex in sorted(v for v in graph.vertices if v[0] == "group"):
+        walk(vertex, ())
+    return sequences
+
+
+def households_with_history(
+    graph: EvolutionGraph, *edge_types: str
+) -> List[Vertex]:
+    """Households whose forward chain realises the given type sequence.
+
+    ``households_with_history(graph, "preserve_G", "split")`` finds
+    households that survived one decade intact and then split.
+    """
+    if not edge_types:
+        raise ValueError("at least one edge type is required")
+    forward: Dict[Vertex, List[Tuple[Vertex, str]]] = defaultdict(list)
+    for edge in graph.edges:
+        if edge.edge_type in GROUP_PATTERN_TYPES:
+            forward[edge.source].append((edge.target, edge.edge_type))
+
+    def matches(vertex: Vertex, remaining: Tuple[str, ...]) -> bool:
+        if not remaining:
+            return True
+        return any(
+            edge_type == remaining[0] and matches(target, remaining[1:])
+            for target, edge_type in forward.get(vertex, [])
+        )
+
+    return [
+        vertex
+        for vertex in sorted(v for v in graph.vertices if v[0] == "group")
+        if matches(vertex, tuple(edge_types))
+    ]

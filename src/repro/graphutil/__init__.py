@@ -1,0 +1,6 @@
+"""Small graph utilities: union-find and connected components."""
+
+from .components import connected_components, largest_component
+from .union_find import UnionFind
+
+__all__ = ["connected_components", "largest_component", "UnionFind"]

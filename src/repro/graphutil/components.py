@@ -1,0 +1,36 @@
+"""Connected components over explicit node/edge lists."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Tuple, TypeVar
+
+from .union_find import UnionFind
+
+T = TypeVar("T", bound=Hashable)
+
+
+def connected_components(
+    nodes: Iterable[T], edges: Iterable[Tuple[T, T]]
+) -> List[List[T]]:
+    """Connected components of an undirected graph.
+
+    ``nodes`` may include isolated vertices; endpoints mentioned only in
+    ``edges`` are added implicitly.  Components are returned sorted for
+    deterministic downstream behaviour.
+    """
+    union_find: UnionFind[T] = UnionFind(nodes)
+    for left, right in edges:
+        union_find.union(left, right)
+    return union_find.groups()
+
+
+def largest_component(
+    nodes: Iterable[T], edges: Iterable[Tuple[T, T]]
+) -> List[T]:
+    """The largest connected component (ties broken by smallest member)."""
+    components = connected_components(nodes, edges)
+    if not components:
+        return []
+    # ``max`` returns the first maximal component; components are already
+    # sorted by smallest member, so ties resolve deterministically.
+    return max(components, key=len)

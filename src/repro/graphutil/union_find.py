@@ -1,0 +1,70 @@
+"""Disjoint-set (union-find) structure with path compression and rank."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Generic, Hashable, Iterable, List, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind(Generic[T]):
+    """Union-find over arbitrary hashable items.
+
+    Used to compute the transitive closure of record links in
+    pre-matching (Section 3.2) and connected components of the evolution
+    graph (Section 4.2).
+    """
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._rank: Dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def find(self, item: T) -> T:
+        """Representative of ``item``'s set (item auto-added if new)."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left: T, right: T) -> T:
+        """Merge the sets of the two items; returns the new root."""
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return root_left
+        if self._rank[root_left] < self._rank[root_right]:
+            root_left, root_right = root_right, root_left
+        self._parent[root_right] = root_left
+        if self._rank[root_left] == self._rank[root_right]:
+            self._rank[root_left] += 1
+        return root_left
+
+    def connected(self, left: T, right: T) -> bool:
+        return self.find(left) == self.find(right)
+
+    def groups(self) -> List[List[T]]:
+        """All sets, each sorted, ordered by their smallest member."""
+        clusters: Dict[T, List[T]] = defaultdict(list)
+        for item in self._parent:
+            clusters[self.find(item)].append(item)
+        return sorted(
+            (sorted(members) for members in clusters.values()),
+            key=lambda members: members[0],
+        )
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent

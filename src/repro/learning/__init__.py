@@ -1,0 +1,19 @@
+"""Learning-based weight optimisation for record matching (§5.2.1)."""
+
+from .logistic import LogisticModel, fit_logistic, log_loss
+from .weights import (
+    LearnedWeights,
+    learn_similarity_function,
+    model_to_sim_func,
+    training_pairs,
+)
+
+__all__ = [
+    "LogisticModel",
+    "fit_logistic",
+    "log_loss",
+    "LearnedWeights",
+    "learn_similarity_function",
+    "model_to_sim_func",
+    "training_pairs",
+]

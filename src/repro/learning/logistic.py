@@ -1,0 +1,122 @@
+"""Logistic regression from scratch (batch gradient descent).
+
+Used to learn attribute weights for record matching from labelled pairs
+(Section 5.2.1 of the paper notes that "learning-based methods to find
+a near-optimal weight vector" are the natural extension; Richards et
+al. [21] study exactly that for census linkage).  Pure Python — inputs
+are small similarity vectors, so no numerical library is needed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+def _sigmoid(value: float) -> float:
+    if value >= 0:
+        exp_neg = math.exp(-value)
+        return 1.0 / (1.0 + exp_neg)
+    exp_pos = math.exp(value)
+    return exp_pos / (1.0 + exp_pos)
+
+
+@dataclass
+class LogisticModel:
+    """A trained binary classifier over similarity vectors."""
+
+    weights: List[float]
+    bias: float
+    train_loss: float = 0.0
+    epochs_run: int = 0
+
+    @property
+    def num_features(self) -> int:
+        return len(self.weights)
+
+    def decision(self, features: Sequence[float]) -> float:
+        if len(features) != len(self.weights):
+            raise ValueError(
+                f"expected {len(self.weights)} features, got {len(features)}"
+            )
+        return self.bias + sum(
+            weight * value for weight, value in zip(self.weights, features)
+        )
+
+    def predict_proba(self, features: Sequence[float]) -> float:
+        """P(match | features) in [0, 1]."""
+        return _sigmoid(self.decision(features))
+
+    def predict(self, features: Sequence[float], threshold: float = 0.5) -> bool:
+        return self.predict_proba(features) >= threshold
+
+
+def log_loss(model: LogisticModel, features: Sequence[Sequence[float]],
+             labels: Sequence[int]) -> float:
+    """Mean negative log-likelihood of the labels under the model."""
+    if not features:
+        return 0.0
+    total = 0.0
+    for row, label in zip(features, labels):
+        probability = min(max(model.predict_proba(row), 1e-12), 1 - 1e-12)
+        total += -math.log(probability if label else 1.0 - probability)
+    return total / len(features)
+
+
+def fit_logistic(
+    features: Sequence[Sequence[float]],
+    labels: Sequence[int],
+    learning_rate: float = 0.5,
+    epochs: int = 300,
+    l2: float = 1e-3,
+    class_weighting: bool = True,
+    seed: int = 0,
+) -> LogisticModel:
+    """Train a logistic model with batch gradient descent.
+
+    ``class_weighting`` re-weights examples inversely to class frequency
+    — matching is extremely imbalanced (most candidate pairs are
+    non-matches), and without it the model collapses to "never match".
+    """
+    if len(features) != len(labels):
+        raise ValueError("features and labels must have equal length")
+    if not features:
+        raise ValueError("training data must be non-empty")
+    num_features = len(features[0])
+    if any(len(row) != num_features for row in features):
+        raise ValueError("all feature rows must have equal length")
+    positives = sum(1 for label in labels if label)
+    negatives = len(labels) - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("training data must contain both classes")
+
+    weight_pos = len(labels) / (2.0 * positives) if class_weighting else 1.0
+    weight_neg = len(labels) / (2.0 * negatives) if class_weighting else 1.0
+
+    rng = random.Random(seed)
+    weights = [rng.uniform(-0.01, 0.01) for _ in range(num_features)]
+    bias = 0.0
+    total_weight = positives * weight_pos + negatives * weight_neg
+
+    for _ in range(epochs):
+        gradient = [0.0] * num_features
+        gradient_bias = 0.0
+        for row, label in zip(features, labels):
+            example_weight = weight_pos if label else weight_neg
+            predicted = _sigmoid(
+                bias + sum(w * value for w, value in zip(weights, row))
+            )
+            error = (predicted - label) * example_weight
+            for index, value in enumerate(row):
+                gradient[index] += error * value
+            gradient_bias += error
+        for index in range(num_features):
+            gradient[index] = gradient[index] / total_weight + l2 * weights[index]
+            weights[index] -= learning_rate * gradient[index]
+        bias -= learning_rate * gradient_bias / total_weight
+
+    model = LogisticModel(weights=weights, bias=bias, epochs_run=epochs)
+    model.train_loss = log_loss(model, features, labels)
+    return model

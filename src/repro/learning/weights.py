@@ -1,0 +1,133 @@
+"""Learning attribute weights for ``Sim_func`` from labelled pairs.
+
+Trains a logistic model on the per-attribute similarity vectors of
+blocked candidate pairs (labels from a reference record mapping) and
+converts it into a :class:`~repro.similarity.vector.SimilarityFunction`
+— i.e. a learned replacement for the hand-crafted ω1/ω2 of Table 2.
+
+The conversion clips negative weights to zero (an attribute whose
+similarity *lowers* the match probability cannot be expressed in the
+weighted-sum form), renormalises, and maps the decision boundary
+``bias + Σ aᵢsᵢ = 0`` to the equivalent agg_sim threshold δ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..blocking.pairs import Blocker
+from ..blocking.standard import StandardBlocker
+from ..model.dataset import CensusDataset
+from ..model.mappings import RecordMapping
+from ..similarity.vector import (
+    AttributeComparator,
+    SimilarityFunction,
+    build_similarity_function,
+)
+from .logistic import LogisticModel, fit_logistic
+
+
+@dataclass
+class LearnedWeights:
+    """A trained model plus its SimilarityFunction conversion."""
+
+    model: LogisticModel
+    sim_func: SimilarityFunction
+    attributes: Tuple[str, ...]
+    num_training_pairs: int
+    num_positive_pairs: int
+
+    def weight_of(self, attribute: str) -> float:
+        index = self.attributes.index(attribute)
+        return self.sim_func.weights[index]
+
+
+def training_pairs(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    reference: RecordMapping,
+    template: SimilarityFunction,
+    blocker: Optional[Blocker] = None,
+) -> Tuple[List[List[float]], List[int]]:
+    """Similarity vectors and labels for all blocked candidate pairs.
+
+    Missing comparisons are encoded as 0 (the MISSING_ZERO convention),
+    so the learned weights remain compatible with the pipeline's
+    aggregation.
+    """
+    blocker = blocker or StandardBlocker()
+    old_records = list(old_dataset.iter_records())
+    new_records = list(new_dataset.iter_records())
+    features: List[List[float]] = []
+    labels: List[int] = []
+    for old_id, new_id in sorted(
+        blocker.candidate_pairs(old_records, new_records)
+    ):
+        vector = template.similarity_vector(
+            old_dataset.record(old_id), new_dataset.record(new_id)
+        )
+        features.append([0.0 if value is None else value for value in vector])
+        labels.append(1 if (old_id, new_id) in reference else 0)
+    return features, labels
+
+
+def model_to_sim_func(
+    model: LogisticModel,
+    template: SimilarityFunction,
+    fallback_threshold: float = 0.5,
+) -> SimilarityFunction:
+    """Convert a logistic model into a weighted-sum similarity function.
+
+    With clipped weights aᵢ⁺ and total A = Σ aᵢ⁺, the decision boundary
+    ``bias + Σ aᵢ⁺ sᵢ >= 0`` becomes ``agg_sim >= -bias / A`` for the
+    normalised weights.  The threshold is clamped into (0, 1];
+    ``fallback_threshold`` applies when every weight clips to zero.
+    """
+    clipped = [max(0.0, weight) for weight in model.weights]
+    total = sum(clipped)
+    if total <= 0.0:
+        return template.with_threshold(fallback_threshold)
+    comparators = [
+        AttributeComparator(item.attribute, item.comparator, weight)
+        for item, weight in zip(template.comparators, clipped)
+    ]
+    threshold = -model.bias / total
+    threshold = min(1.0, max(0.05, threshold))
+    return SimilarityFunction(comparators, threshold, template.missing_policy)
+
+
+def learn_similarity_function(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    reference: RecordMapping,
+    template: Optional[SimilarityFunction] = None,
+    blocker: Optional[Blocker] = None,
+    epochs: int = 300,
+    learning_rate: float = 0.5,
+    seed: int = 0,
+) -> LearnedWeights:
+    """Learn a ``Sim_func`` from a labelled census pair.
+
+    ``template`` fixes the attribute set and per-attribute comparators
+    (default: the five attributes of Table 2 with ω2's comparators); the
+    weights and threshold are learned.
+    """
+    if template is None:
+        from ..core.config import OMEGA2
+
+        template = build_similarity_function(list(OMEGA2), 0.5)
+    features, labels = training_pairs(
+        old_dataset, new_dataset, reference, template, blocker
+    )
+    model = fit_logistic(
+        features, labels, learning_rate=learning_rate, epochs=epochs, seed=seed
+    )
+    sim_func = model_to_sim_func(model, template)
+    return LearnedWeights(
+        model=model,
+        sim_func=sim_func,
+        attributes=template.attributes,
+        num_training_pairs=len(labels),
+        num_positive_pairs=sum(labels),
+    )

@@ -1,0 +1,27 @@
+"""Census data model: records, households, datasets and mappings."""
+
+from .dataset import CensusDataset, DatasetStats
+from .households import Household, Relationship, edge_key
+from .mappings import (
+    GroupMapping,
+    MappingConflictError,
+    RecordMapping,
+    household_of_map,
+    induced_group_mapping,
+)
+from .records import COMPARABLE_ATTRIBUTES, PersonRecord
+
+__all__ = [
+    "CensusDataset",
+    "DatasetStats",
+    "Household",
+    "Relationship",
+    "edge_key",
+    "GroupMapping",
+    "MappingConflictError",
+    "RecordMapping",
+    "household_of_map",
+    "induced_group_mapping",
+    "PersonRecord",
+    "COMPARABLE_ATTRIBUTES",
+]

@@ -1,0 +1,160 @@
+"""Census datasets: all records and households of one snapshot year."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .households import Household
+from .records import COMPARABLE_ATTRIBUTES, PersonRecord
+
+
+@dataclass
+class DatasetStats:
+    """Summary statistics of a census dataset (one row of Table 1)."""
+
+    year: int
+    num_records: int
+    num_households: int
+    unique_name_combinations: int
+    missing_value_ratio: float
+
+    @property
+    def average_name_frequency(self) -> float:
+        """Mean number of records sharing a (first name, surname) pair."""
+        if self.unique_name_combinations == 0:
+            return 0.0
+        return self.num_records / self.unique_name_combinations
+
+
+class CensusDataset:
+    """All person records and households collected in one census year.
+
+    The dataset owns the records; each record belongs to exactly one
+    household (groups do not overlap).  Construction via
+    :meth:`from_records` groups records by their ``household_id``.
+    """
+
+    #: Attributes counted for the missing-value ratio (the five compared
+    #: attributes of Table 2).
+    MISSING_VALUE_ATTRIBUTES = ("first_name", "surname", "sex", "occupation", "address")
+
+    def __init__(self, year: int) -> None:
+        self.year = year
+        self.records: Dict[str, PersonRecord] = {}
+        self.households: Dict[str, Household] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, year: int, records: Iterable[PersonRecord]
+    ) -> "CensusDataset":
+        """Build a dataset, creating one household per household_id."""
+        dataset = cls(year)
+        for record in records:
+            dataset.add_record(record)
+        return dataset
+
+    def add_record(self, record: PersonRecord) -> None:
+        if record.record_id in self.records:
+            raise ValueError(f"duplicate record id {record.record_id!r}")
+        self.records[record.record_id] = record
+        household = self.households.get(record.household_id)
+        if household is None:
+            household = Household(record.household_id)
+            self.households[record.household_id] = household
+        household.add_member(record)
+
+    # -- access -------------------------------------------------------------
+
+    def record(self, record_id: str) -> PersonRecord:
+        return self.records[record_id]
+
+    def household(self, household_id: str) -> Household:
+        return self.households[household_id]
+
+    def household_of(self, record_id: str) -> Household:
+        """The household containing the given record."""
+        return self.households[self.records[record_id].household_id]
+
+    @property
+    def record_ids(self) -> List[str]:
+        return sorted(self.records)
+
+    @property
+    def household_ids(self) -> List[str]:
+        return sorted(self.households)
+
+    def iter_records(self) -> Iterator[PersonRecord]:
+        for record_id in self.record_ids:
+            yield self.records[record_id]
+
+    def iter_households(self) -> Iterator[Household]:
+        for household_id in self.household_ids:
+            yield self.households[household_id]
+
+    def subset(self, record_ids: Iterable[str]) -> List[PersonRecord]:
+        """The given records as a list, in sorted-id order."""
+        return [self.records[record_id] for record_id in sorted(set(record_ids))]
+
+    # -- statistics (Table 1) ------------------------------------------------
+
+    def name_frequency(self) -> Counter:
+        """Multiplicity of each (first name, surname) combination."""
+        return Counter(record.name_key for record in self.records.values())
+
+    def missing_value_ratio(
+        self, attributes: Optional[Tuple[str, ...]] = None
+    ) -> float:
+        """Fraction of missing attribute cells over the given attributes."""
+        attrs = attributes or self.MISSING_VALUE_ATTRIBUTES
+        for attribute in attrs:
+            if attribute not in COMPARABLE_ATTRIBUTES:
+                raise KeyError(f"unknown attribute {attribute!r}")
+        total = len(self.records) * len(attrs)
+        if total == 0:
+            return 0.0
+        missing = sum(
+            1
+            for record in self.records.values()
+            for attribute in attrs
+            if record.is_missing(attribute)
+        )
+        return missing / total
+
+    def stats(self) -> DatasetStats:
+        """Summary row matching Table 1 of the paper."""
+        return DatasetStats(
+            year=self.year,
+            num_records=len(self.records),
+            num_households=len(self.households),
+            unique_name_combinations=len(self.name_frequency()),
+            missing_value_ratio=self.missing_value_ratio(),
+        )
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``ValueError`` when broken."""
+        seen = set()
+        for household in self.households.values():
+            for record_id, record in household.members.items():
+                if record_id in seen:
+                    raise ValueError(f"record {record_id!r} in two households")
+                seen.add(record_id)
+                if self.records.get(record_id) is not record:
+                    raise ValueError(
+                        f"household member {record_id!r} not registered in dataset"
+                    )
+        if seen != set(self.records):
+            orphans = set(self.records) - seen
+            raise ValueError(f"records missing from households: {sorted(orphans)}")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (
+            f"CensusDataset(year={self.year}, records={len(self.records)}, "
+            f"households={len(self.households)})"
+        )

@@ -1,0 +1,182 @@
+"""Households as graphs of person records.
+
+A household (a *group* in the paper's terminology) is a set of person
+records plus the relationships between them.  In raw census data the graph
+is a star: each member carries a role relative to the head of household.
+The enrichment step of Section 3.1 (:mod:`repro.core.enrichment`) turns
+this into a complete graph with unified relationship types and age
+differences as edge properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from . import roles as roles_mod
+from .records import PersonRecord
+
+
+def edge_key(id_a: str, id_b: str) -> Tuple[str, str]:
+    """Canonical (sorted) key for an undirected edge between two records."""
+    if id_a == id_b:
+        raise ValueError(f"self-edge on record {id_a!r}")
+    return (id_a, id_b) if id_a < id_b else (id_b, id_a)
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """An undirected, typed edge between two household members.
+
+    ``rel_type`` is a unified relationship type from
+    :mod:`repro.model.roles`; ``age_diff`` is the absolute age difference,
+    a time-stable edge property (``None`` when an age is missing).
+    ``derived`` marks edges added by group enrichment rather than given in
+    the input data.
+    """
+
+    record_a: str
+    record_b: str
+    rel_type: str
+    age_diff: Optional[int] = None
+    derived: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.record_a, self.record_b) != edge_key(self.record_a, self.record_b):
+            raise ValueError(
+                "Relationship endpoints must be in canonical order; "
+                "use Relationship.make()"
+            )
+        if self.rel_type not in roles_mod.ALL_REL_TYPES:
+            raise ValueError(f"unknown relationship type {self.rel_type!r}")
+        if self.age_diff is not None and self.age_diff < 0:
+            raise ValueError("age_diff must be an absolute (non-negative) value")
+
+    @classmethod
+    def make(
+        cls,
+        id_a: str,
+        id_b: str,
+        rel_type: str,
+        age_diff: Optional[int] = None,
+        derived: bool = False,
+    ) -> "Relationship":
+        """Build a relationship with endpoints put in canonical order."""
+        a, b = edge_key(id_a, id_b)
+        return cls(a, b, rel_type, age_diff, derived)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.record_a, self.record_b)
+
+    def other(self, record_id: str) -> str:
+        """The endpoint opposite to ``record_id``."""
+        if record_id == self.record_a:
+            return self.record_b
+        if record_id == self.record_b:
+            return self.record_a
+        raise KeyError(f"{record_id!r} is not an endpoint of {self.key}")
+
+
+@dataclass
+class Household:
+    """A group of person records plus typed relationships between them."""
+
+    household_id: str
+    members: Dict[str, PersonRecord] = field(default_factory=dict)
+    relationships: Dict[Tuple[str, str], Relationship] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_members(
+        cls, household_id: str, members: Iterable[PersonRecord]
+    ) -> "Household":
+        """Create a household from records, without any relationships."""
+        household = cls(household_id)
+        for record in members:
+            household.add_member(record)
+        return household
+
+    def add_member(self, record: PersonRecord) -> None:
+        if record.household_id != self.household_id:
+            raise ValueError(
+                f"record {record.record_id} belongs to household "
+                f"{record.household_id}, not {self.household_id}"
+            )
+        if record.record_id in self.members:
+            raise ValueError(f"duplicate member {record.record_id}")
+        self.members[record.record_id] = record
+
+    def add_relationship(self, relationship: Relationship) -> None:
+        for endpoint in relationship.key:
+            if endpoint not in self.members:
+                raise KeyError(
+                    f"relationship endpoint {endpoint!r} is not a member of "
+                    f"household {self.household_id}"
+                )
+        self.relationships[relationship.key] = relationship
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def member_ids(self) -> List[str]:
+        """Member record ids in deterministic (sorted) order."""
+        return sorted(self.members)
+
+    @property
+    def num_relationships(self) -> int:
+        return len(self.relationships)
+
+    def head(self) -> Optional[PersonRecord]:
+        """The head-of-household record, if one is present."""
+        for record_id in self.member_ids:
+            if self.members[record_id].role == roles_mod.HEAD:
+                return self.members[record_id]
+        return None
+
+    def get_relationship(self, id_a: str, id_b: str) -> Optional[Relationship]:
+        return self.relationships.get(edge_key(id_a, id_b))
+
+    def are_connected(self, id_a: str, id_b: str) -> bool:
+        return edge_key(id_a, id_b) in self.relationships
+
+    def neighbours(self, record_id: str) -> List[str]:
+        """Ids of members connected to ``record_id``, sorted."""
+        if record_id not in self.members:
+            raise KeyError(f"{record_id!r} is not a member")
+        found = []
+        for relationship in self.relationships.values():
+            if record_id in relationship.key:
+                found.append(relationship.other(record_id))
+        return sorted(found)
+
+    def iter_records(self) -> Iterator[PersonRecord]:
+        """Members in deterministic order."""
+        for record_id in self.member_ids:
+            yield self.members[record_id]
+
+    def is_complete_graph(self) -> bool:
+        """True when every member pair is connected (post-enrichment)."""
+        n = self.size
+        return self.num_relationships == n * (n - 1) // 2
+
+    def copy_shell(self) -> "Household":
+        """A copy with the same members and no relationships."""
+        return Household(self.household_id, dict(self.members), {})
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:
+        return (
+            f"Household({self.household_id!r}, size={self.size}, "
+            f"edges={self.num_relationships})"
+        )

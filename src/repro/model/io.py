@@ -1,0 +1,109 @@
+"""CSV round-trip for census datasets and mappings.
+
+The on-disk format is one row per person with the columns used throughout
+the paper, so that real census extracts (or the synthetic data emitted by
+:mod:`repro.datagen`) can be stored, inspected and reloaded.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from .dataset import CensusDataset
+from .mappings import GroupMapping, RecordMapping
+from .records import PersonRecord
+
+RECORD_FIELDS = (
+    "record_id",
+    "household_id",
+    "first_name",
+    "surname",
+    "sex",
+    "age",
+    "occupation",
+    "address",
+    "role",
+    "entity_id",
+)
+
+PathLike = Union[str, Path]
+
+
+def _cell(value) -> str:
+    return "" if value is None else str(value)
+
+
+def write_dataset(dataset: CensusDataset, path: PathLike) -> None:
+    """Write a dataset to CSV (one row per person record)."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("year",) + RECORD_FIELDS)
+        for record in dataset.iter_records():
+            writer.writerow(
+                (dataset.year,)
+                + tuple(_cell(getattr(record, field)) for field in RECORD_FIELDS)
+            )
+
+
+def read_dataset(path: PathLike) -> CensusDataset:
+    """Read a dataset previously written by :func:`write_dataset`."""
+    records: List[PersonRecord] = []
+    year = None
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            if year is None:
+                year = int(row["year"])
+            elif int(row["year"]) != year:
+                raise ValueError("dataset file mixes census years")
+            records.append(
+                PersonRecord(
+                    record_id=row["record_id"],
+                    household_id=row["household_id"],
+                    first_name=row["first_name"] or None,
+                    surname=row["surname"] or None,
+                    sex=row["sex"] or None,
+                    age=int(row["age"]) if row["age"] else None,
+                    occupation=row["occupation"] or None,
+                    address=row["address"] or None,
+                    role=row["role"],
+                    entity_id=row.get("entity_id") or None,
+                )
+            )
+    if year is None:
+        raise ValueError(f"no records found in {path}")
+    return CensusDataset.from_records(year, records)
+
+
+def write_record_mapping(mapping: RecordMapping, path: PathLike) -> None:
+    _write_pairs(mapping.pairs(), path, ("old_record_id", "new_record_id"))
+
+
+def read_record_mapping(path: PathLike) -> RecordMapping:
+    return RecordMapping(_read_pairs(path))
+
+
+def write_group_mapping(mapping: GroupMapping, path: PathLike) -> None:
+    _write_pairs(mapping.pairs(), path, ("old_household_id", "new_household_id"))
+
+
+def read_group_mapping(path: PathLike) -> GroupMapping:
+    return GroupMapping(_read_pairs(path))
+
+
+def _write_pairs(
+    pairs: List[Tuple[str, str]], path: PathLike, header: Tuple[str, str]
+) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(pairs)
+
+
+def _read_pairs(path: PathLike) -> List[Tuple[str, str]]:
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        next(reader, None)  # header
+        return [(row[0], row[1]) for row in reader if row]

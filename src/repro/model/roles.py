@@ -1,0 +1,191 @@
+"""Household role vocabulary and unified relationship types.
+
+Census records carry a *head-relative* role for each household member
+(``head``, ``wife``, ``son`` ...).  These roles are not stable over time: a
+son in one census may be a head in the next.  Following Section 3.1 of the
+paper, pairwise roles are therefore translated into *unified relationship
+types* (``spouse``, ``parent-child``, ``sibling`` ...) that are symmetric
+and far more likely to be preserved across censuses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+# ---------------------------------------------------------------------------
+# Head-relative roles (the vocabulary found in historical UK census data)
+# ---------------------------------------------------------------------------
+
+HEAD = "head"
+WIFE = "wife"
+HUSBAND = "husband"
+SON = "son"
+DAUGHTER = "daughter"
+FATHER = "father"
+MOTHER = "mother"
+BROTHER = "brother"
+SISTER = "sister"
+GRANDSON = "grandson"
+GRANDDAUGHTER = "granddaughter"
+NEPHEW = "nephew"
+NIECE = "niece"
+SON_IN_LAW = "son-in-law"
+DAUGHTER_IN_LAW = "daughter-in-law"
+FATHER_IN_LAW = "father-in-law"
+MOTHER_IN_LAW = "mother-in-law"
+SERVANT = "servant"
+LODGER = "lodger"
+BOARDER = "boarder"
+VISITOR = "visitor"
+APPRENTICE = "apprentice"
+UNKNOWN = "unknown"
+
+#: Every role the model accepts.
+ALL_ROLES = frozenset(
+    {
+        HEAD,
+        WIFE,
+        HUSBAND,
+        SON,
+        DAUGHTER,
+        FATHER,
+        MOTHER,
+        BROTHER,
+        SISTER,
+        GRANDSON,
+        GRANDDAUGHTER,
+        NEPHEW,
+        NIECE,
+        SON_IN_LAW,
+        DAUGHTER_IN_LAW,
+        FATHER_IN_LAW,
+        MOTHER_IN_LAW,
+        SERVANT,
+        LODGER,
+        BOARDER,
+        VISITOR,
+        APPRENTICE,
+        UNKNOWN,
+    }
+)
+
+#: Roles describing the head's children (used when deriving sibling links).
+CHILD_ROLES = frozenset({SON, DAUGHTER})
+
+#: Roles describing the head's parents.
+PARENT_ROLES = frozenset({FATHER, MOTHER})
+
+#: Roles describing the head's siblings.
+SIBLING_ROLES = frozenset({BROTHER, SISTER})
+
+#: Roles describing the head's grandchildren.
+GRANDCHILD_ROLES = frozenset({GRANDSON, GRANDDAUGHTER})
+
+#: Roles for members who are not family of the head.
+NON_FAMILY_ROLES = frozenset(
+    {SERVANT, LODGER, BOARDER, VISITOR, APPRENTICE, UNKNOWN}
+)
+
+#: The head's children-in-law.
+CHILD_IN_LAW_ROLES = frozenset({SON_IN_LAW, DAUGHTER_IN_LAW})
+
+#: The head's parents-in-law.
+PARENT_IN_LAW_ROLES = frozenset({FATHER_IN_LAW, MOTHER_IN_LAW})
+
+# ---------------------------------------------------------------------------
+# Unified relationship types (Section 3.1)
+# ---------------------------------------------------------------------------
+
+SPOUSE = "spouse"
+PARENT_CHILD = "parent-child"
+SIBLING = "sibling"
+GRANDPARENT = "grandparent-grandchild"
+IN_LAW = "in-law"
+EXTENDED = "extended-family"
+CO_RESIDENT = "co-resident"
+
+#: Every unified relationship type produced by :func:`unify_roles`.
+ALL_REL_TYPES = frozenset(
+    {SPOUSE, PARENT_CHILD, SIBLING, GRANDPARENT, IN_LAW, EXTENDED, CO_RESIDENT}
+)
+
+
+def _spouse_roles(role_a: str, role_b: str) -> bool:
+    pairs = {
+        frozenset({HEAD, WIFE}),
+        frozenset({HEAD, HUSBAND}),
+    }
+    return frozenset({role_a, role_b}) in pairs
+
+
+def unify_roles(role_a: str, role_b: str) -> str:
+    """Translate two head-relative roles into a unified relationship type.
+
+    The mapping implements the derivation rules sketched in Fig. 2 of the
+    paper: e.g. the head's ``wife`` and the head's ``son`` are connected by a
+    ``parent-child`` relationship, two of the head's children are
+    ``sibling``s, and anyone paired with a servant or lodger is merely
+    ``co-resident``.
+
+    The function is symmetric: ``unify_roles(a, b) == unify_roles(b, a)``.
+    """
+    if role_a not in ALL_ROLES or role_b not in ALL_ROLES:
+        raise ValueError(f"unknown role in pair ({role_a!r}, {role_b!r})")
+
+    a, b = role_a, role_b
+    roles = frozenset({a, b})
+
+    if a in NON_FAMILY_ROLES or b in NON_FAMILY_ROLES:
+        return CO_RESIDENT
+    if _spouse_roles(a, b):
+        return SPOUSE
+    # Head with own children / own parents.
+    if HEAD in roles and (a in CHILD_ROLES or b in CHILD_ROLES):
+        return PARENT_CHILD
+    if HEAD in roles and (a in PARENT_ROLES or b in PARENT_ROLES):
+        return PARENT_CHILD
+    # Spouse of head with the head's children: also parent-child.
+    if roles & {WIFE, HUSBAND} and roles & CHILD_ROLES:
+        return PARENT_CHILD
+    # The head's parents with the head's children: grandparents.
+    if roles & PARENT_ROLES and roles & CHILD_ROLES:
+        return GRANDPARENT
+    # Head (or spouse) with grandchildren.
+    if roles & ({HEAD, WIFE, HUSBAND}) and roles & GRANDCHILD_ROLES:
+        return GRANDPARENT
+    # Children of the head with each other: siblings.
+    if a in CHILD_ROLES and b in CHILD_ROLES:
+        return SIBLING
+    # Head with own siblings.
+    if HEAD in roles and roles & SIBLING_ROLES:
+        return SIBLING
+    # The head's parents with each other: spouses.
+    if a in PARENT_ROLES and b in PARENT_ROLES and a != b:
+        return SPOUSE
+    # Child with child-in-law: treated as spouse (married couple residing
+    # with the head).
+    if roles & CHILD_ROLES and roles & CHILD_IN_LAW_ROLES:
+        return SPOUSE
+    # Head (or spouse) with children-in-law / parents-in-law.
+    if roles & {HEAD, WIFE, HUSBAND} and roles & (
+        CHILD_IN_LAW_ROLES | PARENT_IN_LAW_ROLES
+    ):
+        return IN_LAW
+    # Children with grandchildren: could be parent-child but the exact
+    # lineage is unknown from roles alone; classify as extended family.
+    if roles & CHILD_ROLES and roles & GRANDCHILD_ROLES:
+        return EXTENDED
+    # Everything else that is still family (nephews, nieces, mixed in-law
+    # combinations, sibling-with-parent, ...) is extended family.
+    return EXTENDED
+
+
+def expected_role_after_marriage(sex: str) -> str:
+    """Role a newly married person takes when founding a household."""
+    return HEAD if sex == "m" else WIFE
+
+
+def partner_role(role: str) -> Optional[str]:
+    """The role of a spouse for the given role, if it is determined."""
+    mapping = {HEAD: WIFE, WIFE: HEAD, HUSBAND: HEAD}
+    return mapping.get(role)

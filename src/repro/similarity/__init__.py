@@ -1,0 +1,60 @@
+"""String, numeric and multi-attribute similarity functions."""
+
+from .exact import exact_similarity, prefix_similarity
+from .jaro import jaro_similarity, jaro_winkler_similarity
+from .levenshtein import (
+    damerau_distance,
+    damerau_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+from .numeric import (
+    absolute_difference_similarity,
+    age_difference_similarity,
+    gaussian_similarity,
+    normalised_age_difference,
+    temporal_age_similarity,
+)
+from .phonetic import nysiis, phonetic_name_key, soundex
+from .qgram import bigram_similarity, qgram_similarity, qgrams, trigram_similarity
+from .vector import (
+    MISSING_IGNORE,
+    MISSING_NEUTRAL,
+    MISSING_ZERO,
+    AttributeComparator,
+    SimilarityFunction,
+    TemporalAgeComparator,
+    build_similarity_function,
+    resolve_comparator,
+)
+
+__all__ = [
+    "exact_similarity",
+    "prefix_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "damerau_distance",
+    "damerau_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "absolute_difference_similarity",
+    "age_difference_similarity",
+    "gaussian_similarity",
+    "normalised_age_difference",
+    "temporal_age_similarity",
+    "nysiis",
+    "phonetic_name_key",
+    "soundex",
+    "bigram_similarity",
+    "qgram_similarity",
+    "qgrams",
+    "trigram_similarity",
+    "MISSING_IGNORE",
+    "MISSING_NEUTRAL",
+    "MISSING_ZERO",
+    "AttributeComparator",
+    "SimilarityFunction",
+    "TemporalAgeComparator",
+    "build_similarity_function",
+    "resolve_comparator",
+]

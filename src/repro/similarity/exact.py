@@ -1,0 +1,21 @@
+"""Exact and truncated comparators (for categorical attributes like sex)."""
+
+from __future__ import annotations
+
+
+def exact_similarity(left: str, right: str) -> float:
+    """1.0 on exact (case/whitespace-insensitive) match, else 0.0."""
+    left_norm = " ".join(str(left).lower().split())
+    right_norm = " ".join(str(right).lower().split())
+    return 1.0 if left_norm == right_norm else 0.0
+
+
+def prefix_similarity(left: str, right: str, length: int = 4) -> float:
+    """1.0 when the first ``length`` normalised characters agree."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    left_norm = " ".join(str(left).lower().split())[:length]
+    right_norm = " ".join(str(right).lower().split())[:length]
+    if not left_norm and not right_norm:
+        return 1.0
+    return 1.0 if left_norm == right_norm else 0.0

@@ -1,0 +1,68 @@
+"""Jaro and Jaro-Winkler string similarity (name-matching classics)."""
+
+from __future__ import annotations
+
+
+def jaro_similarity(left: str, right: str) -> float:
+    """Jaro similarity in [0, 1]: weighted matches and transpositions."""
+    left = " ".join(left.lower().split())
+    right = " ".join(right.lower().split())
+    if not left and not right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    if left == right:
+        return 1.0
+
+    window = max(len(left), len(right)) // 2 - 1
+    window = max(window, 0)
+
+    left_matched = [False] * len(left)
+    right_matched = [False] * len(right)
+    matches = 0
+    for i, char in enumerate(left):
+        start = max(0, i - window)
+        end = min(len(right), i + window + 1)
+        for j in range(start, end):
+            if not right_matched[j] and right[j] == char:
+                left_matched[i] = True
+                right_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(left_matched):
+        if not matched:
+            continue
+        while not right_matched[j]:
+            j += 1
+        if left[i] != right[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    return (
+        matches / len(left)
+        + matches / len(right)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(
+    left: str, right: str, prefix_scale: float = 0.1, max_prefix: int = 4
+) -> float:
+    """Jaro-Winkler similarity: Jaro boosted for common prefixes."""
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must be in [0, 0.25]")
+    jaro = jaro_similarity(left, right)
+    left_norm = " ".join(left.lower().split())
+    right_norm = " ".join(right.lower().split())
+    prefix = 0
+    for char_left, char_right in zip(left_norm, right_norm):
+        if char_left != char_right or prefix >= max_prefix:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)

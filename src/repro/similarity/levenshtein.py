@@ -1,0 +1,87 @@
+"""Levenshtein (edit) distance and normalised similarity."""
+
+from __future__ import annotations
+
+
+def levenshtein_distance(left: str, right: str, max_distance: int = -1) -> int:
+    """Minimum number of single-character edits turning ``left`` into
+    ``right``.
+
+    With ``max_distance >= 0`` the computation stops early and returns
+    ``max_distance + 1`` once the distance provably exceeds the bound
+    (banded dynamic programming).
+    """
+    if left == right:
+        return 0
+    if len(left) > len(right):
+        left, right = right, left
+    if max_distance >= 0 and len(right) - len(left) > max_distance:
+        return max_distance + 1
+
+    previous = list(range(len(left) + 1))
+    for row, char_right in enumerate(right, start=1):
+        current = [row]
+        best_in_row = row
+        for col, char_left in enumerate(left, start=1):
+            cost = 0 if char_left == char_right else 1
+            value = min(
+                previous[col] + 1,  # deletion
+                current[col - 1] + 1,  # insertion
+                previous[col - 1] + cost,  # substitution
+            )
+            current.append(value)
+            if value < best_in_row:
+                best_in_row = value
+        if max_distance >= 0 and best_in_row > max_distance:
+            return max_distance + 1
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(left: str, right: str) -> float:
+    """Normalised edit similarity: ``1 - distance / max(len)`` in [0, 1]."""
+    left_norm = " ".join(left.lower().split())
+    right_norm = " ".join(right.lower().split())
+    if not left_norm and not right_norm:
+        return 1.0
+    longest = max(len(left_norm), len(right_norm))
+    return 1.0 - levenshtein_distance(left_norm, right_norm) / longest
+
+
+def damerau_distance(left: str, right: str) -> int:
+    """Edit distance that also counts adjacent transpositions as one edit
+    (optimal string alignment variant)."""
+    rows, cols = len(left) + 1, len(right) + 1
+    dist = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        dist[i][0] = i
+    for j in range(cols):
+        dist[0][j] = j
+    for i in range(1, rows):
+        for j in range(1, cols):
+            cost = 0 if left[i - 1] == right[j - 1] else 1
+            dist[i][j] = min(
+                dist[i - 1][j] + 1,
+                dist[i][j - 1] + 1,
+                dist[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and left[i - 1] == right[j - 2]
+                and left[i - 2] == right[j - 1]
+            ):
+                dist[i][j] = min(dist[i][j], dist[i - 2][j - 2] + 1)
+    return dist[-1][-1]
+
+
+def damerau_similarity(left: str, right: str) -> float:
+    """Normalised Damerau similarity in [0, 1]."""
+    left_norm = " ".join(left.lower().split())
+    right_norm = " ".join(right.lower().split())
+    if not left_norm and not right_norm:
+        return 1.0
+    longest = max(len(left_norm), len(right_norm))
+    if longest == 0:
+        return 1.0
+    return 1.0 - damerau_distance(left_norm, right_norm) / longest

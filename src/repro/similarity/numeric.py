@@ -1,0 +1,73 @@
+"""Numeric similarity for ages, years and age differences.
+
+Temporal record linkage compares ages across a known census gap: a person
+aged 30 in 1871 should be about 40 in 1881.  :func:`temporal_age_similarity`
+normalises for the gap before scoring, and :func:`age_difference_similarity`
+is the relationship-property comparator ``rp_sim`` used in subgraph
+matching (Eq. 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+def absolute_difference_similarity(
+    left: float, right: float, max_difference: float
+) -> float:
+    """Linear decay: 1 at equality, 0 at/after ``max_difference`` apart."""
+    if max_difference <= 0:
+        raise ValueError("max_difference must be positive")
+    return max(0.0, 1.0 - abs(left - right) / max_difference)
+
+
+def gaussian_similarity(left: float, right: float, sigma: float) -> float:
+    """Gaussian decay with scale ``sigma``; softer tails than linear."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    diff = (left - right) / sigma
+    return math.exp(-0.5 * diff * diff)
+
+
+def temporal_age_similarity(
+    old_age: Optional[int],
+    new_age: Optional[int],
+    year_gap: int,
+    max_deviation: float = 3.0,
+) -> float:
+    """Similarity of two ages separated by ``year_gap`` census years.
+
+    The *normalised age difference* is ``|new_age - (old_age + gap)|``;
+    ages drift by a year or two in historical data (rounding, estimated
+    ages), so a linear tolerance of ``max_deviation`` years is applied.
+    Missing ages score 0.
+    """
+    if old_age is None or new_age is None:
+        return 0.0
+    expected = old_age + year_gap
+    return absolute_difference_similarity(expected, new_age, max_deviation)
+
+
+def normalised_age_difference(
+    old_age: Optional[int], new_age: Optional[int], year_gap: int
+) -> Optional[int]:
+    """``|new_age - (old_age + gap)|`` or ``None`` when an age is missing."""
+    if old_age is None or new_age is None:
+        return None
+    return abs(new_age - (old_age + year_gap))
+
+
+def age_difference_similarity(
+    diff_old: Optional[int], diff_new: Optional[int], tolerance: float = 3.0
+) -> float:
+    """``rp_sim`` for the ``age_diff`` relationship property.
+
+    Compares the age difference between two persons in the old census with
+    the age difference between their counterparts in the new census; these
+    are time-stable, so deviations beyond ``tolerance`` score 0.  Missing
+    values score 0 (no evidence of stability).
+    """
+    if diff_old is None or diff_new is None:
+        return 0.0
+    return absolute_difference_similarity(diff_old, diff_new, tolerance)

@@ -1,0 +1,202 @@
+"""Weighted multi-attribute similarity functions (``Sim_func`` of Alg. 1).
+
+A :class:`SimilarityFunction` bundles the compared attributes, one
+comparator per attribute, the weighting vector ω and the match threshold
+δ.  Applying it to a record pair yields the similarity vector
+``sim(r_i, r_{i+1})`` and the aggregated weighted sum ``agg_sim``
+(Eq. 3); the pair is a potential match when ``agg_sim >= δ``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..model.records import PersonRecord
+from .exact import exact_similarity
+from .jaro import jaro_winkler_similarity
+from .levenshtein import levenshtein_similarity
+from .numeric import temporal_age_similarity
+from .qgram import bigram_similarity, trigram_similarity
+
+#: How a comparator scores when either value is missing.
+MISSING_ZERO = "zero"  # missing counts as total disagreement
+MISSING_IGNORE = "ignore"  # attribute dropped, weights renormalised
+MISSING_NEUTRAL = "neutral"  # scores 0.5 (agnostic)
+
+Comparator = Callable[[object, object], float]
+
+#: Named string comparators selectable in configurations.
+STRING_COMPARATORS = {
+    "qgram": bigram_similarity,
+    "trigram": trigram_similarity,
+    "levenshtein": levenshtein_similarity,
+    "jaro_winkler": jaro_winkler_similarity,
+    "exact": exact_similarity,
+}
+
+
+def resolve_comparator(name: str) -> Comparator:
+    """Look up a named string comparator (e.g. ``"qgram"``)."""
+    try:
+        return STRING_COMPARATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown comparator {name!r}; choose from "
+            f"{sorted(STRING_COMPARATORS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class AttributeComparator:
+    """One compared attribute: its name, comparator function and weight."""
+
+    attribute: str
+    comparator: Comparator
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("weight must be non-negative")
+
+
+class TemporalAgeComparator:
+    """Age comparator normalising for the census-year gap.
+
+    Callable on raw age values; constructed with the gap between the two
+    compared censuses (10 years for successive UK censuses).
+    """
+
+    def __init__(self, year_gap: int, max_deviation: float = 3.0) -> None:
+        self.year_gap = year_gap
+        self.max_deviation = max_deviation
+
+    def __call__(self, old_age: object, new_age: object) -> float:
+        return temporal_age_similarity(
+            old_age if isinstance(old_age, int) else None,
+            new_age if isinstance(new_age, int) else None,
+            self.year_gap,
+            self.max_deviation,
+        )
+
+    def __repr__(self) -> str:
+        return f"TemporalAgeComparator(gap={self.year_gap})"
+
+
+class SimilarityFunction:
+    """Weighted record-pair similarity with a match threshold δ.
+
+    Parameters
+    ----------
+    comparators:
+        The attribute comparators; weights are normalised to sum to 1.
+    threshold:
+        δ — the minimum ``agg_sim`` for a pair to count as a potential
+        match.  Mutable on purpose: Algorithm 1 decrements it each round.
+    missing_policy:
+        How missing attribute values score (module constants above).
+    """
+
+    def __init__(
+        self,
+        comparators: Sequence[AttributeComparator],
+        threshold: float,
+        missing_policy: str = MISSING_ZERO,
+    ) -> None:
+        if not comparators:
+            raise ValueError("at least one attribute comparator is required")
+        total_weight = sum(item.weight for item in comparators)
+        if total_weight <= 0:
+            raise ValueError("weights must sum to a positive value")
+        if missing_policy not in (MISSING_ZERO, MISSING_IGNORE, MISSING_NEUTRAL):
+            raise ValueError(f"unknown missing policy {missing_policy!r}")
+        self.comparators: Tuple[AttributeComparator, ...] = tuple(
+            dataclasses.replace(item, weight=item.weight / total_weight)
+            for item in comparators
+        )
+        self.threshold = float(threshold)
+        self.missing_policy = missing_policy
+
+    # -- evaluation ----------------------------------------------------------
+
+    def similarity_vector(
+        self, old_record: PersonRecord, new_record: PersonRecord
+    ) -> List[Optional[float]]:
+        """Per-attribute similarities; ``None`` marks a missing comparison."""
+        vector: List[Optional[float]] = []
+        for item in self.comparators:
+            old_value = old_record.get(item.attribute)
+            new_value = new_record.get(item.attribute)
+            if _is_missing(old_value) or _is_missing(new_value):
+                vector.append(None)
+            else:
+                vector.append(float(item.comparator(old_value, new_value)))
+        return vector
+
+    def agg_sim(self, old_record: PersonRecord, new_record: PersonRecord) -> float:
+        """Weighted aggregated similarity ``agg_sim`` (Eq. 3), in [0, 1]."""
+        if self.missing_policy == MISSING_IGNORE:
+            weighted = 0.0
+            total = 0.0
+            for item in self.comparators:
+                old_value = old_record.get(item.attribute)
+                new_value = new_record.get(item.attribute)
+                if _is_missing(old_value) or _is_missing(new_value):
+                    continue
+                weighted += item.weight * item.comparator(old_value, new_value)
+                total += item.weight
+            return weighted / total if total else 0.0
+        filler = 0.0 if self.missing_policy == MISSING_ZERO else 0.5
+        result = 0.0
+        for item in self.comparators:
+            old_value = old_record.get(item.attribute)
+            new_value = new_record.get(item.attribute)
+            if _is_missing(old_value) or _is_missing(new_value):
+                result += item.weight * filler
+            else:
+                result += item.weight * item.comparator(old_value, new_value)
+        return result
+
+    def matches(self, old_record: PersonRecord, new_record: PersonRecord) -> bool:
+        """True when the pair's ``agg_sim`` reaches the threshold δ."""
+        return self.agg_sim(old_record, new_record) >= self.threshold
+
+    # -- variants ------------------------------------------------------------
+
+    def with_threshold(self, threshold: float) -> "SimilarityFunction":
+        """A copy of this function with a different δ."""
+        return SimilarityFunction(self.comparators, threshold, self.missing_policy)
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(item.attribute for item in self.comparators)
+
+    @property
+    def weights(self) -> Tuple[float, ...]:
+        return tuple(item.weight for item in self.comparators)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{item.attribute}:{item.weight:.2f}" for item in self.comparators
+        )
+        return f"SimilarityFunction([{parts}], δ={self.threshold})"
+
+
+def _is_missing(value: object) -> bool:
+    return value is None or (isinstance(value, str) and not value.strip())
+
+
+def build_similarity_function(
+    weights: Sequence[Tuple[str, str, float]],
+    threshold: float,
+    missing_policy: str = MISSING_ZERO,
+) -> SimilarityFunction:
+    """Convenience constructor from ``(attribute, comparator name, weight)``
+    triples, e.g. ``[("first_name", "qgram", 0.4), ("sex", "exact", 0.2)]``.
+    """
+    comparators = [
+        AttributeComparator(attribute, resolve_comparator(name), weight)
+        for attribute, name, weight in weights
+    ]
+    return SimilarityFunction(comparators, threshold, missing_policy)

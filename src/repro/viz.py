@@ -1,0 +1,113 @@
+"""Visualisation exports: household graphs and evolution graphs as DOT.
+
+Generates Graphviz DOT source (plain strings — rendering is up to the
+user) so that household structures and multi-census evolution graphs
+can be inspected visually, like Figs. 1, 2 and 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .evolution.graph import EvolutionGraph
+from .evolution.patterns import GROUP_PATTERN_TYPES, PRESERVE_R
+from .model.households import Household
+
+_EDGE_STYLE = {
+    "preserve_G": 'color="steelblue", penwidth=2',
+    "move": 'color="darkorange"',
+    "split": 'color="firebrick", style=dashed',
+    "merge": 'color="purple", style=dashed',
+    "preserve_R": 'color="gray60", style=dotted',
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def household_to_dot(
+    household: Household,
+    include_derived_edges: bool = True,
+    graph_name: str = "household",
+) -> str:
+    """DOT source for one (enriched) household graph.
+
+    Vertices show name, age and role; edges are labelled with the
+    unified relationship type and the age difference, as in Fig. 2.
+    """
+    lines = [f"graph {_quote(graph_name)} {{", "  node [shape=box];"]
+    for record in household.iter_records():
+        age = record.age if record.age is not None else "?"
+        label = f"{record.full_name}\\n{record.role}, {age}"
+        lines.append(f"  {_quote(record.record_id)} [label={_quote(label)}];")
+    for relationship in sorted(
+        household.relationships.values(), key=lambda rel: rel.key
+    ):
+        if relationship.derived and not include_derived_edges:
+            continue
+        label = relationship.rel_type
+        if relationship.age_diff is not None:
+            label += f"\\nage_diff={relationship.age_diff}"
+        style = "style=dashed, " if relationship.derived else ""
+        lines.append(
+            f"  {_quote(relationship.record_a)} -- "
+            f"{_quote(relationship.record_b)} "
+            f"[{style}label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def evolution_graph_to_dot(
+    graph: EvolutionGraph,
+    include_records: bool = False,
+    edge_types: Optional[Iterable[str]] = None,
+    graph_name: str = "evolution",
+) -> str:
+    """DOT source for an evolution graph (Fig. 5b style).
+
+    Household vertices are grouped into one rank per census year; edges
+    are coloured by pattern type.  ``include_records`` adds the person
+    vertices and their ``preserve_R`` links (verbose for large graphs).
+    """
+    wanted = set(edge_types) if edge_types is not None else (
+        set(GROUP_PATTERN_TYPES) | ({PRESERVE_R} if include_records else set())
+    )
+    lines = [f"digraph {_quote(graph_name)} {{", "  rankdir=LR;"]
+
+    def node_id(vertex) -> str:
+        kind, year, identifier = vertex
+        return _quote(f"{kind}:{year}:{identifier}")
+
+    per_year: Dict[int, List[str]] = {}
+    for vertex in sorted(graph.vertices):
+        kind, year, identifier = vertex
+        if kind == "record" and not include_records:
+            continue
+        shape = "box" if kind == "group" else "ellipse"
+        lines.append(
+            f"  {node_id(vertex)} [label={_quote(identifier)}, shape={shape}];"
+        )
+        per_year.setdefault(year, []).append(node_id(vertex))
+    for year in sorted(per_year):
+        members = "; ".join(per_year[year])
+        lines.append(f"  {{ rank=same; {members}; }}")
+
+    for edge in graph.edges:
+        if edge.edge_type not in wanted:
+            continue
+        if not include_records and (
+            edge.source[0] == "record" or edge.target[0] == "record"
+        ):
+            continue
+        style = _EDGE_STYLE.get(edge.edge_type, "")
+        attributes = f"label={_quote(edge.edge_type)}"
+        if style:
+            attributes += f", {style}"
+        lines.append(
+            f"  {node_id(edge.source)} -> {node_id(edge.target)} "
+            f"[{attributes}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

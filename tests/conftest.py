@@ -1,0 +1,106 @@
+"""Shared fixtures: the paper's running example and small generated data."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.core.config import LinkageConfig
+from repro.datagen import GeneratorConfig, generate_series
+from repro.model import CensusDataset, PersonRecord
+
+
+def build_1871_dataset() -> CensusDataset:
+    """The 1871 snapshot of the paper's running example (Fig. 1).
+
+    Household a: John Ashworth's family plus his father-in-law John Riley.
+    Household b: John Smith's family.
+    """
+    records = [
+        PersonRecord("1871_1", "a71", "john", "ashworth", "m", 39, "weaver",
+                     "bacup rd", R.HEAD),
+        PersonRecord("1871_2", "a71", "elizabeth", "ashworth", "f", 37, None,
+                     "bacup rd", R.WIFE),
+        PersonRecord("1871_3", "a71", "alice", "ashworth", "f", 8, None,
+                     "bacup rd", R.DAUGHTER),
+        PersonRecord("1871_4", "a71", "william", "ashworth", "m", 2, None,
+                     "bacup rd", R.SON),
+        PersonRecord("1871_5", "a71", "john", "riley", "m", 65, None,
+                     "bacup rd", R.FATHER_IN_LAW),
+        PersonRecord("1871_6", "b71", "john", "smith", "m", 44, "miner",
+                     "york st", R.HEAD),
+        PersonRecord("1871_7", "b71", "elizabeth", "smith", "f", 41, None,
+                     "york st", R.WIFE),
+        PersonRecord("1871_8", "b71", "steve", "smith", "m", 12, None,
+                     "york st", R.SON),
+    ]
+    return CensusDataset.from_records(1871, records)
+
+
+def build_1881_dataset() -> CensusDataset:
+    """The 1881 snapshot: John Riley died, Alice married Steve (household
+    c), Mary was born, and a look-alike Ashworth family (household d)
+    moved into the district."""
+    records = [
+        PersonRecord("1881_1", "a81", "john", "ashworth", "m", 49, "weaver",
+                     "bacup rd", R.HEAD),
+        PersonRecord("1881_2", "a81", "elizabeth", "ashworth", "f", 47, None,
+                     "bacup rd", R.WIFE),
+        PersonRecord("1881_3", "a81", "william", "ashworth", "m", 12, None,
+                     "bacup rd", R.SON),
+        PersonRecord("1881_4", "b81", "john", "smith", "m", 54, "miner",
+                     "york st", R.HEAD),
+        PersonRecord("1881_5", "b81", "elizabeth", "smith", "f", 51, None,
+                     "york st", R.WIFE),
+        PersonRecord("1881_6", "c81", "steve", "smith", "m", 22, "weaver",
+                     "mill ln", R.HEAD),
+        PersonRecord("1881_7", "c81", "alice", "smith", "f", 18, None,
+                     "mill ln", R.WIFE),
+        PersonRecord("1881_8", "c81", "mary", "smith", "f", 1, None,
+                     "mill ln", R.DAUGHTER),
+        PersonRecord("1881_9", "d81", "john", "ashworth", "m", 41, "farmer",
+                     "moor end", R.HEAD),
+        PersonRecord("1881_10", "d81", "elizabeth", "ashworth", "f", 40, None,
+                     "moor end", R.WIFE),
+        PersonRecord("1881_11", "d81", "william", "ashworth", "m", 15, None,
+                     "moor end", R.SON),
+    ]
+    return CensusDataset.from_records(1881, records)
+
+
+@pytest.fixture
+def census_1871() -> CensusDataset:
+    return build_1871_dataset()
+
+
+@pytest.fixture
+def census_1881() -> CensusDataset:
+    return build_1881_dataset()
+
+
+@pytest.fixture
+def example_config() -> LinkageConfig:
+    """Configuration suited to the tiny running example: exact candidate
+    generation and a relaxed remaining threshold (so that Alice's
+    surname change is recoverable)."""
+    return LinkageConfig(
+        blocking="cross",
+        remaining_threshold=0.6,
+        stop_on_empty_round=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_series():
+    """A session-cached 3-snapshot synthetic series (fast, deterministic)."""
+    return generate_series(
+        GeneratorConfig(seed=99, num_snapshots=3, initial_households=60)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_pair():
+    """A session-cached 2-snapshot pair for linkage tests."""
+    return generate_series(
+        GeneratorConfig(
+            seed=7, start_year=1871, num_snapshots=2, initial_households=80
+        )
+    )

@@ -1,0 +1,141 @@
+"""Unit tests for blocking (candidate-pair generation)."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.blocking.pairs import (
+    pairs_above_threshold,
+    pairs_completeness,
+    reduction_ratio,
+    score_pairs,
+)
+from repro.blocking.sorted_neighbourhood import SortedNeighbourhoodBlocker
+from repro.blocking.standard import (
+    CrossProductBlocker,
+    StandardBlocker,
+    firstname_soundex_key,
+    surname_soundex_initial_key,
+    surname_soundex_key,
+)
+from repro.model.records import PersonRecord
+from repro.similarity.vector import build_similarity_function
+
+
+def record(record_id, first, last, household="h1"):
+    return PersonRecord(record_id, household, first, last, "m", 30, role=R.HEAD)
+
+
+OLD = [
+    record("o1", "john", "ashworth"),
+    record("o2", "mary", "smith"),
+    record("o3", "robert", "holt"),
+]
+NEW = [
+    record("n1", "john", "ashworthe"),  # surname variant
+    record("n2", "mary", "taylor"),  # surname changed (marriage)
+    record("n3", "orbert", "holt"),  # first-letter typo
+]
+
+
+class TestKeyFunctions:
+    def test_surname_soundex_key(self):
+        assert surname_soundex_key(OLD[0]) == "A263"
+
+    def test_initial_key_includes_first_letter(self):
+        assert surname_soundex_initial_key(OLD[0]).endswith("|j")
+
+    def test_firstname_key(self):
+        assert firstname_soundex_key(OLD[1]) == firstname_soundex_key(NEW[1])
+
+    def test_missing_attributes_give_empty_key(self):
+        ghost = PersonRecord("x", "h", None, None, role=R.HEAD)
+        assert surname_soundex_key(ghost) == ""
+
+
+class TestStandardBlocker:
+    def test_surname_variant_survives(self):
+        pairs = StandardBlocker().candidate_pairs(OLD, NEW)
+        assert ("o1", "n1") in pairs
+
+    def test_surname_change_recovered_by_firstname_pass(self):
+        pairs = StandardBlocker().candidate_pairs(OLD, NEW)
+        assert ("o2", "n2") in pairs
+
+    def test_first_letter_typo_recovered_by_surname_pass(self):
+        pairs = StandardBlocker().candidate_pairs(OLD, NEW)
+        assert ("o3", "n3") in pairs
+
+    def test_unrelated_names_excluded(self):
+        pairs = StandardBlocker().candidate_pairs(OLD, NEW)
+        assert ("o1", "n2") not in pairs
+
+    def test_empty_key_never_blocks(self):
+        ghost = PersonRecord("gx", "h", None, None, role=R.HEAD)
+        pairs = StandardBlocker().candidate_pairs([ghost], NEW)
+        assert not pairs
+
+    def test_max_block_size_skips_heavy_blocks(self):
+        many_old = [record(f"o{i}", "john", "smith") for i in range(5)]
+        many_new = [record(f"n{i}", "john", "smith") for i in range(5)]
+        unlimited = StandardBlocker().candidate_pairs(many_old, many_new)
+        limited = StandardBlocker(max_block_size=3).candidate_pairs(
+            many_old, many_new
+        )
+        assert len(unlimited) == 25
+        assert len(limited) == 0
+
+    def test_requires_key_functions(self):
+        with pytest.raises(ValueError):
+            StandardBlocker(key_functions=())
+
+
+class TestCrossProduct:
+    def test_all_pairs(self):
+        pairs = CrossProductBlocker().candidate_pairs(OLD, NEW)
+        assert len(pairs) == 9
+
+
+class TestSortedNeighbourhood:
+    def test_window_finds_near_sorted_names(self):
+        pairs = SortedNeighbourhoodBlocker(window_size=4).candidate_pairs(OLD, NEW)
+        assert ("o1", "n1") in pairs
+
+    def test_only_cross_dataset_pairs(self):
+        pairs = SortedNeighbourhoodBlocker(window_size=10).candidate_pairs(OLD, NEW)
+        for old_id, new_id in pairs:
+            assert old_id.startswith("o")
+            assert new_id.startswith("n")
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SortedNeighbourhoodBlocker(window_size=1)
+
+    def test_larger_window_superset(self):
+        small = SortedNeighbourhoodBlocker(window_size=2).candidate_pairs(OLD, NEW)
+        large = SortedNeighbourhoodBlocker(window_size=6).candidate_pairs(OLD, NEW)
+        assert small <= large
+
+
+class TestPairUtilities:
+    def test_score_pairs(self):
+        func = build_similarity_function(
+            [("first_name", "qgram", 0.5), ("surname", "qgram", 0.5)], 0.5
+        )
+        old_index = {r.record_id: r for r in OLD}
+        new_index = {r.record_id: r for r in NEW}
+        scores = score_pairs([("o1", "n1")], old_index, new_index, func)
+        assert scores[("o1", "n1")] > 0.8
+
+    def test_pairs_above_threshold_sorted(self):
+        scores = {("b", "y"): 0.9, ("a", "x"): 0.8, ("c", "z"): 0.1}
+        assert pairs_above_threshold(scores, 0.5) == [("a", "x"), ("b", "y")]
+
+    def test_reduction_ratio(self):
+        assert reduction_ratio(10, 10, 10) == pytest.approx(0.9)
+        assert reduction_ratio(0, 0, 10) == 0.0
+
+    def test_pairs_completeness(self):
+        candidates = {("o1", "n1"), ("o2", "n2")}
+        assert pairs_completeness(candidates, [("o1", "n1")]) == 1.0
+        assert pairs_completeness(candidates, [("o1", "n1"), ("o3", "n3")]) == 0.5
+        assert pairs_completeness(candidates, []) == 1.0

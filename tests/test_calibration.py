@@ -1,0 +1,128 @@
+"""Tests for the grid-search calibration utility."""
+
+import pytest
+
+from repro.core.config import LinkageConfig
+from repro.evaluation.calibration import (
+    GROUP_F,
+    MEAN_F,
+    RECORD_F,
+    GridPoint,
+    grid_search,
+)
+from repro.evaluation.metrics import QualityResult
+
+
+@pytest.fixture(scope="module")
+def workload(small_pair_module):
+    old, new = small_pair_module.datasets
+    truth_records = small_pair_module.ground_truth.record_mapping(
+        old.year, new.year
+    )
+    truth_groups = small_pair_module.ground_truth.group_mapping(
+        old.year, new.year
+    )
+    return old, new, truth_records, truth_groups
+
+
+@pytest.fixture(scope="module")
+def small_pair_module():
+    from repro.datagen import generate_series, GeneratorConfig
+
+    return generate_series(
+        GeneratorConfig(
+            seed=7, start_year=1871, num_snapshots=2, initial_households=60
+        )
+    )
+
+
+class TestGridSearch:
+    def test_all_points_evaluated(self, workload):
+        old, new, truth_records, truth_groups = workload
+        result = grid_search(
+            old, new, truth_records,
+            grid={"delta_low": (0.45, 0.5), "remaining_threshold": (0.7, 0.8)},
+            reference_groups=truth_groups,
+        )
+        assert len(result.points) == 4
+        assert result.best.objective(result.target) == max(
+            point.objective(result.target) for point in result.points
+        )
+
+    def test_invalid_combinations_skipped(self, workload):
+        old, new, truth_records, _ = workload
+        result = grid_search(
+            old, new, truth_records,
+            grid={"alpha": (0.5, 0.9), "beta": (0.5, 0.9)},
+            target=RECORD_F,
+        )
+        # (0.9, 0.5), (0.5, 0.9) and (0.9, 0.9) violate alpha+beta <= 1.
+        assert len(result.points) == 1
+
+    def test_unknown_field_rejected(self, workload):
+        old, new, truth_records, _ = workload
+        with pytest.raises(ValueError):
+            grid_search(old, new, truth_records, grid={"gamma": (1,)})
+
+    def test_empty_values_rejected(self, workload):
+        old, new, truth_records, _ = workload
+        with pytest.raises(ValueError):
+            grid_search(old, new, truth_records, grid={"alpha": ()})
+
+    def test_unknown_target_rejected(self, workload):
+        old, new, truth_records, _ = workload
+        with pytest.raises(ValueError):
+            grid_search(old, new, truth_records, grid={"alpha": (0.2,)},
+                        target="accuracy")
+
+    def test_target_degrades_without_group_reference(self, workload):
+        old, new, truth_records, _ = workload
+        result = grid_search(
+            old, new, truth_records, grid={"delta_low": (0.5,)}, target=MEAN_F
+        )
+        assert result.target == RECORD_F
+
+    def test_progress_callback(self, workload):
+        old, new, truth_records, _ = workload
+        seen = []
+        grid_search(
+            old, new, truth_records,
+            grid={"delta_low": (0.45, 0.5)},
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_best_config_materialises(self, workload):
+        old, new, truth_records, _ = workload
+        result = grid_search(
+            old, new, truth_records, grid={"delta_low": (0.45, 0.5)}
+        )
+        config = result.best.as_config()
+        assert isinstance(config, LinkageConfig)
+        assert config.delta_low in (0.45, 0.5)
+
+    def test_top_returns_sorted_prefix(self, workload):
+        old, new, truth_records, _ = workload
+        result = grid_search(
+            old, new, truth_records,
+            grid={"remaining_threshold": (0.6, 0.75, 0.9)},
+        )
+        top2 = result.top(2)
+        assert len(top2) == 2
+        assert top2[0].objective(result.target) >= top2[1].objective(
+            result.target
+        )
+
+
+class TestGridPoint:
+    def test_objectives(self):
+        point = GridPoint(
+            overrides=(("alpha", 0.2),),
+            record=QualityResult(8, 2, 2),
+            group=QualityResult(6, 4, 4),
+        )
+        assert point.objective(RECORD_F) == pytest.approx(0.8)
+        assert point.objective(GROUP_F) == pytest.approx(0.6)
+        assert point.objective(MEAN_F) == pytest.approx(0.7)
+        with pytest.raises(ValueError):
+            point.objective("precision")

@@ -1,0 +1,105 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.model import io as model_io
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    code = main([
+        "generate",
+        "--out", str(tmp_path),
+        "--households", "40",
+        "--snapshots", "2",
+        "--seed", "13",
+    ])
+    assert code == 0
+    return tmp_path
+
+
+class TestGenerate:
+    def test_files_written(self, data_dir):
+        assert (data_dir / "census_1871.csv").exists()
+        assert (data_dir / "census_1881.csv").exists()
+        assert (data_dir / "truth_records_1871_1881.csv").exists()
+        assert (data_dir / "truth_groups_1871_1881.csv").exists()
+
+    def test_datasets_loadable(self, data_dir):
+        dataset = model_io.read_dataset(data_dir / "census_1871.csv")
+        assert dataset.year == 1871
+        assert len(dataset) > 50
+
+
+class TestLink:
+    def test_link_and_outputs(self, data_dir, capsys):
+        records_path = data_dir / "pred_records.csv"
+        groups_path = data_dir / "pred_groups.csv"
+        code = main([
+            "link",
+            str(data_dir / "census_1871.csv"),
+            str(data_dir / "census_1881.csv"),
+            "--records", str(records_path),
+            "--groups", str(groups_path),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "record links" in output
+        predicted = model_io.read_record_mapping(records_path)
+        assert len(predicted) > 0
+        groups = model_io.read_group_mapping(groups_path)
+        assert len(groups) > 0
+
+
+class TestEvaluate:
+    def test_evaluate_prints_quality(self, data_dir, capsys):
+        records_path = data_dir / "pred_records.csv"
+        main([
+            "link",
+            str(data_dir / "census_1871.csv"),
+            str(data_dir / "census_1881.csv"),
+            "--records", str(records_path),
+        ])
+        capsys.readouterr()
+        code = main([
+            "evaluate",
+            str(records_path),
+            str(data_dir / "truth_records_1871_1881.csv"),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "P=" in output and "F=" in output
+
+
+class TestEvolve:
+    def test_evolve_over_series(self, tmp_path, capsys):
+        main([
+            "generate",
+            "--out", str(tmp_path),
+            "--households", "30",
+            "--snapshots", "3",
+            "--start-year", "1851",
+        ])
+        capsys.readouterr()
+        code = main([
+            "evolve",
+            str(tmp_path / "census_1851.csv"),
+            str(tmp_path / "census_1861.csv"),
+            str(tmp_path / "census_1871.csv"),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "preserve_G" in output
+        assert "Largest connected component" in output
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_link_defaults(self):
+        args = build_parser().parse_args(["link", "a.csv", "b.csv"])
+        assert args.delta_high == 0.7
+        assert args.beta == 0.7

@@ -1,0 +1,132 @@
+"""Tests for the pre-matching clustering strategies."""
+
+import pytest
+
+from repro.core.clustering import (
+    ALL_STRATEGIES,
+    CENTER,
+    CONNECTED_COMPONENTS,
+    STAR,
+    cluster_records,
+)
+
+IDS = ["a", "b", "c", "d", "e"]
+
+
+def clusters_of(strategy, scores, threshold=0.5, ids=IDS):
+    return cluster_records(ids, scores, threshold, strategy)
+
+
+class TestConnectedComponents:
+    def test_chains_merge(self):
+        scores = {("a", "b"): 0.9, ("b", "c"): 0.6}
+        clusters = clusters_of(CONNECTED_COMPONENTS, scores)
+        assert ["a", "b", "c"] in clusters
+
+    def test_threshold_filters(self):
+        scores = {("a", "b"): 0.4}
+        clusters = clusters_of(CONNECTED_COMPONENTS, scores)
+        assert ["a"] in clusters and ["b"] in clusters
+
+    def test_singletons_for_unmatched(self):
+        clusters = clusters_of(CONNECTED_COMPONENTS, {})
+        assert clusters == [["a"], ["b"], ["c"], ["d"], ["e"]]
+
+
+class TestCenterClustering:
+    def test_chain_broken_at_center(self):
+        """b joins a's cluster; c is only similar to b (a satellite), so
+        it cannot chain in — the mega-cluster problem is avoided."""
+        scores = {("a", "b"): 0.9, ("b", "c"): 0.8}
+        clusters = clusters_of(CENTER, scores)
+        assert ["a", "b"] in clusters
+        assert ["c"] in clusters
+
+    def test_join_via_center_allowed(self):
+        scores = {("a", "b"): 0.9, ("a", "c"): 0.8}
+        clusters = clusters_of(CENTER, scores)
+        assert ["a", "b", "c"] in clusters
+
+    def test_deterministic(self):
+        scores = {("a", "b"): 0.9, ("b", "c"): 0.8, ("c", "d"): 0.7}
+        assert clusters_of(CENTER, scores) == clusters_of(CENTER, scores)
+
+
+class TestStarClustering:
+    def test_satellite_prefers_best_center(self):
+        # Two stars a and d; c is adjacent to both centers — it must
+        # join the better-scoring one (d).
+        scores = {
+            ("a", "b"): 0.95,
+            ("d", "e"): 0.9,
+            ("a", "c"): 0.6,
+            ("c", "d"): 0.8,
+        }
+        clusters = clusters_of(STAR, scores)
+        cluster_with_c = next(group for group in clusters if "c" in group)
+        assert "d" in cluster_with_c
+
+    def test_chain_broken_at_satellite(self):
+        scores = {("a", "b"): 0.9, ("b", "c"): 0.8}
+        clusters = clusters_of(STAR, scores)
+        assert ["c"] in clusters
+
+    def test_every_record_exactly_once(self):
+        scores = {
+            ("a", "b"): 0.9,
+            ("b", "c"): 0.85,
+            ("c", "d"): 0.8,
+            ("d", "e"): 0.75,
+        }
+        clusters = clusters_of(STAR, scores)
+        flattened = sorted(record for group in clusters for record in group)
+        assert flattened == IDS
+
+
+class TestCommon:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            cluster_records(IDS, {}, 0.5, "agglomerative")
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_partition_property(self, strategy):
+        scores = {
+            ("a", "b"): 0.9,
+            ("b", "c"): 0.7,
+            ("a", "d"): 0.55,
+            ("d", "e"): 0.5,
+        }
+        clusters = cluster_records(IDS, scores, 0.5, strategy)
+        flattened = sorted(record for group in clusters for record in group)
+        assert flattened == IDS
+
+    @pytest.mark.parametrize("strategy", (CENTER, STAR))
+    def test_finer_than_connected_components(self, strategy):
+        scores = {
+            ("a", "b"): 0.9,
+            ("b", "c"): 0.8,
+            ("c", "d"): 0.7,
+            ("d", "e"): 0.6,
+        }
+        fine = cluster_records(IDS, scores, 0.5, strategy)
+        coarse = cluster_records(IDS, scores, 0.5, CONNECTED_COMPONENTS)
+        assert len(fine) >= len(coarse)
+        # Every fine cluster lies inside one coarse cluster.
+        coarse_of = {
+            record: index
+            for index, group in enumerate(coarse)
+            for record in group
+        }
+        for group in fine:
+            assert len({coarse_of[record] for record in group}) == 1
+
+    def test_pipeline_accepts_all_strategies(self, census_1871, census_1881,
+                                             example_config):
+        import dataclasses
+
+        from repro.core.pipeline import link_datasets
+
+        for strategy in ALL_STRATEGIES:
+            config = dataclasses.replace(example_config, clustering=strategy)
+            result = link_datasets(census_1871, census_1881, config)
+            assert ("1871_1", "1881_1") in result.record_mapping

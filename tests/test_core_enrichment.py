@@ -1,0 +1,96 @@
+"""Unit tests for group enrichment (Section 3.1)."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.core.enrichment import (
+    age_difference,
+    complete_groups,
+    enrich_household,
+    restrict_household,
+)
+from repro.model.records import PersonRecord
+
+
+class TestAgeDifference:
+    def test_absolute(self):
+        old = PersonRecord("r1", "h", age=39, role=R.HEAD)
+        young = PersonRecord("r2", "h", age=8, role=R.DAUGHTER)
+        assert age_difference(old, young) == 31
+        assert age_difference(young, old) == 31
+
+    def test_missing_age(self):
+        old = PersonRecord("r1", "h", age=None, role=R.HEAD)
+        young = PersonRecord("r2", "h", age=8, role=R.DAUGHTER)
+        assert age_difference(old, young) is None
+
+
+class TestEnrichHousehold:
+    def test_complete_graph(self, census_1871):
+        enriched = enrich_household(census_1871.household("a71"))
+        assert enriched.size == 5
+        assert enriched.num_relationships == 10  # C(5,2)
+        assert enriched.is_complete_graph()
+
+    def test_original_untouched(self, census_1871):
+        household = census_1871.household("a71")
+        enrich_household(household)
+        assert household.num_relationships == 0
+
+    def test_fig2_smith_family(self, census_1871):
+        """Fig. 2: the Smith household b71 gains the Elizabeth-Steve edge
+        with a unified parent-child type and the age difference."""
+        enriched = enrich_household(census_1871.household("b71"))
+        rel = enriched.get_relationship("1871_7", "1871_8")
+        assert rel is not None
+        assert rel.rel_type == R.PARENT_CHILD
+        assert rel.age_diff == 29  # 41 - 12
+        assert rel.derived  # neither endpoint is the head
+
+    def test_head_edges_not_marked_derived(self, census_1871):
+        enriched = enrich_household(census_1871.household("b71"))
+        rel = enriched.get_relationship("1871_6", "1871_7")
+        assert rel is not None
+        assert rel.rel_type == R.SPOUSE
+        assert not rel.derived
+
+    def test_age_diff_example_from_paper(self, census_1871):
+        """§2: John (39) and his daughter Alice (8) differ by 31 years."""
+        enriched = enrich_household(census_1871.household("a71"))
+        rel = enriched.get_relationship("1871_1", "1871_3")
+        assert rel.age_diff == 31
+        assert rel.rel_type == R.PARENT_CHILD
+
+    def test_sibling_derivation(self, census_1871):
+        """§2: Alice and William are siblings with age difference 6."""
+        enriched = enrich_household(census_1871.household("a71"))
+        rel = enriched.get_relationship("1871_3", "1871_4")
+        assert rel.rel_type == R.SIBLING
+        assert rel.age_diff == 6
+
+    def test_singleton_household(self):
+        record = PersonRecord("r1", "h1", "john", "smith", "m", 40, role=R.HEAD)
+        from repro.model.households import Household
+
+        enriched = enrich_household(Household.from_members("h1", [record]))
+        assert enriched.num_relationships == 0
+
+
+class TestCompleteGroups:
+    def test_enriches_every_household(self, census_1881):
+        enriched = complete_groups(census_1881)
+        assert set(enriched) == {"a81", "b81", "c81", "d81"}
+        for household in enriched.values():
+            assert household.is_complete_graph()
+
+
+class TestRestrictHousehold:
+    def test_induced_subgraph(self, census_1871):
+        enriched = enrich_household(census_1871.household("a71"))
+        restricted = restrict_household(enriched, {"1871_1", "1871_2", "1871_3"})
+        assert restricted.size == 3
+        assert restricted.num_relationships == 3
+
+    def test_empty_restriction(self, census_1871):
+        enriched = enrich_household(census_1871.household("a71"))
+        assert restrict_household(enriched, set()).size == 0

@@ -1,0 +1,114 @@
+"""Unit tests for pre-matching (Section 3.2), including Fig. 3."""
+
+import pytest
+
+from repro.blocking.standard import CrossProductBlocker
+from repro.core.prematching import prematching
+from repro.similarity.vector import build_similarity_function
+
+NAME_FUNC = build_similarity_function(
+    [("first_name", "qgram", 0.5), ("surname", "qgram", 0.5)], 1.0
+)
+
+
+def run_prematch(census_1871, census_1881, func=NAME_FUNC):
+    return prematching(
+        list(census_1871.iter_records()),
+        list(census_1881.iter_records()),
+        func,
+        CrossProductBlocker(),
+    )
+
+
+class TestFig3Clusters:
+    """The running example with ω = (0.5, 0.5) on names and δ = 1 must
+    reproduce the ten clusters of Fig. 3."""
+
+    def test_number_of_clusters(self, census_1871, census_1881):
+        result = run_prematch(census_1871, census_1881)
+        assert result.num_clusters == 10
+
+    def test_john_ashworth_cluster(self, census_1871, census_1881):
+        result = run_prematch(census_1871, census_1881)
+        assert result.cluster_of("1871_1") == ["1871_1", "1881_1", "1881_9"]
+
+    def test_elizabeth_ashworth_cluster(self, census_1871, census_1881):
+        result = run_prematch(census_1871, census_1881)
+        assert result.cluster_of("1871_2") == ["1871_2", "1881_10", "1881_2"]
+
+    def test_smith_clusters(self, census_1871, census_1881):
+        result = run_prematch(census_1871, census_1881)
+        assert result.cluster_of("1871_6") == ["1871_6", "1881_4"]
+        assert result.cluster_of("1871_8") == ["1871_8", "1881_6"]
+
+    def test_singletons(self, census_1871, census_1881):
+        result = run_prematch(census_1871, census_1881)
+        # John Riley (H), Alice Ashworth (I), Alice Smith (K), Mary (G).
+        for record_id in ("1871_5", "1871_3", "1881_7", "1881_8"):
+            assert result.cluster_of(record_id) == [record_id]
+
+    def test_alice_records_have_different_labels(self, census_1871, census_1881):
+        result = run_prematch(census_1871, census_1881)
+        assert not result.same_label("1871_3", "1881_7")
+
+
+class TestPreMatchResult:
+    def test_every_record_labelled(self, census_1871, census_1881):
+        result = run_prematch(census_1871, census_1881)
+        total = len(census_1871) + len(census_1881)
+        assert len(result.labels) == total
+
+    def test_cluster_size(self, census_1871, census_1881):
+        result = run_prematch(census_1871, census_1881)
+        assert result.cluster_size("1871_1") == 3
+        assert result.cluster_size("1871_5") == 1
+
+    def test_matched_pairs_above_threshold(self, census_1871, census_1881):
+        result = run_prematch(census_1871, census_1881)
+        assert ("1871_1", "1881_1") in result.matched_pairs
+        assert ("1871_3", "1881_7") not in result.matched_pairs
+
+    def test_pair_sim_lazy_computation(self, census_1871, census_1881):
+        result = run_prematch(census_1871, census_1881)
+        # Alice/Alice is not a candidate at δ=1 but can still be scored.
+        value = result.pair_sim("1871_3", "1881_7")
+        assert 0.0 < value < 1.0
+
+    def test_relaxed_threshold_merges_more(self, census_1871, census_1881):
+        relaxed = build_similarity_function(
+            [("first_name", "qgram", 0.5), ("surname", "qgram", 0.5)], 0.5
+        )
+        result = run_prematch(census_1871, census_1881, relaxed)
+        assert result.num_clusters < 10
+        # At δ = 0.5 Alice Ashworth and Alice Smith share a cluster.
+        assert result.same_label("1871_3", "1881_7")
+
+    def test_cached_scores_reused(self, census_1871, census_1881):
+        cache = {}
+        old = list(census_1871.iter_records())
+        new = list(census_1881.iter_records())
+        blocker = CrossProductBlocker()
+        first = prematching(old, new, NAME_FUNC, blocker, cached_scores=cache)
+        assert cache  # populated
+        poisoned = dict(cache)
+        key = ("1871_1", "1881_1")
+        cache[key] = 0.0  # prove the cache is consulted
+        second = prematching(old, new, NAME_FUNC, blocker, cached_scores=cache)
+        assert key not in second.matched_pairs
+        cache.update(poisoned)
+
+    def test_cached_pairs_filtered_to_current_records(
+        self, census_1871, census_1881
+    ):
+        old = list(census_1871.iter_records())[:2]
+        new = list(census_1881.iter_records())
+        pairs = {("1871_1", "1881_1"), ("1871_9999", "1881_1")}
+        result = prematching(old, new, NAME_FUNC, CrossProductBlocker(),
+                             cached_pairs=pairs)
+        assert ("1871_1", "1881_1") in result.matched_pairs
+
+    def test_multi_record_clusters(self, census_1871, census_1881):
+        result = run_prematch(census_1871, census_1881)
+        multi = result.multi_record_clusters()
+        assert all(len(members) > 1 for members in multi.values())
+        assert len(multi) == 6  # clusters A-F of Fig. 3

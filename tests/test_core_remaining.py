@@ -1,0 +1,108 @@
+"""Unit tests for the remaining-records matcher (Alg. 1, line 17)."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.blocking.standard import CrossProductBlocker
+from repro.core.remaining import match_remaining
+from repro.model.records import PersonRecord
+from repro.similarity.vector import build_similarity_function
+
+FUNC = build_similarity_function(
+    [("first_name", "qgram", 0.5), ("surname", "qgram", 0.5)], 0.8
+)
+
+
+def record(record_id, first, last, age=30, household="h1"):
+    return PersonRecord(record_id, household, first, last, "m", age, role=R.HEAD)
+
+
+def run(old, new, func=FUNC, margin=0.0, max_age=3.0):
+    return match_remaining(
+        old, new, func, CrossProductBlocker(), 10, max_age, margin
+    )
+
+
+class TestBasicMatching:
+    def test_clear_match(self):
+        mapping = run([record("o1", "john", "smith")],
+                      [record("n1", "john", "smith", age=40)])
+        assert mapping.pairs() == [("o1", "n1")]
+
+    def test_below_threshold_excluded(self):
+        mapping = run([record("o1", "john", "smith")],
+                      [record("n1", "amos", "varley", age=40)])
+        assert len(mapping) == 0
+
+    def test_one_to_one_enforced(self):
+        old = [record("o1", "john", "smith"), record("o2", "john", "smith", age=31)]
+        new = [record("n1", "john", "smith", age=40)]
+        mapping = run(old, new)
+        assert len(mapping) == 1
+
+    def test_greedy_prefers_higher_score(self):
+        old = [record("o1", "john", "smith")]
+        new = [
+            record("n1", "john", "smith", age=40),
+            record("n2", "john", "smyth", age=40),
+        ]
+        mapping = run(old, new)
+        assert mapping.get_new("o1") == "n1"
+
+
+class TestAgeFilter:
+    def test_impossible_age_rejected(self):
+        mapping = run([record("o1", "john", "smith", age=10)],
+                      [record("n1", "john", "smith", age=50)])
+        assert len(mapping) == 0
+
+    def test_missing_age_passes_filter(self):
+        old = [record("o1", "john", "smith", age=None)]
+        mapping = run(old, [record("n1", "john", "smith", age=50)])
+        assert len(mapping) == 1
+
+    def test_boundary_deviation_allowed(self):
+        mapping = run([record("o1", "john", "smith", age=30)],
+                      [record("n1", "john", "smith", age=43)])
+        assert len(mapping) == 1  # deviation exactly 3
+
+
+class TestAmbiguityMargin:
+    def test_tied_candidates_skipped(self):
+        old = [record("o1", "john", "smith")]
+        new = [
+            record("n1", "john", "smith", age=40),
+            record("n2", "john", "smith", age=41),
+        ]
+        assert len(run(old, new, margin=0.0)) == 1
+        assert len(run(old, new, margin=0.05)) == 0
+
+    def test_clear_winner_passes_margin(self):
+        old = [record("o1", "john", "smith")]
+        new = [
+            record("n1", "john", "smith", age=40),
+            record("n2", "john", "varley", age=40),
+        ]
+        assert len(run(old, new, margin=0.05)) == 1
+
+    def test_margin_checked_on_old_side_too(self):
+        old = [
+            record("o1", "john", "smith"),
+            record("o2", "john", "smith", age=31),
+        ]
+        new = [record("n1", "john", "smith", age=40)]
+        assert len(run(old, new, margin=0.05)) == 0
+
+
+class TestEdgeCases:
+    def test_empty_inputs(self):
+        assert len(run([], [])) == 0
+        assert len(run([record("o1", "a", "b")], [])) == 0
+
+    def test_deterministic_on_equal_scores(self):
+        old = [record("o1", "john", "smith"), record("o2", "john", "smith", age=31)]
+        new = [record("n1", "john", "smith", age=40),
+               record("n2", "john", "smith", age=41)]
+        first = run(old, new).pairs()
+        second = run(old, new).pairs()
+        assert first == second

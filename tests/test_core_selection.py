@@ -1,0 +1,88 @@
+"""Unit tests for greedy group-link selection (Algorithm 2)."""
+
+import pytest
+
+from repro.core.selection import select_group_matches
+from repro.core.subgraph import SubgraphMatch
+from repro.model.mappings import MappingConflictError
+
+
+def subgraph(old_group, new_group, vertices, g_sim, num_anchors=0):
+    return SubgraphMatch(
+        old_group_id=old_group,
+        new_group_id=new_group,
+        vertices=vertices,
+        edges=[],
+        old_edge_total=3,
+        new_edge_total=3,
+        num_anchors=num_anchors,
+        g_sim=g_sim,
+    )
+
+
+class TestSelection:
+    def test_best_candidate_wins(self):
+        good = subgraph("g1", "h1", [("o1", "n1"), ("o2", "n2")], 0.9)
+        bad = subgraph("g1", "h2", [("o1", "n3"), ("o2", "n4")], 0.5)
+        result = select_group_matches([bad, good])
+        assert ("g1", "h1") in result.group_mapping
+        assert ("g1", "h2") not in result.group_mapping
+        assert bad in result.rejected
+
+    def test_disjoint_subgraphs_both_accepted(self):
+        """A household split: the same old group links to two new groups
+        with disjoint record sets (N:M group mapping)."""
+        first = subgraph("g1", "h1", [("o1", "n1"), ("o2", "n2")], 0.9)
+        second = subgraph("g1", "h2", [("o3", "n3"), ("o4", "n4")], 0.8)
+        result = select_group_matches([first, second])
+        assert len(result.group_mapping) == 2
+        assert result.group_mapping.partners_of_old("g1") == {"h1", "h2"}
+
+    def test_overlap_on_new_side_rejected(self):
+        first = subgraph("g1", "h1", [("o1", "n1")], 0.9)
+        second = subgraph("g2", "h1", [("o9", "n1")], 0.8)
+        result = select_group_matches([first, second])
+        assert ("g2", "h1") not in result.group_mapping
+
+    def test_record_mapping_extraction(self):
+        chosen = subgraph("g1", "h1", [("o1", "n1"), ("o2", "n2")], 0.9)
+        result = select_group_matches([chosen])
+        mapping = result.extract_record_mapping()
+        assert mapping.pairs() == [("o1", "n1"), ("o2", "n2")]
+
+    def test_anchors_not_extracted_as_new_links(self):
+        chosen = subgraph(
+            "g1", "h1", [("a1", "b1"), ("o1", "n1")], 0.9, num_anchors=1
+        )
+        result = select_group_matches([chosen])
+        assert result.extract_record_mapping().pairs() == [("o1", "n1")]
+
+    def test_deterministic_tie_break(self):
+        left = subgraph("g1", "h1", [("o1", "n1")], 0.7)
+        right = subgraph("g2", "h2", [("o2", "n2")], 0.7)
+        first_run = select_group_matches([left, right]).group_mapping.pairs()
+        second_run = select_group_matches([right, left]).group_mapping.pairs()
+        assert first_run == second_run
+
+    def test_larger_subgraph_preferred_on_tie(self):
+        small = subgraph("g1", "h2", [("o1", "n9")], 0.7)
+        large = subgraph("g1", "h1", [("o1", "n1"), ("o2", "n2")], 0.7)
+        result = select_group_matches([small, large])
+        assert ("g1", "h1") in result.group_mapping
+        assert ("g1", "h2") not in result.group_mapping
+
+    def test_empty_input(self):
+        result = select_group_matches([])
+        assert len(result.group_mapping) == 0
+        assert result.accepted == []
+
+    def test_all_records_claimed_once(self):
+        subgraphs = [
+            subgraph("g1", "h1", [("o1", "n1"), ("o2", "n2")], 0.9),
+            subgraph("g1", "h2", [("o2", "n3")], 0.8),
+            subgraph("g2", "h1", [("o3", "n2")], 0.7),
+        ]
+        result = select_group_matches(subgraphs)
+        mapping = result.extract_record_mapping()  # must not raise
+        assert mapping.get_new("o2") == "n2"
+        assert not mapping.contains_old("o3")  # n2 already claimed

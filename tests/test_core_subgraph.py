@@ -1,0 +1,171 @@
+"""Unit tests for subgraph matching (Section 3.3, Fig. 4)."""
+
+import pytest
+
+from repro.blocking.standard import CrossProductBlocker
+from repro.core.config import LinkageConfig
+from repro.core.enrichment import complete_groups
+from repro.core.prematching import prematching
+from repro.core.subgraph import (
+    build_all_subgraphs,
+    build_subgraph,
+    candidate_group_pairs,
+)
+from repro.model.mappings import RecordMapping, household_of_map
+from repro.similarity.vector import build_similarity_function
+
+NAME_FUNC = build_similarity_function(
+    [("first_name", "qgram", 0.5), ("surname", "qgram", 0.5)], 1.0
+)
+
+
+@pytest.fixture
+def setup(census_1871, census_1881):
+    prematch = prematching(
+        list(census_1871.iter_records()),
+        list(census_1881.iter_records()),
+        NAME_FUNC,
+        CrossProductBlocker(),
+    )
+    enriched_old = complete_groups(census_1871)
+    enriched_new = complete_groups(census_1881)
+    config = LinkageConfig(blocking="cross")
+    return prematch, enriched_old, enriched_new, config
+
+
+class TestFig4:
+    def test_true_pair_keeps_three_vertices(self, setup):
+        prematch, old, new, config = setup
+        subgraph = build_subgraph(old["a71"], new["a81"], prematch, config)
+        assert subgraph is not None
+        assert subgraph.size == 3
+        assert subgraph.old_record_ids == {"1871_1", "1871_2", "1871_4"}
+        assert subgraph.new_record_ids == {"1881_1", "1881_2", "1881_3"}
+        assert len(subgraph.edges) == 3
+
+    def test_decoy_pair_reduced(self, setup):
+        """(a71, d81) shares labels A, B, C but only the spouse edge has a
+        similar age difference, so the subgraph shrinks (Fig. 4, right).
+        Reproduced with the record-level age filter relaxed to the
+        paper's setting (it would otherwise drop John and Elizabeth as vertices and
+        reject the decoy outright — see TestAgeFilters)."""
+        prematch, old, new, _ = setup
+        relaxed = LinkageConfig(blocking="cross", max_normalised_age_difference=99.0)
+        subgraph = build_subgraph(old["a71"], new["d81"], prematch, relaxed)
+        assert subgraph is not None
+        assert subgraph.size == 2  # John + Elizabeth only
+        assert subgraph.old_record_ids == {"1871_1", "1871_2"}
+        assert len(subgraph.edges) == 1
+
+    def test_decoy_pair_rejected_with_default_age_filter(self, setup):
+        """With the default footnote-2 vertex filter, the decoy loses
+        Elizabeth (37 -> 40 is a 7-year deviation) and then every edge:
+        the decoy household is rejected before scoring even starts."""
+        prematch, old, new, config = setup
+        assert build_subgraph(old["a71"], new["d81"], prematch, config) is None
+
+    def test_edge_totals_record_full_graph_sizes(self, setup):
+        prematch, old, new, config = setup
+        subgraph = build_subgraph(old["a71"], new["a81"], prematch, config)
+        assert subgraph.old_edge_total == 10  # 5 members
+        assert subgraph.new_edge_total == 3  # 3 members
+
+    def test_unrelated_pair_yields_none(self, setup):
+        prematch, old, new, config = setup
+        assert build_subgraph(old["b71"], new["a81"], prematch, config) is None
+
+    def test_single_shared_member_pruned(self, setup):
+        """(b71, c81) shares only Steve; with no matching edge the vertex
+        is pruned and no subgraph remains (movers are left to the
+        remaining pass)."""
+        prematch, old, new, config = setup
+        assert build_subgraph(old["b71"], new["c81"], prematch, config) is None
+
+    def test_singleton_allowed_when_configured(self, setup):
+        prematch, old, new, config = setup
+        config.allow_singleton_subgraphs = True
+        subgraph = build_subgraph(old["b71"], new["c81"], prematch, config)
+        assert subgraph is not None
+        assert subgraph.size == 1
+        assert not subgraph.edges
+
+
+class TestAgeFilters:
+    def test_vertex_age_filter(self, setup, census_1871, census_1881):
+        """A pair whose normalised age difference exceeds the bound must
+        not become a vertex even with identical names (footnote 2)."""
+        prematch, old, new, config = setup
+        # William Ashworth 1871 (age 2) vs the d-household William (15):
+        # expected age 12, deviation 3 -> allowed; tighten the config to
+        # exclude it and the vertex disappears.
+        config.max_normalised_age_difference = 2.0
+        subgraph = build_subgraph(old["a71"], new["d81"], prematch, config)
+        assert subgraph is None or "1871_4" not in subgraph.old_record_ids
+
+    def test_edge_age_deviation_filter(self, setup):
+        prematch, old, new, config = setup
+        config.max_age_diff_deviation = 0.0
+        subgraph = build_subgraph(old["a71"], new["d81"], prematch, config)
+        # The spouse edge (diff 2 vs 1) no longer matches.
+        assert subgraph is None
+
+
+class TestAnchors:
+    def test_anchor_supports_straggler(self, setup):
+        """With John/Elizabeth anchored, William alone still exhibits a
+        matching parent-child edge to his anchored parents."""
+        prematch, old, new, config = setup
+        anchors = [("1871_1", "1881_1"), ("1871_2", "1881_2")]
+        subgraph = build_subgraph(
+            old["a71"], new["a81"], prematch, config, anchors=anchors
+        )
+        assert subgraph is not None
+        assert subgraph.num_anchors == 2
+        assert subgraph.old_record_ids == {"1871_4"}  # only the new link
+        assert subgraph.anchor_vertices == sorted(anchors)
+
+    def test_no_new_vertex_returns_none(self, setup):
+        prematch, old, new, config = setup
+        anchors = [
+            ("1871_1", "1881_1"),
+            ("1871_2", "1881_2"),
+            ("1871_4", "1881_3"),
+        ]
+        assert (
+            build_subgraph(old["a71"], new["a81"], prematch, config, anchors)
+            is None
+        )
+
+
+class TestCandidateGroupPairs:
+    def test_pairs_from_matched_records(self, setup, census_1871, census_1881):
+        prematch, old, new, config = setup
+        pairs = candidate_group_pairs(
+            prematch,
+            household_of_map(census_1871),
+            household_of_map(census_1881),
+        )
+        assert ("a71", "a81") in pairs
+        assert ("a71", "d81") in pairs
+        assert ("b71", "b81") in pairs
+        assert ("b71", "c81") in pairs
+        assert ("a71", "c81") not in pairs  # Alice is not pre-matched at δ=1
+
+    def test_build_all_subgraphs(self, setup):
+        prematch, old, new, config = setup
+        subgraphs = build_all_subgraphs(prematch, old, new, config)
+        keys = {(s.old_group_id, s.new_group_id) for s in subgraphs}
+        # The decoy (a71, d81) is rejected by the default vertex age
+        # filter; (b71, c81) has no surviving edge.
+        assert keys == {("a71", "a81"), ("b71", "b81")}
+
+    def test_build_all_with_record_mapping_anchors(self, setup):
+        prematch, old, new, config = setup
+        mapping = RecordMapping([("1871_1", "1881_1")])
+        subgraphs = build_all_subgraphs(
+            prematch, old, new, config, record_mapping=mapping
+        )
+        target = next(
+            s for s in subgraphs if (s.old_group_id, s.new_group_id) == ("a71", "a81")
+        )
+        assert target.num_anchors == 1

@@ -1,0 +1,142 @@
+"""Tests for the record corruption (data-quality noise) channels."""
+
+import random
+
+import pytest
+
+from repro.datagen.corruption import (
+    SPELLING_VARIANTS,
+    CorruptionParams,
+    RecordCorruptor,
+)
+
+
+def corruptor(seed=1, params=None):
+    return RecordCorruptor(random.Random(seed), params)
+
+
+class TestTypo:
+    def test_typo_changes_string(self):
+        noisy = corruptor()
+        changed = 0
+        for _ in range(50):
+            if noisy.typo("ashworth") != "ashworth":
+                changed += 1
+        assert changed > 40  # a typo nearly always alters the string
+
+    def test_typo_never_empties(self):
+        noisy = corruptor(2)
+        for _ in range(200):
+            assert noisy.typo("ab")
+
+    def test_typo_on_empty_string(self):
+        assert corruptor().typo("") == ""
+
+    def test_typo_length_within_one(self):
+        noisy = corruptor(3)
+        for _ in range(200):
+            result = noisy.typo("elizabeth")
+            assert abs(len(result) - len("elizabeth")) <= 1
+
+
+class TestCorruptString:
+    def test_zero_rates_identity(self):
+        params = CorruptionParams(missing_rates={}, typo_rates={})
+        noisy = corruptor(1, params)
+        assert noisy.corrupt_string("ashworth", "surname") == "ashworth"
+
+    def test_missing_rate_one_drops_value(self):
+        params = CorruptionParams(
+            missing_rates={"surname": 1.0}, typo_rates={}
+        )
+        assert corruptor(1, params).corrupt_string("x", "surname") is None
+
+    def test_typo_rate_one_always_alters(self):
+        params = CorruptionParams(
+            missing_rates={}, typo_rates={"surname": 1.0}, variant_rate=0.0
+        )
+        noisy = corruptor(5, params)
+        results = {noisy.corrupt_string("ashworth", "surname") for _ in range(30)}
+        assert "ashworth" not in results
+
+    def test_variants_applied(self):
+        params = CorruptionParams(
+            missing_rates={}, typo_rates={"surname": 1.0}, variant_rate=1.0
+        )
+        noisy = corruptor(6, params)
+        assert noisy.corrupt_string("smith", "surname") == SPELLING_VARIANTS["smith"]
+
+    def test_none_input_stays_none(self):
+        assert corruptor().corrupt_string(None, "surname") is None
+
+
+class TestCorruptAge:
+    def test_zero_rates_identity(self):
+        params = CorruptionParams(
+            missing_rates={}, age_error_one=0.0, age_error_two=0.0,
+            age_rounding=0.0,
+        )
+        assert corruptor(1, params).corrupt_age(34) == 34
+
+    def test_error_one_shifts_by_one(self):
+        params = CorruptionParams(
+            missing_rates={}, age_error_one=1.0, age_error_two=0.0,
+            age_rounding=0.0,
+        )
+        noisy = corruptor(2, params)
+        results = {noisy.corrupt_age(30) for _ in range(50)}
+        assert results <= {29, 31}
+
+    def test_age_never_negative(self):
+        params = CorruptionParams(
+            missing_rates={}, age_error_one=0.0, age_error_two=1.0,
+            age_rounding=0.0,
+        )
+        noisy = corruptor(3, params)
+        for _ in range(50):
+            assert noisy.corrupt_age(0) >= 0
+
+    def test_rounding_to_five(self):
+        params = CorruptionParams(
+            missing_rates={}, age_error_one=0.0, age_error_two=0.0,
+            age_rounding=1.0,
+        )
+        noisy = corruptor(4, params)
+        assert noisy.corrupt_age(43) == 45
+        assert noisy.corrupt_age(12) == 12  # only adults are rounded
+
+    def test_missing_age(self):
+        params = CorruptionParams(missing_rates={"age": 1.0})
+        assert corruptor(5, params).corrupt_age(30) is None
+        assert corruptor(5, params).corrupt_age(None) is None
+
+
+class TestCorruptSex:
+    def test_missing_sex(self):
+        params = CorruptionParams(missing_rates={"sex": 1.0})
+        assert corruptor(1, params).corrupt_sex("m") is None
+
+    def test_sex_kept_otherwise(self):
+        params = CorruptionParams(missing_rates={"sex": 0.0})
+        assert corruptor(1, params).corrupt_sex("f") == "f"
+
+
+class TestScaled:
+    def test_scaling_multiplies_rates(self):
+        base = CorruptionParams()
+        doubled = base.scaled(2.0)
+        assert doubled.missing_rates["occupation"] == pytest.approx(
+            min(1.0, base.missing_rates["occupation"] * 2)
+        )
+        assert doubled.typo_rates["surname"] == pytest.approx(
+            base.typo_rates["surname"] * 2
+        )
+
+    def test_scaling_clamps_at_one(self):
+        assert CorruptionParams().scaled(1000).age_error_one == 1.0
+
+    def test_zero_scale_disables_noise(self):
+        silent = CorruptionParams().scaled(0.0)
+        noisy = RecordCorruptor(random.Random(1), silent)
+        assert noisy.corrupt_string("ashworth", "surname") == "ashworth"
+        assert noisy.corrupt_age(30) == 30

@@ -1,0 +1,192 @@
+"""Tests for the latent world model (entities and kinship)."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.datagen.entities import World
+
+
+@pytest.fixture
+def family_world():
+    """A three-generation household plus one lodger."""
+    world = World()
+    grandfather = world.new_person(
+        sex="m", birth_year=1800, first_name="john", surname="kay"
+    )
+    head = world.new_person(
+        sex="m", birth_year=1825, first_name="james", surname="kay",
+        father_id=grandfather.entity_id,
+    )
+    wife = world.new_person(
+        sex="f", birth_year=1828, first_name="mary", surname="kay",
+        spouse_id=head.entity_id,
+    )
+    head.spouse_id = wife.entity_id
+    son = world.new_person(
+        sex="m", birth_year=1850, first_name="tom", surname="kay",
+        father_id=head.entity_id, mother_id=wife.entity_id,
+    )
+    daughter = world.new_person(
+        sex="f", birth_year=1852, first_name="ann", surname="kay",
+        father_id=head.entity_id, mother_id=wife.entity_id,
+    )
+    grandchild = world.new_person(
+        sex="f", birth_year=1870, first_name="jane", surname="kay",
+        father_id=son.entity_id,
+    )
+    lodger = world.new_person(
+        sex="m", birth_year=1840, first_name="amos", surname="holt"
+    )
+    household = world.new_household("1 bank st", head.entity_id)
+    for person in (grandfather, wife, son, daughter, grandchild, lodger):
+        world.move_person(person.entity_id, household.entity_id)
+    return world, household, {
+        "grandfather": grandfather, "head": head, "wife": wife,
+        "son": son, "daughter": daughter, "grandchild": grandchild,
+        "lodger": lodger,
+    }
+
+
+class TestRoles:
+    def test_head(self, family_world):
+        world, household, people = family_world
+        assert world.role_relative_to_head(
+            people["head"].entity_id, household.head_id
+        ) == R.HEAD
+
+    def test_wife(self, family_world):
+        world, household, people = family_world
+        assert world.role_relative_to_head(
+            people["wife"].entity_id, household.head_id
+        ) == R.WIFE
+
+    def test_children(self, family_world):
+        world, household, people = family_world
+        assert world.role_relative_to_head(
+            people["son"].entity_id, household.head_id
+        ) == R.SON
+        assert world.role_relative_to_head(
+            people["daughter"].entity_id, household.head_id
+        ) == R.DAUGHTER
+
+    def test_parent(self, family_world):
+        world, household, people = family_world
+        assert world.role_relative_to_head(
+            people["grandfather"].entity_id, household.head_id
+        ) == R.FATHER
+
+    def test_grandchild(self, family_world):
+        world, household, people = family_world
+        assert world.role_relative_to_head(
+            people["grandchild"].entity_id, household.head_id
+        ) == R.GRANDDAUGHTER
+
+    def test_lodger(self, family_world):
+        world, household, people = family_world
+        assert world.role_relative_to_head(
+            people["lodger"].entity_id, household.head_id
+        ) == R.LODGER
+
+    def test_servant_flag(self, family_world):
+        world, household, people = family_world
+        people["lodger"].is_servant = True
+        assert world.role_relative_to_head(
+            people["lodger"].entity_id, household.head_id
+        ) == R.SERVANT
+
+    def test_role_after_rehead(self, family_world):
+        """When the son becomes head, his sister's role changes to
+        sister and his child's to daughter."""
+        world, household, people = family_world
+        household.head_id = people["son"].entity_id
+        assert world.role_relative_to_head(
+            people["daughter"].entity_id, household.head_id
+        ) == R.SISTER
+        assert world.role_relative_to_head(
+            people["grandchild"].entity_id, household.head_id
+        ) == R.DAUGHTER
+        assert world.role_relative_to_head(
+            people["head"].entity_id, household.head_id
+        ) == R.FATHER
+
+
+class TestKinship:
+    def test_children_of(self, family_world):
+        world, _, people = family_world
+        children = world.children_of(people["head"].entity_id)
+        assert {child.first_name for child in children} == {"tom", "ann"}
+
+    def test_siblings(self, family_world):
+        world, _, people = family_world
+        assert world.are_siblings(
+            people["son"].entity_id, people["daughter"].entity_id
+        )
+        assert not world.are_siblings(
+            people["son"].entity_id, people["lodger"].entity_id
+        )
+
+    def test_grandchild(self, family_world):
+        world, _, people = family_world
+        assert world.is_grandchild_of(
+            people["grandchild"].entity_id, people["head"].entity_id
+        )
+        assert not world.is_grandchild_of(
+            people["son"].entity_id, people["head"].entity_id
+        )
+
+
+class TestMembership:
+    def test_move_person(self, family_world):
+        world, household, people = family_world
+        other = world.new_household("2 mill st", world.new_person(
+            sex="m", birth_year=1830, first_name="eli", surname="lord"
+        ).entity_id)
+        world.move_person(people["lodger"].entity_id, other.entity_id)
+        assert people["lodger"].entity_id not in household.member_ids
+        assert people["lodger"].entity_id in other.member_ids
+        assert world.household_of[people["lodger"].entity_id] == other.entity_id
+
+    def test_move_to_same_household_is_noop(self, family_world):
+        world, household, people = family_world
+        before = set(household.member_ids)
+        world.move_person(people["son"].entity_id, household.entity_id)
+        assert set(household.member_ids) == before
+
+    def test_detach_and_drop(self, family_world):
+        world, _, people = family_world
+        loner = world.new_person(
+            sex="f", birth_year=1845, first_name="ada", surname="stott"
+        )
+        home = world.new_household("3 oak st", loner.entity_id)
+        assert world.detach_person(loner.entity_id) == home.entity_id
+        assert world.drop_if_empty(home.entity_id)
+        assert home.entity_id not in world.households
+
+    def test_drop_keeps_populated_household(self, family_world):
+        world, household, _ = family_world
+        assert not world.drop_if_empty(household.entity_id)
+
+    def test_members_sorted(self, family_world):
+        world, household, _ = family_world
+        members = world.members_of(household.entity_id)
+        ids = [person.entity_id for person in members]
+        assert ids == sorted(ids)
+
+
+class TestObservability:
+    def test_dead_person_unobservable(self, family_world):
+        world, _, people = family_world
+        people["lodger"].alive = False
+        assert not people["lodger"].observable
+        assert people["lodger"] not in world.observable_persons()
+
+    def test_emigrated_household_vanishes(self, family_world):
+        world, household, people = family_world
+        for person in people.values():
+            person.present = False
+        assert household not in world.observable_households()
+
+    def test_age_in(self, family_world):
+        _, _, people = family_world
+        assert people["head"].age_in(1875) == 50
+        assert people["head"].age_in(1800) == 0  # clamped, never negative

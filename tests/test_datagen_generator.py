@@ -1,0 +1,114 @@
+"""Tests for census series generation and its ground truth."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.datagen.generator import (
+    CensusSeries,
+    GeneratorConfig,
+    generate_pair,
+    generate_series,
+)
+
+
+class TestGeneratorConfig:
+    def test_years(self):
+        config = GeneratorConfig(start_year=1851, num_snapshots=3, interval=10)
+        assert config.years == [1851, 1861, 1871]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(num_snapshots=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(interval=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(initial_households=0)
+
+
+class TestGenerateSeries:
+    def test_snapshot_years(self, small_series):
+        assert small_series.years == [1851, 1861, 1871]
+
+    def test_datasets_validate(self, small_series):
+        for dataset in small_series.datasets:
+            dataset.validate()
+
+    def test_record_ids_unique_per_year(self, small_series):
+        for dataset in small_series.datasets:
+            assert len(dataset.record_ids) == len(set(dataset.record_ids))
+
+    def test_roles_present(self, small_series):
+        dataset = small_series.datasets[0]
+        roles = {record.role for record in dataset.iter_records()}
+        assert R.HEAD in roles
+        assert roles <= R.ALL_ROLES
+
+    def test_every_household_has_a_head(self, small_series):
+        for dataset in small_series.datasets:
+            for household in dataset.iter_households():
+                assert household.head() is not None
+
+    def test_entity_ids_carried(self, small_series):
+        dataset = small_series.datasets[0]
+        for record in dataset.iter_records():
+            assert record.entity_id is not None
+
+    def test_determinism(self):
+        config = GeneratorConfig(seed=5, num_snapshots=2, initial_households=40)
+        first = generate_series(config)
+        second = generate_series(config)
+        for ds1, ds2 in zip(first.datasets, second.datasets):
+            assert ds1.record_ids == ds2.record_ids
+            assert [r for r in ds1.iter_records()] == [
+                r for r in ds2.iter_records()
+            ]
+
+    def test_different_seeds_differ(self):
+        first = generate_series(GeneratorConfig(seed=1, num_snapshots=1,
+                                                initial_households=40))
+        second = generate_series(GeneratorConfig(seed=2, num_snapshots=1,
+                                                 initial_households=40))
+        names_first = [r.full_name for r in first.datasets[0].iter_records()]
+        names_second = [r.full_name for r in second.datasets[0].iter_records()]
+        assert names_first != names_second
+
+    def test_dataset_lookup(self, small_series):
+        assert small_series.dataset(1861).year == 1861
+        with pytest.raises(KeyError):
+            small_series.dataset(1999)
+
+    def test_successive_pairs(self, small_series):
+        pairs = small_series.successive_pairs()
+        assert len(pairs) == 2
+        assert pairs[0][0].year == 1851 and pairs[0][1].year == 1861
+
+
+class TestCalibration:
+    def test_population_grows(self, small_series):
+        sizes = [len(dataset) for dataset in small_series.datasets]
+        assert sizes[-1] > sizes[0]
+
+    def test_household_size_plausible(self, small_series):
+        stats = small_series.datasets[0].stats()
+        average = stats.num_records / stats.num_households
+        assert 3.0 < average < 7.0
+
+    def test_missing_ratio_in_paper_range(self, small_series):
+        for dataset in small_series.datasets:
+            ratio = dataset.stats().missing_value_ratio
+            assert 0.01 < ratio < 0.12
+
+    def test_name_ambiguity_present(self, small_series):
+        stats = small_series.datasets[-1].stats()
+        assert stats.average_name_frequency > 1.2
+
+
+class TestGeneratePair:
+    def test_two_snapshots(self):
+        series = generate_pair(seed=3, initial_households=40)
+        assert series.years == [1871, 1881]
+
+    def test_ground_truth_follows(self):
+        series = generate_pair(seed=3, initial_households=40)
+        truth = series.ground_truth.record_mapping(1871, 1881)
+        assert len(truth) > 0

@@ -1,0 +1,97 @@
+"""Tests for the name/occupation/address pools and Zipf sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datagen.names import (
+    FEMALE_FIRST_NAMES,
+    MALE_FIRST_NAMES,
+    OCCUPATIONS,
+    STREETS,
+    SURNAMES,
+    NameSampler,
+    sample_distinct,
+    zipf_weights,
+)
+
+
+class TestPools:
+    def test_pools_nonempty_and_unique(self):
+        for pool in (MALE_FIRST_NAMES, FEMALE_FIRST_NAMES, SURNAMES,
+                     OCCUPATIONS, STREETS):
+            assert len(pool) == len(set(pool))
+            assert all(name == name.lower() for name in pool)
+
+    def test_frequent_names_lead(self):
+        assert MALE_FIRST_NAMES[0] == "john"
+        assert FEMALE_FIRST_NAMES[0] == "mary"
+        assert SURNAMES[:2] == ("ashworth", "smith")
+
+
+class TestZipfWeights:
+    def test_decreasing(self):
+        weights = zipf_weights(10, 1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_first_weight_is_one(self):
+        assert zipf_weights(5, 0.8)[0] == 1.0
+
+    def test_exponent_zero_uniform(self):
+        assert zipf_weights(4, 0.0) == [1.0] * 4
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestNameSampler:
+    def test_deterministic_given_seed(self):
+        first = NameSampler(random.Random(5))
+        second = NameSampler(random.Random(5))
+        assert [first.first_name("m") for _ in range(20)] == [
+            second.first_name("m") for _ in range(20)
+        ]
+
+    def test_sex_validation(self):
+        sampler = NameSampler(random.Random(1))
+        with pytest.raises(ValueError):
+            sampler.first_name("x")
+
+    def test_skew_towards_frequent_names(self):
+        sampler = NameSampler(random.Random(2))
+        counts = Counter(sampler.first_name("m") for _ in range(3000))
+        assert counts["john"] > counts.get("norman", 0)
+        # The top name should dominate clearly under Zipf weights.
+        assert counts["john"] / 3000 > 0.10
+
+    def test_address_format(self):
+        sampler = NameSampler(random.Random(3))
+        address = sampler.address()
+        number, rest = address.split(" ", 1)
+        assert number.isdigit()
+        assert rest in STREETS
+
+    def test_gendered_occupation_guard(self):
+        sampler = NameSampler(random.Random(4))
+        for _ in range(300):
+            assert sampler.occupation("f") not in (
+                "coal miner", "blacksmith", "quarryman",
+            )
+
+    def test_sex_roughly_balanced(self):
+        sampler = NameSampler(random.Random(6))
+        males = sum(1 for _ in range(2000) if sampler.sex() == "m")
+        assert 800 < males < 1200
+
+
+class TestSampleDistinct:
+    def test_distinct(self):
+        rng = random.Random(1)
+        sample = sample_distinct(rng, SURNAMES, 10)
+        assert len(set(sample)) == 10
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            sample_distinct(random.Random(1), ("a",), 2)

@@ -1,0 +1,155 @@
+"""Tests for the population simulator (world dynamics)."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.datagen.entities import World
+from repro.datagen.population import PopulationSimulator, SimulationParams
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    sim = PopulationSimulator(seed=11, initial_households=60, start_year=1851)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def stepped():
+    sim = PopulationSimulator(seed=12, initial_households=60, start_year=1851)
+    sim.step_decade()
+    return sim
+
+
+class TestBootstrap:
+    def test_household_count(self, simulator):
+        assert len(simulator.world.observable_households()) == 60
+
+    def test_everyone_in_exactly_one_household(self, simulator):
+        seen = set()
+        for household in simulator.world.observable_households():
+            for person_id in household.member_ids:
+                assert person_id not in seen
+                seen.add(person_id)
+
+    def test_heads_exist_and_are_members(self, simulator):
+        for household in simulator.world.observable_households():
+            assert household.head_id in household.member_ids
+
+    def test_spouse_links_symmetric(self, simulator):
+        for person in simulator.world.observable_persons():
+            if person.spouse_id is not None:
+                spouse = simulator.world.persons[person.spouse_id]
+                assert spouse.spouse_id == person.entity_id
+
+    def test_children_have_plausible_parent_ages(self, simulator):
+        world = simulator.world
+        for person in world.observable_persons():
+            for parent_id in (person.father_id, person.mother_id):
+                if parent_id and parent_id in world.persons:
+                    parent = world.persons[parent_id]
+                    assert parent.birth_year < person.birth_year
+
+    def test_roles_derivable_for_all_members(self, simulator):
+        world = simulator.world
+        for household in world.observable_households():
+            for person_id in household.member_ids:
+                role = world.role_relative_to_head(person_id, household.head_id)
+                assert role in R.ALL_ROLES
+
+
+class TestDecadeStep:
+    def test_year_advances(self, stepped):
+        assert stepped.year == 1861
+
+    def test_population_grows(self, stepped):
+        fresh = PopulationSimulator(seed=12, initial_households=60)
+        before = len(fresh.world.observable_persons())
+        after = len(stepped.world.observable_persons())
+        assert after > before * 0.9  # grows or roughly holds
+
+    def test_some_deaths_happened(self, stepped):
+        dead = [p for p in stepped.world.persons.values() if not p.alive]
+        assert dead
+
+    def test_some_emigration_happened(self, stepped):
+        gone = [
+            p for p in stepped.world.persons.values()
+            if p.alive and not p.present
+        ]
+        assert gone
+
+    def test_some_marriages_happened(self, stepped):
+        brides = [
+            p
+            for p in stepped.world.persons.values()
+            if p.sex == "f" and p.spouse_id is not None
+        ]
+        assert brides
+
+    def test_brides_took_husband_surname(self, stepped):
+        world = stepped.world
+        for person in world.observable_persons():
+            if person.sex == "f" and person.spouse_id:
+                spouse = world.persons.get(person.spouse_id)
+                if spouse is not None:
+                    assert person.surname == spouse.surname
+
+    def test_households_remain_consistent(self, stepped):
+        world = stepped.world
+        for person_id, household_id in world.household_of.items():
+            household = world.households.get(household_id)
+            assert household is not None
+            assert person_id in household.member_ids
+
+    def test_observable_members_only_in_households(self, stepped):
+        world = stepped.world
+        for person in world.observable_persons():
+            assert person.entity_id in world.household_of
+
+    def test_dead_people_not_in_households(self, stepped):
+        world = stepped.world
+        for person in world.persons.values():
+            if not person.alive:
+                assert person.entity_id not in world.household_of
+
+    def test_heads_observable_after_repair(self, stepped):
+        world = stepped.world
+        for household in world.observable_households():
+            head = world.persons[household.head_id]
+            assert head.observable
+
+    def test_determinism(self):
+        first = PopulationSimulator(seed=31, initial_households=40)
+        second = PopulationSimulator(seed=31, initial_households=40)
+        first.step_decade()
+        second.step_decade()
+        assert sorted(first.world.household_of) == sorted(second.world.household_of)
+        assert {
+            p.entity_id: (p.surname, p.alive, p.present)
+            for p in first.world.persons.values()
+        } == {
+            p.entity_id: (p.surname, p.alive, p.present)
+            for p in second.world.persons.values()
+        }
+
+
+class TestParams:
+    def test_mortality_bands(self):
+        params = SimulationParams()
+        assert params.mortality(80) > params.mortality(30)
+        assert params.mortality(500) == 1.0
+
+    def test_marriage_bands(self):
+        params = SimulationParams()
+        assert params.marriage_probability(22) > params.marriage_probability(60)
+
+    def test_multi_decade_run_stays_consistent(self):
+        sim = PopulationSimulator(seed=21, initial_households=30)
+        for _ in range(4):
+            sim.step_decade()
+        world = sim.world
+        for household in world.observable_households():
+            assert household.head_id in household.member_ids
+            for person_id in household.member_ids:
+                role = world.role_relative_to_head(person_id, household.head_id)
+                assert role in R.ALL_ROLES

@@ -1,0 +1,111 @@
+"""Tests for the demographic reporting utilities."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.evaluation.demography import (
+    age_pyramid,
+    demography_report,
+    dependency_ratio,
+    household_size_distribution,
+    mean_household_size,
+    role_composition,
+    series_growth_table,
+    sex_ratio,
+    surname_concentration,
+)
+from repro.model.dataset import CensusDataset
+from repro.model.records import PersonRecord
+
+
+def record(record_id, household, sex="m", age=30, surname="kay",
+           role=R.HEAD):
+    return PersonRecord(record_id, household, "john", surname, sex, age,
+                        role=role)
+
+
+@pytest.fixture
+def dataset():
+    return CensusDataset.from_records(
+        1871,
+        [
+            record("r1", "g1", "m", 40),
+            record("r2", "g1", "f", 38, role=R.WIFE),
+            record("r3", "g1", "m", 8, role=R.SON),
+            record("r4", "g2", "f", 70, surname="holt"),
+            record("r5", "g2", "m", None, surname="holt", role=R.LODGER),
+        ],
+    )
+
+
+class TestAgePyramid:
+    def test_band_counts(self, dataset):
+        bands = age_pyramid(dataset)
+        assert bands[0].males == 1  # the 8-year-old
+        assert bands[4].males == 1 and bands[4].label == "40-49"
+        assert bands[3].females == 1
+        assert bands[7].females == 1
+
+    def test_missing_age_excluded(self, dataset):
+        bands = age_pyramid(dataset)
+        assert sum(band.total for band in bands) == 4
+
+    def test_overflow_band(self):
+        old = CensusDataset.from_records(
+            1871, [record("r1", "g1", "m", 101)]
+        )
+        bands = age_pyramid(old)
+        assert bands[-1].total == 1
+        assert bands[-1].lower == 90
+
+    def test_band_width_validation(self, dataset):
+        with pytest.raises(ValueError):
+            age_pyramid(dataset, band_width=0)
+
+
+class TestDistributions:
+    def test_household_sizes(self, dataset):
+        assert household_size_distribution(dataset) == {3: 1, 2: 1}
+        assert mean_household_size(dataset) == pytest.approx(2.5)
+
+    def test_mean_size_empty(self):
+        assert mean_household_size(CensusDataset(1871)) == 0.0
+
+    def test_surname_concentration(self, dataset):
+        top = surname_concentration(dataset, top=2)
+        assert top[0][0] == "kay"
+        assert top[0][1] == 3
+        assert top[0][2] == pytest.approx(0.6)
+
+    def test_role_composition(self, dataset):
+        roles = role_composition(dataset)
+        assert roles[R.HEAD] == 2
+        assert roles[R.WIFE] == 1
+
+    def test_sex_ratio(self, dataset):
+        assert sex_ratio(dataset) == pytest.approx(150.0)
+
+    def test_dependency_ratio(self, dataset):
+        # young: 8yo; old: 70yo; working: 40 + 38.
+        assert dependency_ratio(dataset) == pytest.approx(1.0)
+
+
+class TestReports:
+    def test_demography_report_sections(self, dataset):
+        text = demography_report(dataset)
+        assert "Age pyramid" in text
+        assert "Household sizes" in text
+        assert "kay" in text
+        assert "sex ratio" in text
+
+    def test_series_growth_table(self, small_series):
+        text = series_growth_table(small_series.datasets)
+        assert "1851" in text and "1871" in text
+        assert "+" in text  # the town grows
+
+    def test_on_generated_data(self, small_series):
+        dataset = small_series.datasets[0]
+        bands = age_pyramid(dataset)
+        assert sum(band.total for band in bands) > 0
+        assert 1.5 < mean_household_size(dataset) < 8.0
+        assert 60 < sex_ratio(dataset) < 160

@@ -1,0 +1,117 @@
+"""Tests for entity-history construction from pairwise mappings."""
+
+import pytest
+
+from repro.core.config import LinkageConfig
+from repro.evolution.entities import (
+    EntityHistory,
+    build_entity_histories,
+    history_accuracy,
+)
+from repro.evolution.multihop import direct_mapping
+from repro.model.dataset import CensusDataset
+from repro.model.mappings import RecordMapping
+from repro.model.records import PersonRecord
+import repro.model.roles as R
+
+
+def tiny_dataset(year, ids):
+    return CensusDataset.from_records(
+        year,
+        [
+            PersonRecord(record_id, f"g{year}", "john", "kay", "m", 30,
+                         role=R.HEAD if index == 0 else R.SON)
+            for index, record_id in enumerate(ids)
+        ],
+    )
+
+
+@pytest.fixture
+def tiny_series():
+    d1 = tiny_dataset(1851, ["a1", "a2", "a3"])
+    d2 = tiny_dataset(1861, ["b1", "b2"])
+    d3 = tiny_dataset(1871, ["c1", "c2"])
+    m12 = RecordMapping([("a1", "b1"), ("a2", "b2")])
+    m23 = RecordMapping([("b1", "c1")])
+    return [d1, d2, d3], [m12, m23]
+
+
+class TestBuild:
+    def test_history_chaining(self, tiny_series):
+        datasets, mappings = tiny_series
+        histories = build_entity_histories(datasets, mappings)
+        long_history = histories.history_of(1851, "a1")
+        assert long_history.appearances == [
+            (1851, "a1"), (1861, "b1"), (1871, "c1"),
+        ]
+        assert long_history.span_years == 20
+        assert long_history.is_continuous()
+
+    def test_singletons_for_unlinked(self, tiny_series):
+        datasets, mappings = tiny_series
+        histories = build_entity_histories(datasets, mappings)
+        lone = histories.history_of(1871, "c2")
+        assert lone.num_appearances == 1
+        assert lone.span_years == 0
+
+    def test_every_record_in_exactly_one_history(self, tiny_series):
+        datasets, mappings = tiny_series
+        histories = build_entity_histories(datasets, mappings)
+        total_appearances = sum(
+            history.num_appearances for history in histories.histories
+        )
+        total_records = sum(len(dataset) for dataset in datasets)
+        assert total_appearances == total_records
+
+    def test_mapping_count_validated(self, tiny_series):
+        datasets, mappings = tiny_series
+        with pytest.raises(ValueError):
+            build_entity_histories(datasets, mappings[:1])
+
+    def test_span_distribution(self, tiny_series):
+        datasets, mappings = tiny_series
+        histories = build_entity_histories(datasets, mappings)
+        distribution = histories.span_distribution()
+        assert distribution[20] == 1  # a1-b1-c1
+        assert distribution[10] == 1  # a2-b2
+        assert distribution[0] == 2  # a3 and c2
+
+    def test_record_in_year(self, tiny_series):
+        datasets, mappings = tiny_series
+        histories = build_entity_histories(datasets, mappings)
+        history = histories.history_of(1851, "a1")
+        assert history.record_in(1861) == "b1"
+        assert history.record_in(1881) is None
+
+
+class TestContinuity:
+    def test_gap_detected(self):
+        history = EntityHistory("e1", [(1851, "a"), (1871, "c")])
+        assert not history.is_continuous()
+
+    def test_single_appearance_is_continuous(self):
+        assert EntityHistory("e1", [(1851, "a")]).is_continuous()
+
+
+class TestOnLinkedSeries:
+    def test_histories_match_ground_truth(self, small_series):
+        datasets = small_series.datasets
+        mappings = [
+            direct_mapping(old, new, LinkageConfig())
+            for old, new in zip(datasets, datasets[1:])
+        ]
+        histories = build_entity_histories(datasets, mappings)
+        accuracy = history_accuracy(
+            histories, small_series.ground_truth, small_series.years
+        )
+        assert accuracy > 0.9
+
+    def test_ground_truth_histories_are_perfect(self, small_series):
+        datasets = small_series.datasets
+        truth = small_series.ground_truth
+        mappings = [
+            truth.record_mapping(old.year, new.year)
+            for old, new in zip(datasets, datasets[1:])
+        ]
+        histories = build_entity_histories(datasets, mappings)
+        assert history_accuracy(histories, truth, small_series.years) == 1.0

@@ -1,0 +1,168 @@
+"""Tests for quality metrics, reporting and experiment runners."""
+
+import pytest
+
+from repro.evaluation.metrics import (
+    QualityResult,
+    evaluate_mapping,
+    evaluate_restricted,
+)
+from repro.evaluation.reporting import format_table, quality_block, quality_row
+from repro.model.mappings import GroupMapping, RecordMapping
+
+
+class TestQualityResult:
+    def test_perfect(self):
+        result = QualityResult(10, 0, 0)
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.f_measure == 1.0
+
+    def test_mixed(self):
+        result = QualityResult(8, 2, 2)
+        assert result.precision == pytest.approx(0.8)
+        assert result.recall == pytest.approx(0.8)
+        assert result.f_measure == pytest.approx(0.8)
+
+    def test_zero_predictions(self):
+        result = QualityResult(0, 0, 5)
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+        assert result.f_measure == 0.0
+
+    def test_percentages(self):
+        precision, recall, f_measure = QualityResult(1, 1, 3).as_percentages()
+        assert precision == pytest.approx(50.0)
+        assert recall == pytest.approx(25.0)
+
+    def test_str(self):
+        text = str(QualityResult(1, 1, 1))
+        assert "P=50.0%" in text
+
+
+class TestEvaluateMapping:
+    def test_record_mapping(self):
+        predicted = RecordMapping([("o1", "n1"), ("o2", "n9")])
+        reference = RecordMapping([("o1", "n1"), ("o3", "n3")])
+        result = evaluate_mapping(predicted, reference)
+        assert result.true_positives == 1
+        assert result.false_positives == 1
+        assert result.false_negatives == 1
+
+    def test_group_mapping(self):
+        predicted = GroupMapping([("g1", "h1")])
+        reference = GroupMapping([("g1", "h1"), ("g2", "h2")])
+        result = evaluate_mapping(predicted, reference)
+        assert result.recall == pytest.approx(0.5)
+        assert result.precision == 1.0
+
+    def test_empty_mappings(self):
+        result = evaluate_mapping(RecordMapping(), RecordMapping())
+        assert result.f_measure == 0.0
+
+
+class TestEvaluateRestricted:
+    def test_scope_filters_both_sides(self):
+        predicted = RecordMapping([("o1", "n1"), ("o2", "n9")])
+        reference = RecordMapping([("o1", "n1"), ("o2", "n2"), ("o3", "n3")])
+        result = evaluate_restricted(predicted, reference, {"o1", "o2"})
+        assert result.true_positives == 1
+        assert result.false_positives == 1
+        assert result.false_negatives == 1  # o3 out of scope
+
+    def test_none_scope_equals_plain(self):
+        predicted = RecordMapping([("o1", "n1")])
+        reference = RecordMapping([("o1", "n1")])
+        assert (
+            evaluate_restricted(predicted, reference, None).f_measure
+            == evaluate_mapping(predicted, reference).f_measure
+        )
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_format_table_with_title(self):
+        text = format_table(["x"], [["1"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_quality_row(self):
+        row = quality_row("method", QualityResult(1, 1, 1))
+        assert row == ["method", "50.0", "50.0", "50.0"]
+
+    def test_quality_block(self):
+        block = quality_block({"m1": QualityResult(1, 0, 0)}, "record")
+        assert "record" in block
+        assert "100.0" in block
+
+
+class TestExperimentRunners:
+    def test_table1_runner(self):
+        from repro.evaluation.experiments import format_table1, run_table1
+
+        stats = run_table1(seed=4, initial_households=30)
+        assert len(stats) == 6
+        assert stats[0].year == 1851
+        text = format_table1(stats)
+        assert "1901" in text and "ratio_mv" in text
+
+    def test_workload_and_table5(self):
+        from repro.evaluation.experiments import (
+            ExperimentWorkload,
+            format_table5,
+            run_table5,
+        )
+
+        workload = ExperimentWorkload.default(seed=8, initial_households=40)
+        results = run_table5(workload)
+        assert set(results) == {"iterative", "non-iterative"}
+        text = format_table5(results)
+        assert "iterative" in text
+
+    def test_reference_scope_mode(self):
+        from repro.core.config import LinkageConfig
+        from repro.evaluation.experiments import ExperimentWorkload, run_linkage
+
+        workload = ExperimentWorkload.default(
+            seed=8, initial_households=40, reference_scope=True
+        )
+        quality = run_linkage(workload, LinkageConfig())
+        assert 0.0 <= quality.record.f_measure <= 1.0
+
+    def test_table6_and_7_runners(self):
+        from repro.evaluation.experiments import (
+            ExperimentWorkload,
+            format_table6,
+            format_table7,
+            run_table6,
+            run_table7,
+        )
+
+        workload = ExperimentWorkload.default(seed=8, initial_households=40)
+        table6 = run_table6(workload)
+        assert set(table6) == {"CL", "iter-sub"}
+        assert "CL" in format_table6(table6)
+        table7 = run_table7(workload)
+        assert set(table7) == {"GraphSim", "iter-sub"}
+        assert "GraphSim" in format_table7(table7)
+
+    def test_evolution_runners(self):
+        from repro.evaluation.experiments import (
+            format_figure6,
+            format_table8,
+            run_evolution_analysis,
+            run_figure6,
+            run_table8,
+        )
+
+        analysis = run_evolution_analysis(seed=4, initial_households=30)
+        figure6 = run_figure6(analysis)
+        assert len(figure6) == 5
+        assert "preserve_G" in format_figure6(figure6)
+        table8 = run_table8(analysis)
+        assert set(table8) <= {10, 20, 30, 40, 50}
+        assert "interval" in format_table8(table8)

@@ -1,0 +1,126 @@
+"""Tests for the error-analysis (FN/FP categorisation) utilities."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.evaluation.errors import (
+    FN_MISSING_VALUES,
+    FN_NAME_NOISE,
+    FN_STOLEN,
+    FN_SURNAME_CHANGED,
+    FP_AGE_IMPLAUSIBLE,
+    FP_NAMESAKE,
+    analyse_errors,
+    categorise_false_negative,
+    categorise_false_positive,
+)
+from repro.model.dataset import CensusDataset
+from repro.model.mappings import RecordMapping
+from repro.model.records import PersonRecord
+
+
+def record(record_id, household, first, last, age=30, sex="f"):
+    return PersonRecord(record_id, household, first, last, sex, age, role=R.HEAD)
+
+
+@pytest.fixture
+def datasets():
+    old = CensusDataset.from_records(
+        1871,
+        [
+            record("o1", "g1", "alice", "ashworth", age=18),
+            record("o2", "g2", "john", "kay", age=40, sex="m"),
+            record("o3", "g3", "mary", "holt", age=10),
+            record("o4", "g4", None, "lord", age=20),
+        ],
+    )
+    new = CensusDataset.from_records(
+        1881,
+        [
+            record("n1", "h1", "alice", "smith", age=28),
+            record("n2", "h2", "jhon", "kay", age=50, sex="m"),
+            record("n3", "h3", "mary", "holt", age=20),
+            record("n4", "h4", None, "lord", age=30),
+            record("n5", "h5", "mary", "holt", age=12),
+        ],
+    )
+    return old, new
+
+
+class TestFalseNegatives:
+    def test_surname_changed(self, datasets):
+        old, new = datasets
+        category = categorise_false_negative(
+            old, new, RecordMapping(), "o1", "n1"
+        )
+        assert category == FN_SURNAME_CHANGED
+
+    def test_name_noise(self, datasets):
+        old, new = datasets
+        category = categorise_false_negative(
+            old, new, RecordMapping(), "o2", "n2"
+        )
+        assert category == FN_NAME_NOISE
+
+    def test_missing_values(self, datasets):
+        old, new = datasets
+        category = categorise_false_negative(
+            old, new, RecordMapping(), "o4", "n4"
+        )
+        assert category == FN_MISSING_VALUES
+
+    def test_stolen_link(self, datasets):
+        old, new = datasets
+        predicted = RecordMapping([("o3", "n5")])
+        category = categorise_false_negative(old, new, predicted, "o3", "n3")
+        assert category == FN_STOLEN
+
+
+class TestFalsePositives:
+    def test_age_implausible(self, datasets):
+        old, new = datasets
+        category = categorise_false_positive(old, new, "o3", "n5", 10)
+        assert category == FP_AGE_IMPLAUSIBLE
+
+    def test_namesake(self, datasets):
+        old, new = datasets
+        category = categorise_false_positive(old, new, "o3", "n3", 10)
+        assert category == FP_NAMESAKE
+
+
+class TestAnalyseErrors:
+    def test_report_counts_and_examples(self, datasets):
+        old, new = datasets
+        reference = RecordMapping(
+            [("o1", "n1"), ("o2", "n2"), ("o3", "n3"), ("o4", "n4")]
+        )
+        predicted = RecordMapping([("o2", "n2"), ("o3", "n5")])
+        report = analyse_errors(old, new, predicted, reference)
+        assert sum(report.false_negatives.values()) == 3
+        assert sum(report.false_positives.values()) == 1
+        assert report.false_negatives[FN_SURNAME_CHANGED] == 1
+        assert report.false_positives[FP_AGE_IMPLAUSIBLE] == 1
+        assert report.fn_examples[FN_SURNAME_CHANGED] == [("o1", "n1")]
+        text = report.summary()
+        assert "False negatives" in text and FN_SURNAME_CHANGED in text
+
+    def test_perfect_prediction_empty_report(self, datasets):
+        old, new = datasets
+        reference = RecordMapping([("o1", "n1")])
+        report = analyse_errors(old, new, reference.copy(), reference)
+        assert not report.false_negatives
+        assert not report.false_positives
+
+    def test_on_synthetic_pair(self, small_pair):
+        from repro.core import LinkageConfig, link_datasets
+
+        old, new = small_pair.datasets
+        truth = small_pair.ground_truth.record_mapping(old.year, new.year)
+        result = link_datasets(old, new, LinkageConfig())
+        report = analyse_errors(old, new, result.record_mapping, truth)
+        # The dominant FN class on this data is surname change (brides).
+        assert report.false_negatives
+        assert (
+            report.false_negatives[FN_SURNAME_CHANGED]
+            >= report.false_negatives.get(FN_NAME_NOISE, 0) // 2
+        )

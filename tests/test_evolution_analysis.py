@@ -1,0 +1,73 @@
+"""Tests for the multi-census evolution analysis pipeline."""
+
+import pytest
+
+from repro.core.config import LinkageConfig
+from repro.evolution.analysis import (
+    analyse_series,
+    ground_truth_pair_linker,
+    linkage_pair_linker,
+)
+
+
+class TestAnalyseSeries:
+    def test_requires_two_datasets(self, small_series):
+        with pytest.raises(ValueError):
+            analyse_series(small_series.datasets[:1])
+
+    def test_requires_increasing_years(self, small_series):
+        datasets = list(reversed(small_series.datasets))
+        with pytest.raises(ValueError):
+            analyse_series(datasets)
+
+    def test_ground_truth_analysis(self, small_series):
+        analysis = analyse_series(
+            small_series.datasets,
+            ground_truth_pair_linker(small_series.ground_truth),
+        )
+        assert len(analysis.pair_patterns) == 2
+        table = analysis.pattern_frequency_table()
+        assert set(table) == {(1851, 1861), (1861, 1871)}
+        for counts in table.values():
+            assert set(counts) == {
+                "preserve_G", "move", "split", "merge", "add_G", "remove_G",
+            }
+
+    def test_linked_analysis_runs(self, small_series):
+        analysis = analyse_series(
+            small_series.datasets,
+            linkage_pair_linker(LinkageConfig()),
+        )
+        assert len(analysis.pair_patterns) == 2
+        assert 0.0 <= analysis.largest_component_share() <= 1.0
+
+    def test_linked_close_to_truth(self, small_series):
+        """Pattern counts from linked mappings should be in the same
+        ballpark as from true mappings (the headline use case)."""
+        truth = analyse_series(
+            small_series.datasets,
+            ground_truth_pair_linker(small_series.ground_truth),
+        )
+        linked = analyse_series(small_series.datasets, config=LinkageConfig())
+        for pair in truth.pattern_frequency_table():
+            true_preserves = truth.pattern_frequency_table()[pair]["preserve_G"]
+            linked_preserves = linked.pattern_frequency_table()[pair]["preserve_G"]
+            assert linked_preserves >= 0.6 * true_preserves
+            assert linked_preserves <= 1.4 * true_preserves + 5
+
+    def test_preserve_interval_table_uses_years(self, small_series):
+        analysis = analyse_series(
+            small_series.datasets,
+            ground_truth_pair_linker(small_series.ground_truth),
+        )
+        table = analysis.preserve_interval_table(interval_years=10)
+        assert all(interval % 10 == 0 for interval in table)
+
+    def test_custom_interval_scaling(self, small_series):
+        analysis = analyse_series(
+            small_series.datasets,
+            ground_truth_pair_linker(small_series.ground_truth),
+        )
+        by_ten = analysis.preserve_interval_table(10)
+        by_one = analysis.preserve_interval_table(1)
+        assert {k // 10: v for k, v in by_ten.items()} == by_one

@@ -1,0 +1,173 @@
+"""Tests for the evolution graph (Section 4.2, Table 8 machinery)."""
+
+import pytest
+
+from repro.evolution.graph import EvolutionGraph, group_vertex, record_vertex
+from repro.evolution.patterns import (
+    GroupPatterns,
+    PairPatterns,
+    RecordPatterns,
+)
+
+
+def pair_patterns(old_year, new_year, preserved_groups=(), moves=(),
+                  splits=None, merges=None, preserved_records=()):
+    return PairPatterns(
+        old_year=old_year,
+        new_year=new_year,
+        records=RecordPatterns(preserved=list(preserved_records)),
+        groups=GroupPatterns(
+            preserved=list(preserved_groups),
+            moves=list(moves),
+            splits=splits or {},
+            merges=merges or {},
+        ),
+    )
+
+
+def build_three_census_graph():
+    graph = EvolutionGraph()
+    graph.add_snapshot(1851, ["r1"], ["g1", "g2", "g3"])
+    graph.add_snapshot(1861, ["r2"], ["h1", "h2", "h3"])
+    graph.add_snapshot(1871, ["r3"], ["k1", "k2"])
+    graph.add_pair_patterns(
+        pair_patterns(
+            1851,
+            1861,
+            preserved_groups=[("g1", "h1"), ("g2", "h2")],
+            preserved_records=[("r1", "r2")],
+        )
+    )
+    graph.add_pair_patterns(
+        pair_patterns(
+            1861,
+            1871,
+            preserved_groups=[("h1", "k1")],
+            moves=[("h3", "k2")],
+            preserved_records=[("r2", "r3")],
+        )
+    )
+    return graph
+
+
+class TestConstruction:
+    def test_snapshots_in_order(self):
+        graph = EvolutionGraph()
+        graph.add_snapshot(1851, [], [])
+        with pytest.raises(ValueError):
+            graph.add_snapshot(1851, [], [])
+        with pytest.raises(ValueError):
+            graph.add_snapshot(1841, [], [])
+
+    def test_patterns_require_snapshots(self):
+        graph = EvolutionGraph()
+        graph.add_snapshot(1851, [], [])
+        with pytest.raises(ValueError):
+            graph.add_pair_patterns(pair_patterns(1851, 1861))
+
+    def test_vertices_added(self):
+        graph = build_three_census_graph()
+        assert group_vertex(1851, "g1") in graph.vertices
+        assert record_vertex(1871, "r3") in graph.vertices
+        assert graph.num_group_vertices() == 8
+
+
+class TestEdges:
+    def test_typed_edges(self):
+        graph = build_three_census_graph()
+        assert len(graph.edges_of_type("preserve_G")) == 3
+        assert len(graph.edges_of_type("move")) == 1
+        assert len(graph.edges_of_type("preserve_R")) == 2
+
+    def test_group_edges_exclude_record_links(self):
+        graph = build_three_census_graph()
+        assert len(graph.group_edges()) == 4
+
+    def test_split_and_merge_edges(self):
+        graph = EvolutionGraph()
+        graph.add_snapshot(1851, [], ["g1", "g2"])
+        graph.add_snapshot(1861, [], ["h1", "h2"])
+        graph.add_pair_patterns(
+            pair_patterns(
+                1851, 1861,
+                splits={"g1": ["h1", "h2"]},
+                merges={"h1": ["g1", "g2"]},
+            )
+        )
+        assert len(graph.edges_of_type("split")) == 2
+        assert len(graph.edges_of_type("merge")) == 2
+
+
+class TestComponents:
+    def test_group_components(self):
+        graph = build_three_census_graph()
+        components = graph.group_components()
+        largest = graph.largest_group_component()
+        # g1-h1-k1 chain plus g2-h2 plus h3-k2 plus isolated g3.
+        assert len(largest) == 3
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [1, 2, 2, 3]
+
+    def test_empty_graph(self):
+        graph = EvolutionGraph()
+        assert graph.group_components() == []
+        assert graph.largest_group_component() == []
+
+
+class TestPreserveChains:
+    def test_chain_counts(self):
+        graph = build_three_census_graph()
+        counts = graph.preserve_chain_counts()
+        # Three preserve edges in total; one 2-interval chain (g1->h1->k1).
+        assert counts == {1: 3, 2: 1}
+
+    def test_preserved_for_interval(self):
+        graph = build_three_census_graph()
+        assert graph.preserved_for_interval(1) == 3
+        assert graph.preserved_for_interval(2) == 1
+        assert graph.preserved_for_interval(3) == 0
+
+    def test_single_snapshot_has_no_chains(self):
+        graph = EvolutionGraph()
+        graph.add_snapshot(1851, [], ["g1"])
+        assert graph.preserve_chain_counts() == {}
+
+    def test_ten_year_count_equals_total_preserves(self, small_series):
+        from repro.evolution.analysis import (
+            analyse_series,
+            ground_truth_pair_linker,
+        )
+
+        analysis = analyse_series(
+            small_series.datasets,
+            ground_truth_pair_linker(small_series.ground_truth),
+        )
+        total_preserves = sum(
+            patterns.groups.counts()["preserve_G"]
+            for patterns in analysis.pair_patterns
+        )
+        table8 = analysis.preserve_interval_table()
+        assert table8.get(10, 0) == total_preserves
+
+    def test_chain_counts_monotone(self, small_series):
+        from repro.evolution.analysis import (
+            analyse_series,
+            ground_truth_pair_linker,
+        )
+
+        analysis = analyse_series(
+            small_series.datasets,
+            ground_truth_pair_linker(small_series.ground_truth),
+        )
+        table8 = analysis.preserve_interval_table()
+        values = [table8[key] for key in sorted(table8)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestPatternCountsByPair:
+    def test_counts_partitioned_by_year(self):
+        graph = build_three_census_graph()
+        counts = graph.pattern_counts_by_pair()
+        assert counts[(1851, 1861)]["preserve_G"] == 2
+        assert counts[(1861, 1871)]["preserve_G"] == 1
+        assert counts[(1861, 1871)]["move"] == 1

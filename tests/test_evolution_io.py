@@ -1,0 +1,50 @@
+"""Round-trip tests for evolution-graph JSON serialisation."""
+
+import pytest
+
+from repro.evolution.analysis import analyse_series, ground_truth_pair_linker
+from repro.evolution.io import (
+    graph_from_dict,
+    graph_to_dict,
+    read_graph,
+    write_graph,
+)
+
+
+@pytest.fixture
+def analysis(small_series):
+    return analyse_series(
+        small_series.datasets,
+        ground_truth_pair_linker(small_series.ground_truth),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_structure(self, analysis):
+        graph = analysis.graph
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.years == graph.years
+        assert restored.vertices == graph.vertices
+        assert len(restored.edges) == len(graph.edges)
+
+    def test_file_roundtrip(self, analysis, tmp_path):
+        graph = analysis.graph
+        path = tmp_path / "evolution.json"
+        write_graph(graph, path)
+        restored = read_graph(path)
+        assert restored.vertices == graph.vertices
+
+    def test_queries_survive_roundtrip(self, analysis, tmp_path):
+        graph = analysis.graph
+        path = tmp_path / "evolution.json"
+        write_graph(graph, path)
+        restored = read_graph(path)
+        assert restored.preserve_chain_counts() == graph.preserve_chain_counts()
+        assert len(restored.largest_group_component()) == len(
+            graph.largest_group_component()
+        )
+        assert restored.pattern_counts_by_pair() == graph.pattern_counts_by_pair()
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"format_version": 999})

@@ -1,0 +1,196 @@
+"""Tests for record and group evolution patterns (Section 4.1)."""
+
+import pytest
+
+from repro.evolution.patterns import (
+    extract_group_patterns,
+    extract_patterns,
+    extract_record_patterns,
+    group_overlaps,
+)
+from repro.model.mappings import GroupMapping, RecordMapping
+
+# The running example's correct mappings (§2 and Fig. 5a).
+TRUE_RECORD_PAIRS = [
+    ("1871_1", "1881_1"),
+    ("1871_2", "1881_2"),
+    ("1871_3", "1881_7"),
+    ("1871_4", "1881_3"),
+    ("1871_6", "1881_4"),
+    ("1871_7", "1881_5"),
+    ("1871_8", "1881_6"),
+]
+TRUE_GROUP_PAIRS = [
+    ("a71", "a81"),
+    ("b71", "b81"),
+    ("a71", "c81"),
+    ("b71", "c81"),
+]
+
+
+@pytest.fixture
+def mappings():
+    return RecordMapping(TRUE_RECORD_PAIRS), GroupMapping(TRUE_GROUP_PAIRS)
+
+
+class TestRecordPatterns:
+    def test_fig5a_counts(self, census_1871, census_1881, mappings):
+        record_mapping, _ = mappings
+        patterns = extract_record_patterns(
+            census_1871, census_1881, record_mapping
+        )
+        counts = patterns.counts()
+        # Fig. 5(a): 7 preserved, 4 additions, 1 removal.
+        assert counts["preserve_R"] == 7
+        assert counts["add_R"] == 4
+        assert counts["remove_R"] == 1
+
+    def test_removed_is_john_riley(self, census_1871, census_1881, mappings):
+        record_mapping, _ = mappings
+        patterns = extract_record_patterns(
+            census_1871, census_1881, record_mapping
+        )
+        assert patterns.removed == ["1871_5"]
+
+    def test_added_includes_mary_and_d_household(
+        self, census_1871, census_1881, mappings
+    ):
+        record_mapping, _ = mappings
+        patterns = extract_record_patterns(
+            census_1871, census_1881, record_mapping
+        )
+        assert set(patterns.added) == {"1881_8", "1881_9", "1881_10", "1881_11"}
+
+
+class TestGroupOverlaps:
+    def test_overlap_counts(self, census_1871, census_1881, mappings):
+        record_mapping, _ = mappings
+        overlaps = group_overlaps(census_1871, census_1881, record_mapping)
+        assert overlaps[("a71", "a81")] == 3
+        assert overlaps[("a71", "c81")] == 1
+        assert overlaps[("b71", "c81")] == 1
+        assert overlaps[("b71", "b81")] == 2
+
+
+class TestGroupPatterns:
+    def test_fig5a_group_patterns(self, census_1871, census_1881, mappings):
+        record_mapping, group_mapping = mappings
+        patterns = extract_group_patterns(
+            census_1871, census_1881, record_mapping, group_mapping
+        )
+        counts = patterns.counts()
+        # Fig. 5(a): a and b preserved (despite Alice/Steve moving out);
+        # d newly appeared; Alice and Steve moved into c.
+        assert counts["preserve_G"] == 2
+        assert set(patterns.preserved) == {("a71", "a81"), ("b71", "b81")}
+        assert counts["move"] == 2
+        assert counts["add_G"] == 1  # d81 only (c81 is linked)
+        assert counts["remove_G"] == 0
+        assert counts["split"] == 0
+        assert counts["merge"] == 0
+
+    def test_preserve_without_movers(self, census_1871, census_1881):
+        """Without the marriage links, a and b are still preserved."""
+        record_mapping = RecordMapping(
+            [pair for pair in TRUE_RECORD_PAIRS if pair[1] not in ("1881_6", "1881_7")]
+        )
+        group_mapping = GroupMapping([("a71", "a81"), ("b71", "b81")])
+        patterns = extract_group_patterns(
+            census_1871, census_1881, record_mapping, group_mapping
+        )
+        assert set(patterns.preserved) == {("a71", "a81"), ("b71", "b81")}
+        assert patterns.counts()["add_G"] == 2  # c81 and d81
+
+    def test_move_requires_exactly_one_member(
+        self, census_1871, census_1881, mappings
+    ):
+        record_mapping, group_mapping = mappings
+        patterns = extract_group_patterns(
+            census_1871, census_1881, record_mapping, group_mapping
+        )
+        assert set(patterns.moves) == {("a71", "c81"), ("b71", "c81")}
+
+    def test_split_detection(self, census_1871, census_1881):
+        """If two siblings had moved together, a71 -> {a81, c81} would be
+        a split (>=2 members into each part)."""
+        record_mapping = RecordMapping(
+            [
+                ("1871_1", "1881_1"),
+                ("1871_2", "1881_2"),
+                ("1871_3", "1881_7"),
+                ("1871_4", "1881_6"),  # pretend William moved with Alice
+            ]
+        )
+        group_mapping = GroupMapping([("a71", "a81"), ("a71", "c81")])
+        patterns = extract_group_patterns(
+            census_1871, census_1881, record_mapping, group_mapping
+        )
+        assert patterns.splits == {"a71": ["a81", "c81"]}
+        assert patterns.counts()["split"] == 1
+
+    def test_merge_detection(self, census_1871, census_1881):
+        """Two members from each old household landing in c81 is a merge."""
+        record_mapping = RecordMapping(
+            [
+                ("1871_3", "1881_7"),
+                ("1871_4", "1881_8"),
+                ("1871_8", "1881_6"),
+                ("1871_7", "1881_5"),
+                ("1871_6", "1881_4"),
+            ]
+        )
+        group_mapping = GroupMapping(
+            [("a71", "c81"), ("b71", "c81"), ("b71", "b81")]
+        )
+        patterns = extract_group_patterns(
+            census_1871, census_1881, record_mapping, group_mapping
+        )
+        assert "c81" not in patterns.merges  # b71 contributes only 1 to c81
+        record_mapping2 = RecordMapping(
+            [
+                ("1871_3", "1881_7"),
+                ("1871_4", "1881_8"),
+                ("1871_8", "1881_6"),
+                ("1871_7", "1881_5"),
+            ]
+        )
+        group_mapping2 = GroupMapping([("a71", "c81"), ("b71", "c81")])
+        patterns2 = extract_group_patterns(
+            census_1871, census_1881, record_mapping2, group_mapping2
+        )
+        assert "c81" not in patterns2.merges  # still only 1 from b71
+
+    def test_merge_positive_case(self, census_1871, census_1881):
+        record_mapping = RecordMapping(
+            [
+                ("1871_3", "1881_7"),  # a71 -> c81
+                ("1871_4", "1881_8"),  # a71 -> c81
+                ("1871_8", "1881_6"),  # b71 -> c81
+                ("1871_7", "1881_5"),
+            ]
+        )
+        # Give b71 two members in c81 by moving Elizabeth there too.
+        record_mapping = RecordMapping(
+            [
+                ("1871_3", "1881_7"),
+                ("1871_4", "1881_8"),
+                ("1871_8", "1881_6"),
+                ("1871_5", "1881_9"),
+            ]
+        )
+        group_mapping = GroupMapping([("a71", "c81")])
+        patterns = extract_group_patterns(
+            census_1871, census_1881, record_mapping, group_mapping
+        )
+        assert patterns.counts()["merge"] == 0  # only one source household
+
+    def test_full_extract_patterns(self, census_1871, census_1881, mappings):
+        record_mapping, group_mapping = mappings
+        pair = extract_patterns(
+            census_1871, census_1881, record_mapping, group_mapping
+        )
+        assert pair.old_year == 1871
+        assert pair.new_year == 1881
+        combined = pair.counts()
+        assert combined["preserve_R"] == 7
+        assert combined["move"] == 2

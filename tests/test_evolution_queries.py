@@ -1,0 +1,108 @@
+"""Tests for evolution-graph mining queries."""
+
+import pytest
+
+from repro.evolution.graph import EvolutionGraph
+from repro.evolution.patterns import (
+    GroupPatterns,
+    PairPatterns,
+    RecordPatterns,
+)
+from repro.evolution.queries import (
+    frequent_change_sequences,
+    household_lineage,
+    households_with_history,
+    person_timeline,
+)
+
+
+@pytest.fixture
+def graph():
+    graph = EvolutionGraph()
+    graph.add_snapshot(1851, ["r1"], ["g1", "g2"])
+    graph.add_snapshot(1861, ["r2"], ["h1", "h2", "h3"])
+    graph.add_snapshot(1871, ["r3"], ["k1", "k2", "k3"])
+    graph.add_pair_patterns(
+        PairPatterns(
+            1851,
+            1861,
+            RecordPatterns(preserved=[("r1", "r2")]),
+            GroupPatterns(preserved=[("g1", "h1")], moves=[("g2", "h2")]),
+        )
+    )
+    graph.add_pair_patterns(
+        PairPatterns(
+            1861,
+            1871,
+            RecordPatterns(preserved=[("r2", "r3")]),
+            GroupPatterns(
+                preserved=[],
+                splits={"h1": ["k1", "k2"]},
+            ),
+        )
+    )
+    return graph
+
+
+class TestPersonTimeline:
+    def test_full_chain(self, graph):
+        steps = person_timeline(graph, 1851, "r1")
+        assert [(s.year, s.identifier) for s in steps] == [
+            (1851, "r1"),
+            (1861, "r2"),
+            (1871, "r3"),
+        ]
+        assert steps[0].edge_type is None
+        assert steps[1].edge_type == "preserve_R"
+
+    def test_dead_end(self, graph):
+        steps = person_timeline(graph, 1861, "r2")
+        assert len(steps) == 2
+
+    def test_unknown_person(self, graph):
+        assert len(person_timeline(graph, 1851, "ghost")) == 1
+
+
+class TestHouseholdLineage:
+    def test_fan_out_on_split(self, graph):
+        paths = household_lineage(graph, 1851, "g1")
+        leaves = {path[-1].identifier for path in paths}
+        assert leaves == {"k1", "k2"}
+        for path in paths:
+            assert path[0].identifier == "g1"
+            assert path[1].edge_type == "preserve_G"
+            assert path[2].edge_type == "split"
+
+    def test_single_hop(self, graph):
+        paths = household_lineage(graph, 1851, "g2")
+        assert len(paths) == 1
+        assert paths[0][-1].identifier == "h2"
+
+
+class TestFrequentSequences:
+    def test_length_two(self, graph):
+        sequences = frequent_change_sequences(graph, length=2)
+        assert sequences[("preserve_G", "split")] == 2  # to k1 and k2
+
+    def test_length_one(self, graph):
+        sequences = frequent_change_sequences(graph, length=1)
+        assert sequences[("preserve_G",)] == 1
+        assert sequences[("move",)] == 1
+        assert sequences[("split",)] == 2
+
+    def test_invalid_length(self, graph):
+        with pytest.raises(ValueError):
+            frequent_change_sequences(graph, length=0)
+
+
+class TestHouseholdsWithHistory:
+    def test_matching_history(self, graph):
+        found = households_with_history(graph, "preserve_G", "split")
+        assert found == [("group", 1851, "g1")]
+
+    def test_no_match(self, graph):
+        assert households_with_history(graph, "merge") == []
+
+    def test_requires_types(self, graph):
+        with pytest.raises(ValueError):
+            households_with_history(graph)

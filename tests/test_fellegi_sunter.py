@@ -1,0 +1,129 @@
+"""Tests for the Fellegi-Sunter baseline and its EM estimator."""
+
+import math
+
+import pytest
+
+from repro.baselines.fellegi_sunter import (
+    FellegiSunterLinkage,
+    FellegiSunterParams,
+    expectation_maximisation,
+)
+from repro.blocking.standard import CrossProductBlocker
+from repro.core.config import OMEGA2
+from repro.evaluation.metrics import evaluate_mapping
+from repro.similarity.vector import build_similarity_function
+
+SIM = build_similarity_function(list(OMEGA2), 0.5)
+
+
+class TestParams:
+    def make(self):
+        return FellegiSunterParams(
+            m_probabilities=[0.9, 0.8],
+            u_probabilities=[0.1, 0.4],
+            match_prevalence=0.05,
+            iterations=10,
+        )
+
+    def test_agreement_weight_positive(self):
+        params = self.make()
+        assert params.agreement_weight(0) > 0
+        assert params.agreement_weight(0) == pytest.approx(math.log2(9))
+
+    def test_disagreement_weight_negative(self):
+        params = self.make()
+        assert params.disagreement_weight(0) < 0
+
+    def test_pattern_weight_monotone_in_agreements(self):
+        params = self.make()
+        assert params.pattern_weight((1, 1)) > params.pattern_weight((1, 0))
+        assert params.pattern_weight((1, 0)) > params.pattern_weight((0, 0))
+
+
+class TestEM:
+    def test_recovers_two_clear_classes(self):
+        # 1000 "non-matches" disagreeing everywhere, 50 "matches"
+        # agreeing everywhere, some mixed noise.
+        patterns = [(0, 0), (1, 1), (1, 0), (0, 1)]
+        counts = [1000, 50, 30, 20]
+        params = expectation_maximisation(patterns, counts, 2)
+        assert params.m_probabilities[0] > params.u_probabilities[0]
+        assert params.m_probabilities[1] > params.u_probabilities[1]
+        assert params.pattern_weight((1, 1)) > params.pattern_weight((0, 0))
+
+    def test_prevalence_bounded(self):
+        params = expectation_maximisation([(1,), (0,)], [10, 10], 1)
+        assert 0.0 < params.match_prevalence <= 0.5
+
+    def test_fix_u_keeps_initial_values(self):
+        params = expectation_maximisation(
+            [(0, 0), (1, 1)], [100, 10], 2,
+            initial_u=[0.2, 0.3], fix_u=True,
+        )
+        assert params.u_probabilities == [0.2, 0.3]
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(ValueError):
+            expectation_maximisation([], [], 2)
+
+    def test_m_clamped_above_u(self):
+        params = expectation_maximisation(
+            [(1, 0), (0, 1)], [50, 50], 2, enforce_m_above_u=True
+        )
+        for m, u in zip(params.m_probabilities, params.u_probabilities):
+            assert m >= u
+
+
+class TestLinkage:
+    def test_running_example(self, census_1871, census_1881):
+        linkage = FellegiSunterLinkage(SIM, blocker=CrossProductBlocker())
+        result = linkage.link(census_1871, census_1881)
+        assert linkage.params_ is not None
+        # The clear Smith matches should be found.
+        assert ("1871_6", "1881_4") in result.record_mapping
+
+    def test_one_to_one(self, small_pair):
+        old, new = small_pair.datasets
+        result = FellegiSunterLinkage(SIM).link(old, new)
+        pairs = result.record_mapping.pairs()
+        assert len({o for o, _ in pairs}) == len(pairs)
+        assert len({n for _, n in pairs}) == len(pairs)
+
+    def test_quality_reasonable_but_below_iter_sub(self, small_pair):
+        from repro.core import LinkageConfig, link_datasets
+
+        old, new = small_pair.datasets
+        truth = small_pair.ground_truth.record_mapping(old.year, new.year)
+        fs_quality = evaluate_mapping(
+            FellegiSunterLinkage(SIM).link(old, new).record_mapping, truth
+        )
+        our_quality = evaluate_mapping(
+            link_datasets(old, new, LinkageConfig()).record_mapping, truth
+        )
+        assert fs_quality.f_measure > 0.6
+        assert our_quality.f_measure >= fs_quality.f_measure - 0.02
+
+    def test_age_filter_respected(self, census_1871, census_1881):
+        linkage = FellegiSunterLinkage(SIM, blocker=CrossProductBlocker())
+        result = linkage.link(census_1871, census_1881)
+        assert not result.record_mapping.contains_new("1881_8")  # baby Mary
+
+    def test_custom_weight_threshold(self, small_pair):
+        old, new = small_pair.datasets
+        strict = FellegiSunterLinkage(SIM, min_match_weight=1000.0)
+        assert len(strict.link(old, new).record_mapping) == 0
+
+    def test_empty_candidates(self):
+        from repro.model.dataset import CensusDataset
+
+        result = FellegiSunterLinkage(SIM).link(
+            CensusDataset(1871), CensusDataset(1881)
+        )
+        assert len(result.record_mapping) == 0
+
+    def test_deterministic(self, small_pair):
+        old, new = small_pair.datasets
+        first = FellegiSunterLinkage(SIM).link(old, new)
+        second = FellegiSunterLinkage(SIM).link(old, new)
+        assert first.record_mapping == second.record_mapping

@@ -1,0 +1,82 @@
+"""Unit tests for union-find and connected components."""
+
+from repro.graphutil.components import connected_components, largest_component
+from repro.graphutil.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+        assert uf.groups() == [["a"], ["b"]]
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.connected("a", "b")
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+
+    def test_find_auto_adds(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert "new" in uf
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        root = uf.union("a", "b")
+        assert root == uf.find("a")
+
+    def test_groups_sorted_and_complete(self):
+        uf = UnionFind(["d"])
+        uf.union("c", "a")
+        uf.union("b", "e")
+        groups = uf.groups()
+        assert groups == [["a", "c"], ["b", "e"], ["d"]]
+
+    def test_len(self):
+        uf = UnionFind(["a", "b"])
+        uf.union("a", "c")
+        assert len(uf) == 3
+
+    def test_large_chain(self):
+        uf = UnionFind()
+        for index in range(999):
+            uf.union(index, index + 1)
+        assert uf.connected(0, 999)
+        assert len(uf.groups()) == 1
+
+
+class TestConnectedComponents:
+    def test_isolated_nodes(self):
+        components = connected_components(["a", "b"], [])
+        assert components == [["a"], ["b"]]
+
+    def test_edges_merge(self):
+        components = connected_components(
+            ["a", "b", "c", "d"], [("a", "b"), ("c", "d")]
+        )
+        assert components == [["a", "b"], ["c", "d"]]
+
+    def test_edge_endpoints_added_implicitly(self):
+        components = connected_components([], [("x", "y")])
+        assert components == [["x", "y"]]
+
+    def test_largest_component(self):
+        component = largest_component(
+            ["a", "b", "c", "d", "e"], [("a", "b"), ("b", "c")]
+        )
+        assert component == ["a", "b", "c"]
+
+    def test_largest_of_empty(self):
+        assert largest_component([], []) == []
+
+    def test_largest_tie_is_deterministic(self):
+        first = largest_component(["a", "b", "c", "d"], [("a", "b"), ("c", "d")])
+        second = largest_component(["a", "b", "c", "d"], [("a", "b"), ("c", "d")])
+        assert first == second == ["a", "b"]

@@ -1,0 +1,91 @@
+"""Tests for the series ground truth bookkeeping."""
+
+import pytest
+
+from repro.model.mappings import GroupMapping, RecordMapping
+
+
+class TestTrueMappings:
+    def test_record_mapping_is_one_to_one(self, small_series):
+        truth = small_series.ground_truth.record_mapping(1851, 1861)
+        pairs = truth.pairs()
+        assert len({o for o, _ in pairs}) == len(pairs)
+        assert len({n for _, n in pairs}) == len(pairs)
+
+    def test_linked_records_share_entity(self, small_series):
+        ground_truth = small_series.ground_truth
+        truth = ground_truth.record_mapping(1851, 1861)
+        for old_id, new_id in truth:
+            assert (
+                ground_truth.record_to_entity[1851][old_id]
+                == ground_truth.record_to_entity[1861][new_id]
+            )
+
+    def test_group_mapping_from_shared_members(self, small_series):
+        ground_truth = small_series.ground_truth
+        record_truth = ground_truth.record_mapping(1851, 1861)
+        group_truth = ground_truth.group_mapping(1851, 1861)
+        derived = {
+            (
+                ground_truth.record_household[1851][o],
+                ground_truth.record_household[1861][n],
+            )
+            for o, n in record_truth
+        }
+        assert set(group_truth.pairs()) == derived
+
+    def test_non_adjacent_years_supported(self, small_series):
+        truth = small_series.ground_truth.record_mapping(1851, 1871)
+        assert len(truth) > 0
+
+    def test_years_property(self, small_series):
+        assert small_series.ground_truth.years == [1851, 1861, 1871]
+
+
+class TestReferenceSubset:
+    def test_subset_households_have_strong_links(self, small_series):
+        ground_truth = small_series.ground_truth
+        subset = ground_truth.reference_household_subset(1851, 1861)
+        record_truth = ground_truth.record_mapping(1851, 1861)
+        overlap = {}
+        for old_id, new_id in record_truth:
+            pair = (
+                ground_truth.record_household[1851][old_id],
+                ground_truth.record_household[1861][new_id],
+            )
+            overlap[pair] = overlap.get(pair, 0) + 1
+        for household in subset:
+            strong = [
+                pair for pair, count in overlap.items()
+                if pair[0] == household and count >= 2
+            ]
+            assert strong
+
+    def test_max_households_respected(self, small_series):
+        ground_truth = small_series.ground_truth
+        subset = ground_truth.reference_household_subset(
+            1851, 1861, max_households=5
+        )
+        assert len(subset) == 5
+
+    def test_sampling_deterministic(self, small_series):
+        ground_truth = small_series.ground_truth
+        first = ground_truth.reference_household_subset(1851, 1861, 5, seed=3)
+        second = ground_truth.reference_household_subset(1851, 1861, 5, seed=3)
+        assert first == second
+
+    def test_restrict_record_mapping(self, small_series):
+        ground_truth = small_series.ground_truth
+        truth = ground_truth.record_mapping(1851, 1861)
+        subset = ground_truth.reference_household_subset(1851, 1861, 5)
+        restricted = ground_truth.restrict_record_mapping(truth, 1851, subset)
+        for old_id, _ in restricted:
+            assert ground_truth.record_household[1851][old_id] in subset
+        assert len(restricted) <= len(truth)
+
+    def test_restrict_group_mapping(self, small_series):
+        ground_truth = small_series.ground_truth
+        groups = ground_truth.group_mapping(1851, 1861)
+        subset = ground_truth.reference_household_subset(1851, 1861, 5)
+        restricted = ground_truth.restrict_group_mapping(groups, subset)
+        assert all(old in subset for old, _ in restricted)

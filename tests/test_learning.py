@@ -1,0 +1,143 @@
+"""Tests for the learning-based weight optimisation."""
+
+import math
+
+import pytest
+
+from repro.learning.logistic import LogisticModel, fit_logistic, log_loss
+from repro.learning.weights import (
+    learn_similarity_function,
+    model_to_sim_func,
+    training_pairs,
+)
+from repro.similarity.vector import build_similarity_function
+
+NAME_WEIGHTS = [("first_name", "qgram", 0.5), ("surname", "qgram", 0.5)]
+
+
+class TestLogisticModel:
+    def test_predict_proba_range(self):
+        model = LogisticModel(weights=[1.0, -0.5], bias=0.2)
+        for features in ([0, 0], [1, 1], [0.5, 0.3]):
+            assert 0.0 <= model.predict_proba(features) <= 1.0
+
+    def test_decision_linear(self):
+        model = LogisticModel(weights=[2.0, 1.0], bias=-1.0)
+        assert model.decision([1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_feature_count_checked(self):
+        model = LogisticModel(weights=[1.0], bias=0.0)
+        with pytest.raises(ValueError):
+            model.predict_proba([1.0, 2.0])
+
+    def test_predict_threshold(self):
+        model = LogisticModel(weights=[4.0], bias=-2.0)
+        assert model.predict([1.0])
+        assert not model.predict([0.0])
+
+
+class TestFitLogistic:
+    def test_learns_separable_data(self):
+        features = [[0.0], [0.1], [0.2], [0.8], [0.9], [1.0]]
+        labels = [0, 0, 0, 1, 1, 1]
+        model = fit_logistic(features, labels, epochs=500)
+        assert model.predict_proba([0.95]) > 0.8
+        assert model.predict_proba([0.05]) < 0.2
+        assert model.weights[0] > 0
+
+    def test_imbalanced_data_not_collapsed(self):
+        features = [[0.1]] * 50 + [[0.9]] * 2
+        labels = [0] * 50 + [1] * 2
+        model = fit_logistic(features, labels, epochs=400)
+        assert model.predict_proba([0.9]) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_logistic([], [])
+        with pytest.raises(ValueError):
+            fit_logistic([[1.0]], [1])  # single class
+        with pytest.raises(ValueError):
+            fit_logistic([[1.0], [0.0, 1.0]], [1, 0])  # ragged rows
+
+    def test_log_loss_decreases_from_random(self):
+        features = [[0.0], [1.0]] * 10
+        labels = [0, 1] * 10
+        trained = fit_logistic(features, labels, epochs=300)
+        random_model = LogisticModel(weights=[0.0], bias=0.0)
+        assert log_loss(trained, features, labels) < log_loss(
+            random_model, features, labels
+        )
+
+    def test_deterministic(self):
+        features = [[0.0], [0.3], [0.7], [1.0]]
+        labels = [0, 0, 1, 1]
+        first = fit_logistic(features, labels, epochs=50, seed=3)
+        second = fit_logistic(features, labels, epochs=50, seed=3)
+        assert first.weights == second.weights
+
+
+class TestModelConversion:
+    def test_positive_weights_normalised(self):
+        template = build_similarity_function(NAME_WEIGHTS, 0.5)
+        model = LogisticModel(weights=[3.0, 1.0], bias=-2.0)
+        sim_func = model_to_sim_func(model, template)
+        assert sim_func.weights == pytest.approx((0.75, 0.25))
+        assert sim_func.threshold == pytest.approx(0.5)
+
+    def test_negative_weights_clipped(self):
+        template = build_similarity_function(NAME_WEIGHTS, 0.5)
+        model = LogisticModel(weights=[2.0, -1.0], bias=-1.0)
+        sim_func = model_to_sim_func(model, template)
+        assert sim_func.weights == pytest.approx((1.0, 0.0))
+
+    def test_all_clipped_falls_back(self):
+        template = build_similarity_function(NAME_WEIGHTS, 0.5)
+        model = LogisticModel(weights=[-1.0, -2.0], bias=0.5)
+        sim_func = model_to_sim_func(model, template, fallback_threshold=0.7)
+        assert sim_func.threshold == 0.7
+
+    def test_threshold_clamped(self):
+        template = build_similarity_function(NAME_WEIGHTS, 0.5)
+        model = LogisticModel(weights=[1.0, 1.0], bias=-10.0)
+        sim_func = model_to_sim_func(model, template)
+        assert sim_func.threshold == 1.0
+
+
+class TestEndToEnd:
+    def test_training_pairs_labels(self, small_pair):
+        old, new = small_pair.datasets
+        truth = small_pair.ground_truth.record_mapping(old.year, new.year)
+        template = build_similarity_function(NAME_WEIGHTS, 0.5)
+        features, labels = training_pairs(old, new, truth, template)
+        assert len(features) == len(labels)
+        assert 0 < sum(labels) < len(labels)
+        assert all(len(row) == 2 for row in features)
+        assert all(0.0 <= value <= 1.0 for row in features for value in row)
+
+    def test_learn_similarity_function(self, small_pair):
+        old, new = small_pair.datasets
+        truth = small_pair.ground_truth.record_mapping(old.year, new.year)
+        learned = learn_similarity_function(old, new, truth, epochs=80)
+        assert learned.num_training_pairs > 0
+        assert learned.num_positive_pairs > 0
+        assert abs(sum(learned.sim_func.weights) - 1.0) < 1e-9
+        # First name should carry substantial learned weight — the same
+        # insight the paper encodes by hand in ω2.
+        assert learned.weight_of("first_name") > learned.weight_of("occupation")
+
+    def test_learned_function_scores_matches_higher(self, small_pair):
+        old, new = small_pair.datasets
+        truth = small_pair.ground_truth.record_mapping(old.year, new.year)
+        learned = learn_similarity_function(old, new, truth, epochs=80)
+        true_pairs = truth.pairs()[:30]
+        match_scores = [
+            learned.sim_func.agg_sim(old.record(o), new.record(n))
+            for o, n in true_pairs
+        ]
+        mismatch_scores = [
+            learned.sim_func.agg_sim(old.record(o1), new.record(n2))
+            for (o1, _), (_, n2) in zip(true_pairs, reversed(true_pairs))
+            if (o1, n2) not in truth
+        ]
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(match_scores) > mean(mismatch_scores) + 0.2

@@ -1,0 +1,102 @@
+"""Unit tests for CensusDataset and its Table-1 statistics."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.model.dataset import CensusDataset
+from repro.model.records import PersonRecord
+
+
+def record(record_id, household_id, first="john", last="smith", **kwargs):
+    fields = dict(sex="m", age=30, occupation="weaver", address="bank st",
+                  role=R.HEAD)
+    fields.update(kwargs)
+    return PersonRecord(record_id, household_id, first, last, **fields)
+
+
+class TestConstruction:
+    def test_groups_by_household(self, census_1871):
+        assert len(census_1871) == 8
+        assert census_1871.household_ids == ["a71", "b71"]
+        assert census_1871.household("a71").size == 5
+
+    def test_duplicate_record_id_rejected(self):
+        dataset = CensusDataset.from_records(1871, [record("r1", "h1")])
+        with pytest.raises(ValueError):
+            dataset.add_record(record("r1", "h2", role=R.WIFE, sex="f"))
+
+    def test_household_of(self, census_1871):
+        assert census_1871.household_of("1871_6").household_id == "b71"
+
+    def test_record_lookup(self, census_1871):
+        assert census_1871.record("1871_3").first_name == "alice"
+
+    def test_subset_sorted(self, census_1871):
+        records = census_1871.subset(["1871_8", "1871_1"])
+        assert [r.record_id for r in records] == ["1871_1", "1871_8"]
+
+    def test_iter_records_order(self, census_1871):
+        ids = [r.record_id for r in census_1871.iter_records()]
+        assert ids == sorted(ids)
+
+    def test_repr(self, census_1871):
+        assert "1871" in repr(census_1871)
+
+
+class TestStats:
+    def test_name_frequency(self, census_1871):
+        freq = census_1871.name_frequency()
+        assert freq[("john", "ashworth")] == 1
+        assert freq[("john", "smith")] == 1
+        assert sum(freq.values()) == 8
+
+    def test_duplicate_names_counted(self, census_1881):
+        freq = census_1881.name_frequency()
+        assert freq[("john", "ashworth")] == 2  # households a and d
+
+    def test_missing_value_ratio_zero_when_complete(self):
+        dataset = CensusDataset.from_records(1871, [record("r1", "h1")])
+        assert dataset.missing_value_ratio() == 0.0
+
+    def test_missing_value_ratio_counts_cells(self):
+        dataset = CensusDataset.from_records(
+            1871,
+            [record("r1", "h1", occupation=None, address=None)],
+        )
+        # 2 of 5 compared attribute cells missing.
+        assert dataset.missing_value_ratio() == pytest.approx(0.4)
+
+    def test_missing_value_ratio_custom_attributes(self):
+        dataset = CensusDataset.from_records(
+            1871, [record("r1", "h1", occupation=None)]
+        )
+        assert dataset.missing_value_ratio(("occupation",)) == 1.0
+
+    def test_missing_value_ratio_unknown_attribute(self):
+        dataset = CensusDataset.from_records(1871, [record("r1", "h1")])
+        with pytest.raises(KeyError):
+            dataset.missing_value_ratio(("hat_size",))
+
+    def test_stats_row(self, census_1881):
+        stats = census_1881.stats()
+        assert stats.year == 1881
+        assert stats.num_records == 11
+        assert stats.num_households == 4
+        assert stats.unique_name_combinations == 8
+        assert stats.average_name_frequency == pytest.approx(11 / 8)
+
+    def test_stats_empty_dataset(self):
+        stats = CensusDataset(1871).stats()
+        assert stats.num_records == 0
+        assert stats.average_name_frequency == 0.0
+        assert stats.missing_value_ratio == 0.0
+
+
+class TestValidate:
+    def test_valid_dataset_passes(self, census_1871):
+        census_1871.validate()
+
+    def test_detects_orphan_record(self, census_1871):
+        census_1871.records["ghost"] = record("ghost", "a71")
+        with pytest.raises(ValueError):
+            census_1871.validate()

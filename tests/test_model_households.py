@@ -1,0 +1,151 @@
+"""Unit tests for households and relationships."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.model.households import Household, Relationship, edge_key
+from repro.model.records import PersonRecord
+
+
+def member(record_id, role=R.HEAD, age=30, household_id="h1"):
+    return PersonRecord(
+        record_id, household_id, "john", "smith", "m", age, role=role
+    )
+
+
+class TestEdgeKey:
+    def test_orders_endpoints(self):
+        assert edge_key("b", "a") == ("a", "b")
+        assert edge_key("a", "b") == ("a", "b")
+
+    def test_rejects_self_edge(self):
+        with pytest.raises(ValueError):
+            edge_key("a", "a")
+
+
+class TestRelationship:
+    def test_make_canonicalises(self):
+        rel = Relationship.make("r2", "r1", R.SPOUSE, 3)
+        assert rel.key == ("r1", "r2")
+        assert rel.age_diff == 3
+
+    def test_non_canonical_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Relationship("r2", "r1", R.SPOUSE)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            Relationship.make("r1", "r2", "frenemy")
+
+    def test_negative_age_diff_rejected(self):
+        with pytest.raises(ValueError):
+            Relationship.make("r1", "r2", R.SPOUSE, -1)
+
+    def test_none_age_diff_allowed(self):
+        assert Relationship.make("r1", "r2", R.SPOUSE, None).age_diff is None
+
+    def test_other_endpoint(self):
+        rel = Relationship.make("r1", "r2", R.SPOUSE)
+        assert rel.other("r1") == "r2"
+        assert rel.other("r2") == "r1"
+        with pytest.raises(KeyError):
+            rel.other("r3")
+
+
+class TestHousehold:
+    def test_from_members(self):
+        household = Household.from_members("h1", [member("r1"), member("r2", R.WIFE)])
+        assert household.size == 2
+        assert household.member_ids == ["r1", "r2"]
+
+    def test_wrong_household_id_rejected(self):
+        with pytest.raises(ValueError):
+            Household.from_members("h1", [member("r1", household_id="h2")])
+
+    def test_duplicate_member_rejected(self):
+        household = Household.from_members("h1", [member("r1")])
+        with pytest.raises(ValueError):
+            household.add_member(member("r1"))
+
+    def test_add_relationship_requires_members(self):
+        household = Household.from_members("h1", [member("r1")])
+        with pytest.raises(KeyError):
+            household.add_relationship(Relationship.make("r1", "r9", R.SPOUSE))
+
+    def test_relationship_roundtrip(self):
+        household = Household.from_members(
+            "h1", [member("r1"), member("r2", R.WIFE)]
+        )
+        household.add_relationship(Relationship.make("r1", "r2", R.SPOUSE, 2))
+        assert household.are_connected("r2", "r1")
+        rel = household.get_relationship("r1", "r2")
+        assert rel is not None and rel.rel_type == R.SPOUSE
+
+    def test_get_missing_relationship(self):
+        household = Household.from_members(
+            "h1", [member("r1"), member("r2", R.WIFE)]
+        )
+        assert household.get_relationship("r1", "r2") is None
+        assert not household.are_connected("r1", "r2")
+
+    def test_head_lookup(self):
+        household = Household.from_members(
+            "h1", [member("r1", R.WIFE), member("r2", R.HEAD)]
+        )
+        head = household.head()
+        assert head is not None and head.record_id == "r2"
+
+    def test_head_missing(self):
+        household = Household.from_members("h1", [member("r1", R.LODGER)])
+        assert household.head() is None
+
+    def test_neighbours(self):
+        household = Household.from_members(
+            "h1",
+            [member("r1"), member("r2", R.WIFE), member("r3", R.SON, age=5)],
+        )
+        household.add_relationship(Relationship.make("r1", "r2", R.SPOUSE))
+        household.add_relationship(Relationship.make("r1", "r3", R.PARENT_CHILD))
+        assert household.neighbours("r1") == ["r2", "r3"]
+        assert household.neighbours("r3") == ["r1"]
+        with pytest.raises(KeyError):
+            household.neighbours("r9")
+
+    def test_is_complete_graph(self):
+        household = Household.from_members(
+            "h1",
+            [member("r1"), member("r2", R.WIFE), member("r3", R.SON, age=5)],
+        )
+        assert not household.is_complete_graph()
+        household.add_relationship(Relationship.make("r1", "r2", R.SPOUSE))
+        household.add_relationship(Relationship.make("r1", "r3", R.PARENT_CHILD))
+        household.add_relationship(Relationship.make("r2", "r3", R.PARENT_CHILD))
+        assert household.is_complete_graph()
+
+    def test_singleton_is_trivially_complete(self):
+        assert Household.from_members("h1", [member("r1")]).is_complete_graph()
+
+    def test_copy_shell_drops_relationships(self):
+        household = Household.from_members(
+            "h1", [member("r1"), member("r2", R.WIFE)]
+        )
+        household.add_relationship(Relationship.make("r1", "r2", R.SPOUSE))
+        shell = household.copy_shell()
+        assert shell.size == 2
+        assert shell.num_relationships == 0
+        assert household.num_relationships == 1
+
+    def test_contains_and_len(self):
+        household = Household.from_members("h1", [member("r1")])
+        assert "r1" in household
+        assert "r2" not in household
+        assert len(household) == 1
+
+    def test_iter_records_deterministic(self):
+        household = Household.from_members(
+            "h1", [member("r2", R.WIFE), member("r1")]
+        )
+        assert [record.record_id for record in household.iter_records()] == [
+            "r1",
+            "r2",
+        ]

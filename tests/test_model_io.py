@@ -1,0 +1,75 @@
+"""Round-trip tests for CSV dataset and mapping I/O."""
+
+import pytest
+
+from repro.model.io import (
+    read_dataset,
+    read_group_mapping,
+    read_record_mapping,
+    write_dataset,
+    write_group_mapping,
+    write_record_mapping,
+)
+from repro.model.mappings import GroupMapping, RecordMapping
+
+
+class TestDatasetRoundTrip:
+    def test_roundtrip_preserves_records(self, census_1871, tmp_path):
+        path = tmp_path / "census_1871.csv"
+        write_dataset(census_1871, path)
+        loaded = read_dataset(path)
+        assert loaded.year == 1871
+        assert loaded.record_ids == census_1871.record_ids
+        assert loaded.household_ids == census_1871.household_ids
+        original = census_1871.record("1871_1")
+        restored = loaded.record("1871_1")
+        assert restored == original
+
+    def test_roundtrip_preserves_missing_values(self, census_1871, tmp_path):
+        path = tmp_path / "census.csv"
+        write_dataset(census_1871, path)
+        loaded = read_dataset(path)
+        assert loaded.record("1871_2").occupation is None
+
+    def test_roundtrip_preserves_entity_ids(self, small_pair, tmp_path):
+        dataset = small_pair.datasets[0]
+        path = tmp_path / "snapshot.csv"
+        write_dataset(dataset, path)
+        loaded = read_dataset(path)
+        some_record = next(loaded.iter_records())
+        assert some_record.entity_id is not None
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("year,record_id,household_id,first_name,surname,sex,"
+                        "age,occupation,address,role,entity_id\n")
+        with pytest.raises(ValueError):
+            read_dataset(path)
+
+    def test_mixed_years_rejected(self, census_1871, tmp_path):
+        path = tmp_path / "census.csv"
+        write_dataset(census_1871, path)
+        lines = path.read_text().splitlines()
+        lines.append(lines[1].replace("1871", "1881", 1))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            read_dataset(path)
+
+
+class TestMappingRoundTrip:
+    def test_record_mapping(self, tmp_path):
+        mapping = RecordMapping([("o1", "n1"), ("o2", "n2")])
+        path = tmp_path / "records.csv"
+        write_record_mapping(mapping, path)
+        assert read_record_mapping(path) == mapping
+
+    def test_group_mapping(self, tmp_path):
+        mapping = GroupMapping([("g1", "h1"), ("g1", "h2")])
+        path = tmp_path / "groups.csv"
+        write_group_mapping(mapping, path)
+        assert read_group_mapping(path) == mapping
+
+    def test_empty_mapping(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_record_mapping(RecordMapping(), path)
+        assert len(read_record_mapping(path)) == 0

@@ -1,0 +1,128 @@
+"""Unit tests for record (1:1) and group (N:M) mappings."""
+
+import pytest
+
+from repro.model.mappings import (
+    GroupMapping,
+    MappingConflictError,
+    RecordMapping,
+    induced_group_mapping,
+)
+
+
+class TestRecordMapping:
+    def test_add_and_query(self):
+        mapping = RecordMapping()
+        mapping.add("o1", "n1")
+        assert mapping.get_new("o1") == "n1"
+        assert mapping.get_old("n1") == "o1"
+        assert ("o1", "n1") in mapping
+        assert mapping.contains_old("o1")
+        assert mapping.contains_new("n1")
+        assert len(mapping) == 1
+
+    def test_idempotent_re_add(self):
+        mapping = RecordMapping([("o1", "n1")])
+        mapping.add("o1", "n1")
+        assert len(mapping) == 1
+
+    def test_conflicting_old_rejected(self):
+        mapping = RecordMapping([("o1", "n1")])
+        with pytest.raises(MappingConflictError):
+            mapping.add("o1", "n2")
+
+    def test_conflicting_new_rejected(self):
+        mapping = RecordMapping([("o1", "n1")])
+        with pytest.raises(MappingConflictError):
+            mapping.add("o2", "n1")
+
+    def test_try_add(self):
+        mapping = RecordMapping([("o1", "n1")])
+        assert not mapping.try_add("o1", "n2")
+        assert mapping.try_add("o2", "n2")
+        assert len(mapping) == 2
+
+    def test_update_merges(self):
+        mapping = RecordMapping([("o1", "n1")])
+        mapping.update(RecordMapping([("o2", "n2")]))
+        assert len(mapping) == 2
+
+    def test_update_conflict_raises(self):
+        mapping = RecordMapping([("o1", "n1")])
+        with pytest.raises(MappingConflictError):
+            mapping.update(RecordMapping([("o1", "n9")]))
+
+    def test_pairs_sorted(self):
+        mapping = RecordMapping([("o2", "n2"), ("o1", "n1")])
+        assert mapping.pairs() == [("o1", "n1"), ("o2", "n2")]
+
+    def test_equality_and_copy(self):
+        mapping = RecordMapping([("o1", "n1")])
+        copy = mapping.copy()
+        assert copy == mapping
+        copy.add("o2", "n2")
+        assert copy != mapping
+
+    def test_restricted_to(self):
+        mapping = RecordMapping([("o1", "n1"), ("o2", "n2")])
+        assert mapping.restricted_to(old_ids={"o1"}).pairs() == [("o1", "n1")]
+        assert mapping.restricted_to(new_ids={"n2"}).pairs() == [("o2", "n2")]
+        assert len(mapping.restricted_to(old_ids=set())) == 0
+
+    def test_id_sets(self):
+        mapping = RecordMapping([("o1", "n1"), ("o2", "n2")])
+        assert mapping.old_ids == {"o1", "o2"}
+        assert mapping.new_ids == {"n1", "n2"}
+
+
+class TestGroupMapping:
+    def test_many_to_many(self):
+        mapping = GroupMapping()
+        mapping.add("g1", "h1")
+        mapping.add("g1", "h2")
+        mapping.add("g2", "h1")
+        assert mapping.partners_of_old("g1") == {"h1", "h2"}
+        assert mapping.partners_of_new("h1") == {"g1", "g2"}
+        assert len(mapping) == 3
+
+    def test_duplicate_pairs_collapse(self):
+        mapping = GroupMapping([("g1", "h1"), ("g1", "h1")])
+        assert len(mapping) == 1
+
+    def test_contains(self):
+        mapping = GroupMapping([("g1", "h1")])
+        assert ("g1", "h1") in mapping
+        assert ("g1", "h2") not in mapping
+        assert mapping.contains_old("g1")
+        assert not mapping.contains_new("h2")
+
+    def test_is_one_to_one_pair(self):
+        mapping = GroupMapping([("g1", "h1"), ("g2", "h2"), ("g2", "h3")])
+        assert mapping.is_one_to_one_pair("g1", "h1")
+        assert not mapping.is_one_to_one_pair("g2", "h2")
+
+    def test_update_and_copy(self):
+        mapping = GroupMapping([("g1", "h1")])
+        other = GroupMapping([("g2", "h2")])
+        mapping.update(other)
+        assert len(mapping) == 2
+        copy = mapping.copy()
+        copy.add("g3", "h3")
+        assert len(mapping) == 2
+
+    def test_partners_of_missing_group(self):
+        assert GroupMapping().partners_of_old("nope") == set()
+
+
+class TestInducedGroupMapping:
+    def test_induces_links_from_records(self):
+        record_mapping = RecordMapping([("o1", "n1"), ("o2", "n2")])
+        old_household = {"o1": "g1", "o2": "g1"}
+        new_household = {"n1": "h1", "n2": "h2"}
+        induced = induced_group_mapping(
+            record_mapping, old_household, new_household
+        )
+        assert set(induced.pairs()) == {("g1", "h1"), ("g1", "h2")}
+
+    def test_empty_record_mapping(self):
+        assert len(induced_group_mapping(RecordMapping(), {}, {})) == 0

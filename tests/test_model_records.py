@@ -1,0 +1,139 @@
+"""Unit tests for the PersonRecord model."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.model.records import COMPARABLE_ATTRIBUTES, PersonRecord
+
+
+def make_record(**overrides):
+    fields = dict(
+        record_id="1871_1",
+        household_id="g1",
+        first_name="john",
+        surname="ashworth",
+        sex="m",
+        age=39,
+        occupation="weaver",
+        address="bacup rd",
+        role=R.HEAD,
+    )
+    fields.update(overrides)
+    return PersonRecord(**fields)
+
+
+class TestConstruction:
+    def test_minimal_record(self):
+        record = PersonRecord("r1", "h1")
+        assert record.record_id == "r1"
+        assert record.household_id == "h1"
+        assert record.first_name is None
+        assert record.role == R.UNKNOWN
+
+    def test_empty_record_id_rejected(self):
+        with pytest.raises(ValueError):
+            PersonRecord("", "h1")
+
+    def test_empty_household_id_rejected(self):
+        with pytest.raises(ValueError):
+            PersonRecord("r1", "")
+
+    def test_invalid_sex_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(sex="x")
+
+    def test_none_sex_allowed(self):
+        assert make_record(sex=None).sex is None
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(age=-1)
+
+    def test_zero_age_allowed(self):
+        assert make_record(age=0).age == 0
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(role="cousin-twice-removed")
+
+
+class TestAccessors:
+    def test_get_by_attribute_name(self):
+        record = make_record()
+        assert record.get("first_name") == "john"
+        assert record.get("age") == 39
+        assert record.get("occupation") == "weaver"
+
+    def test_get_unknown_attribute_raises(self):
+        with pytest.raises(KeyError):
+            make_record().get("shoe_size")
+
+    def test_get_birth_year_requires_year(self):
+        record = make_record(age=39)
+        assert record.get("birth_year") is None
+        assert record.get_with_year("birth_year", 1871) == 1832
+
+    def test_get_with_year_missing_age(self):
+        assert make_record(age=None).get_with_year("birth_year", 1871) is None
+
+    def test_get_with_year_passthrough(self):
+        assert make_record().get_with_year("surname", 1871) == "ashworth"
+
+    def test_full_name(self):
+        assert make_record().full_name == "john ashworth"
+
+    def test_full_name_with_missing_parts(self):
+        assert make_record(first_name=None).full_name == "? ashworth"
+        assert make_record(surname=None).full_name == "john ?"
+
+    def test_name_key_normalises(self):
+        record = make_record(first_name=" John ", surname="ASHWORTH")
+        assert record.name_key == ("john", "ashworth")
+
+    def test_comparable_attributes_all_resolvable(self):
+        record = make_record()
+        for attribute in COMPARABLE_ATTRIBUTES:
+            record.get_with_year(attribute, 1871)  # must not raise
+
+
+class TestMissing:
+    def test_none_is_missing(self):
+        assert make_record(occupation=None).is_missing("occupation")
+
+    def test_blank_string_is_missing(self):
+        assert make_record(occupation="   ").is_missing("occupation")
+
+    def test_value_is_not_missing(self):
+        assert not make_record().is_missing("occupation")
+
+
+class TestReplaceAndIdentity:
+    def test_replace_creates_new_record(self):
+        record = make_record()
+        changed = record.replace(age=40)
+        assert changed.age == 40
+        assert record.age == 39
+        assert changed.record_id == record.record_id
+
+    def test_records_are_hashable_by_id(self):
+        record = make_record()
+        assert hash(record) == hash(record.record_id)
+
+    def test_records_usable_in_sets(self):
+        first = make_record()
+        second = make_record(record_id="1871_2")
+        assert len({first, second}) == 2
+
+    def test_str_contains_name_and_role(self):
+        text = str(make_record())
+        assert "john ashworth" in text
+        assert "head" in text
+
+    def test_str_handles_missing_values(self):
+        text = str(make_record(sex=None, age=None))
+        assert "?" in text
+
+    def test_entity_id_excluded_from_equality(self):
+        first = make_record(entity_id="p1")
+        second = make_record(entity_id="p2")
+        assert first == second

@@ -1,0 +1,89 @@
+"""Unit tests for role unification (Section 3.1 semantics)."""
+
+import pytest
+
+import repro.model.roles as R
+
+
+class TestUnifyRoles:
+    def test_head_and_wife_are_spouses(self):
+        assert R.unify_roles(R.HEAD, R.WIFE) == R.SPOUSE
+
+    def test_head_and_husband_are_spouses(self):
+        assert R.unify_roles(R.HEAD, R.HUSBAND) == R.SPOUSE
+
+    def test_head_and_son(self):
+        assert R.unify_roles(R.HEAD, R.SON) == R.PARENT_CHILD
+
+    def test_head_and_daughter(self):
+        assert R.unify_roles(R.HEAD, R.DAUGHTER) == R.PARENT_CHILD
+
+    def test_wife_and_son_is_parent_child(self):
+        # The Fig. 2 case: Elizabeth Smith (wife) and Steve Smith (son).
+        assert R.unify_roles(R.WIFE, R.SON) == R.PARENT_CHILD
+
+    def test_head_and_father(self):
+        assert R.unify_roles(R.HEAD, R.FATHER) == R.PARENT_CHILD
+
+    def test_head_and_mother(self):
+        assert R.unify_roles(R.MOTHER, R.HEAD) == R.PARENT_CHILD
+
+    def test_two_children_are_siblings(self):
+        assert R.unify_roles(R.SON, R.DAUGHTER) == R.SIBLING
+        assert R.unify_roles(R.SON, R.SON) == R.SIBLING
+
+    def test_head_and_brother(self):
+        assert R.unify_roles(R.HEAD, R.BROTHER) == R.SIBLING
+
+    def test_grandparents(self):
+        assert R.unify_roles(R.HEAD, R.GRANDSON) == R.GRANDPARENT
+        assert R.unify_roles(R.WIFE, R.GRANDDAUGHTER) == R.GRANDPARENT
+        assert R.unify_roles(R.FATHER, R.SON) == R.GRANDPARENT
+
+    def test_heads_parents_are_spouses(self):
+        assert R.unify_roles(R.FATHER, R.MOTHER) == R.SPOUSE
+
+    def test_child_and_child_in_law_are_spouses(self):
+        assert R.unify_roles(R.SON, R.DAUGHTER_IN_LAW) == R.SPOUSE
+        assert R.unify_roles(R.DAUGHTER, R.SON_IN_LAW) == R.SPOUSE
+
+    def test_head_and_in_laws(self):
+        assert R.unify_roles(R.HEAD, R.FATHER_IN_LAW) == R.IN_LAW
+        assert R.unify_roles(R.HEAD, R.DAUGHTER_IN_LAW) == R.IN_LAW
+
+    def test_servants_are_co_residents(self):
+        assert R.unify_roles(R.HEAD, R.SERVANT) == R.CO_RESIDENT
+        assert R.unify_roles(R.SON, R.LODGER) == R.CO_RESIDENT
+        assert R.unify_roles(R.SERVANT, R.SERVANT) == R.CO_RESIDENT
+
+    def test_nephew_is_extended_family(self):
+        assert R.unify_roles(R.HEAD, R.NEPHEW) == R.EXTENDED
+
+    def test_symmetry_over_all_role_pairs(self):
+        roles = sorted(R.ALL_ROLES)
+        for role_a in roles:
+            for role_b in roles:
+                assert R.unify_roles(role_a, role_b) == R.unify_roles(
+                    role_b, role_a
+                ), (role_a, role_b)
+
+    def test_result_always_a_known_type(self):
+        roles = sorted(R.ALL_ROLES)
+        for role_a in roles:
+            for role_b in roles:
+                assert R.unify_roles(role_a, role_b) in R.ALL_REL_TYPES
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError):
+            R.unify_roles("stranger", R.HEAD)
+
+
+class TestHelpers:
+    def test_expected_role_after_marriage(self):
+        assert R.expected_role_after_marriage("m") == R.HEAD
+        assert R.expected_role_after_marriage("f") == R.WIFE
+
+    def test_partner_role(self):
+        assert R.partner_role(R.HEAD) == R.WIFE
+        assert R.partner_role(R.WIFE) == R.HEAD
+        assert R.partner_role(R.SON) is None

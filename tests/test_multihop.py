@@ -1,0 +1,117 @@
+"""Tests for multi-hop temporal linkage (non-adjacent censuses)."""
+
+import pytest
+
+from repro.core.config import LinkageConfig
+from repro.evaluation.metrics import evaluate_mapping
+from repro.evolution.multihop import (
+    ConsistencyReport,
+    compose_mappings,
+    consistency_report,
+    direct_mapping,
+    link_series_multihop,
+    reconciled_mapping,
+)
+from repro.model.mappings import RecordMapping
+
+
+class TestCompose:
+    def test_two_hop_chain(self):
+        first = RecordMapping([("a1", "b1"), ("a2", "b2")])
+        second = RecordMapping([("b1", "c1")])
+        composed = compose_mappings([first, second])
+        assert composed.pairs() == [("a1", "c1")]
+
+    def test_single_mapping_copied(self):
+        mapping = RecordMapping([("a", "b")])
+        composed = compose_mappings([mapping])
+        assert composed == mapping
+        assert composed is not mapping
+
+    def test_broken_chain_drops_record(self):
+        first = RecordMapping([("a1", "b1")])
+        second = RecordMapping([("b9", "c9")])
+        assert len(compose_mappings([first, second])) == 0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            compose_mappings([])
+
+    def test_composition_stays_one_to_one(self):
+        first = RecordMapping([("a1", "b1"), ("a2", "b2")])
+        second = RecordMapping([("b1", "c1"), ("b2", "c2")])
+        composed = compose_mappings([first, second])
+        pairs = composed.pairs()
+        assert len({o for o, _ in pairs}) == len(pairs)
+
+
+class TestConsistency:
+    def test_report_counts(self):
+        composed = RecordMapping([("a", "x"), ("b", "y"), ("c", "z")])
+        direct = RecordMapping([("a", "x"), ("b", "q"), ("d", "w")])
+        report = consistency_report(composed, direct)
+        assert report.agreeing == 1
+        assert report.conflicting == 1
+        assert report.only_composed == 1
+        assert report.only_direct == 1
+        assert report.agreement_rate == pytest.approx(0.5)
+
+    def test_agreement_rate_with_no_overlap(self):
+        report = consistency_report(
+            RecordMapping([("a", "x")]), RecordMapping([("b", "y")])
+        )
+        assert report.agreement_rate == 1.0
+
+
+class TestReconcile:
+    def test_composed_wins_conflicts(self):
+        composed = RecordMapping([("a", "x")])
+        direct = RecordMapping([("a", "y"), ("b", "z")])
+        merged = reconciled_mapping(composed, direct)
+        assert merged.get_new("a") == "x"
+        assert merged.get_new("b") == "z"
+
+    def test_direct_preference(self):
+        composed = RecordMapping([("a", "x")])
+        direct = RecordMapping([("a", "y")])
+        merged = reconciled_mapping(composed, direct, prefer="direct")
+        assert merged.get_new("a") == "y"
+
+    def test_invalid_preference(self):
+        with pytest.raises(ValueError):
+            reconciled_mapping(RecordMapping(), RecordMapping(), prefer="best")
+
+
+class TestEndToEnd:
+    def test_direct_mapping_adjusts_year_gap(self, small_series):
+        first, _, third = small_series.datasets
+        mapping = direct_mapping(first, third, LinkageConfig())
+        truth = small_series.ground_truth.record_mapping(first.year, third.year)
+        quality = evaluate_mapping(mapping, truth)
+        assert quality.precision > 0.7
+
+    def test_direct_mapping_rejects_wrong_order(self, small_series):
+        first, _, third = small_series.datasets
+        with pytest.raises(ValueError):
+            direct_mapping(third, first)
+
+    def test_multihop_beats_or_matches_composition_recall(self, small_series):
+        datasets = small_series.datasets
+        truth = small_series.ground_truth.record_mapping(
+            datasets[0].year, datasets[-1].year
+        )
+        merged, report = link_series_multihop(datasets)
+        merged_quality = evaluate_mapping(merged, truth)
+
+        pairwise = [
+            direct_mapping(old, new)
+            for old, new in zip(datasets, datasets[1:])
+        ]
+        composed_quality = evaluate_mapping(compose_mappings(pairwise), truth)
+        assert merged_quality.recall >= composed_quality.recall - 1e-9
+        assert isinstance(report, ConsistencyReport)
+        assert report.agreement_rate > 0.7
+
+    def test_requires_two_datasets(self, small_series):
+        with pytest.raises(ValueError):
+            link_series_multihop(small_series.datasets[:1])

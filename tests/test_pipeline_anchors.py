@@ -1,0 +1,93 @@
+"""Integration tests for the anchored iterative behaviour of Alg. 1.
+
+A straggler — one family member whose name got badly corrupted — can
+only be linked structurally once the rest of the family is in the
+record mapping (anchors).  These tests build that situation explicitly.
+"""
+
+import pytest
+
+import repro.model.roles as R
+from repro.core.config import LinkageConfig
+from repro.core.pipeline import link_datasets
+from repro.model.dataset import CensusDataset
+from repro.model.records import PersonRecord
+
+
+def build_family(year, prefix, household, straggler_first_name):
+    """A five-member family; the eldest son's first name is passed in so
+    the 1881 version can carry a heavy typo."""
+    base_age = 0 if year == 1871 else 10
+    return [
+        PersonRecord(f"{prefix}1", household, "edmund", "tattersall", "m",
+                     44 + base_age, "weaver", "bank st", R.HEAD),
+        PersonRecord(f"{prefix}2", household, "harriet", "tattersall", "f",
+                     41 + base_age, None, "bank st", R.WIFE),
+        PersonRecord(f"{prefix}3", household, straggler_first_name,
+                     "tattersall", "m", 15 + base_age, None, "bank st", R.SON),
+        PersonRecord(f"{prefix}4", household, "lucy", "tattersall", "f",
+                     12 + base_age, None, "bank st", R.DAUGHTER),
+        PersonRecord(f"{prefix}5", household, "walter", "tattersall", "m",
+                     8 + base_age, None, "bank st", R.SON),
+    ]
+
+
+@pytest.fixture
+def straggler_pair():
+    # 1871: son is "reuben"; 1881: heavy corruption -> "ceuber".
+    old = CensusDataset.from_records(
+        1871, build_family(1871, "o", "g1", "reuben")
+    )
+    new = CensusDataset.from_records(
+        1881, build_family(1881, "n", "h1", "ceuber")
+    )
+    return old, new
+
+
+class TestAnchoredStraggler:
+    def test_straggler_linked_despite_heavy_typo(self, straggler_pair):
+        old, new = straggler_pair
+        config = LinkageConfig(
+            blocking="cross",
+            stop_on_empty_round=False,
+            delta_low=0.45,
+            remaining_threshold=0.9,  # the remaining pass cannot save him
+        )
+        result = link_datasets(old, new, config)
+        assert result.record_mapping.get_new("o3") == "n3"
+        # ... and the link arrived via subgraph matching, not line 17.
+        assert result.remaining_record_links == 0
+
+    def test_straggler_lost_without_iteration(self, straggler_pair):
+        """A single high-threshold round never re-examines the family
+        with a relaxed δ, so the typo victim stays unlinked."""
+        old, new = straggler_pair
+        config = LinkageConfig(
+            blocking="cross",
+            delta_high=0.7,
+            delta_low=0.7,
+            stop_on_empty_round=False,
+            remaining_threshold=0.9,
+        )
+        result = link_datasets(old, new, config)
+        assert not result.record_mapping.contains_old("o3")
+
+    def test_rest_of_family_linked_in_first_round(self, straggler_pair):
+        old, new = straggler_pair
+        config = LinkageConfig(
+            blocking="cross", stop_on_empty_round=False, delta_low=0.45,
+            remaining_threshold=0.9,
+        )
+        result = link_datasets(old, new, config)
+        first_round = result.iterations[0]
+        assert first_round.new_record_links == 4
+        # The straggler's link lands in a later, relaxed round.
+        assert sum(stats.new_record_links for stats in result.iterations) == 5
+
+    def test_group_linked_once(self, straggler_pair):
+        old, new = straggler_pair
+        config = LinkageConfig(
+            blocking="cross", stop_on_empty_round=False, delta_low=0.45,
+        )
+        result = link_datasets(old, new, config)
+        assert result.group_mapping.pairs() == [("g1", "h1")]

@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.model.roles as R
+from repro.graphutil.union_find import UnionFind
+from repro.model.mappings import GroupMapping, RecordMapping
+from repro.model.records import PersonRecord
+from repro.similarity.jaro import jaro_similarity, jaro_winkler_similarity
+from repro.similarity.levenshtein import (
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+from repro.similarity.numeric import (
+    absolute_difference_similarity,
+    temporal_age_similarity,
+)
+from repro.similarity.phonetic import nysiis, soundex
+from repro.similarity.qgram import qgram_similarity, qgrams
+
+names = st.text(alphabet=string.ascii_lowercase + " ", min_size=0, max_size=24)
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=16)
+
+
+class TestStringSimilarityProperties:
+    @given(names, names)
+    def test_qgram_bounds_and_symmetry(self, left, right):
+        value = qgram_similarity(left, right)
+        assert 0.0 <= value <= 1.0
+        assert value == qgram_similarity(right, left)
+
+    @given(names)
+    def test_qgram_identity(self, text):
+        assert qgram_similarity(text, text) == 1.0
+
+    @given(names, st.integers(min_value=1, max_value=4))
+    def test_qgram_count(self, text, q):
+        grams = qgrams(text, q=q, padded=False)
+        normalised = " ".join(text.lower().split())
+        if normalised:
+            assert len(grams) == max(1, len(normalised) - q + 1)
+        else:
+            assert grams == []
+
+    @given(names, names)
+    def test_levenshtein_symmetry_and_bounds(self, left, right):
+        distance = levenshtein_distance(left, right)
+        assert distance == levenshtein_distance(right, left)
+        assert distance <= max(len(left), len(right))
+        assert 0.0 <= levenshtein_similarity(left, right) <= 1.0
+
+    @given(names, names, names)
+    def test_levenshtein_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    @given(names, names)
+    def test_jaro_bounds_and_symmetry(self, left, right):
+        value = jaro_similarity(left, right)
+        assert 0.0 <= value <= 1.0
+        assert value == jaro_similarity(right, left)
+        assert jaro_winkler_similarity(left, right) >= value - 1e-12
+
+    @given(words)
+    def test_soundex_format(self, word):
+        code = soundex(word)
+        assert len(code) == 4
+        assert code[0] == word[0].upper()
+        assert all(c.isdigit() for c in code[1:] if c != "0")
+
+    @given(words)
+    def test_nysiis_deterministic_and_bounded(self, word):
+        code = nysiis(word)
+        assert code == nysiis(word)
+        assert len(code) <= 8
+
+
+class TestNumericProperties:
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+        st.floats(min_value=0.5, max_value=20),
+    )
+    def test_absolute_difference_bounds(self, left, right, scale):
+        value = absolute_difference_similarity(left, right, scale)
+        assert 0.0 <= value <= 1.0
+        assert value == absolute_difference_similarity(right, left, scale)
+
+    @given(st.integers(min_value=0, max_value=90))
+    def test_temporal_age_exact_gap_is_one(self, age):
+        assert temporal_age_similarity(age, age + 10, 10) == 1.0
+
+
+class TestUnionFindProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=0, max_value=30),
+            ),
+            max_size=60,
+        )
+    )
+    def test_groups_partition_items(self, edges):
+        union_find = UnionFind(range(31))
+        for left, right in edges:
+            union_find.union(left, right)
+        groups = union_find.groups()
+        flattened = [item for group in groups for item in group]
+        assert sorted(flattened) == list(range(31))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=40,
+        )
+    )
+    def test_connectivity_reflects_edges(self, edges):
+        union_find = UnionFind(range(21))
+        for left, right in edges:
+            union_find.union(left, right)
+        for left, right in edges:
+            assert union_find.connected(left, right)
+
+
+class TestMappingProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=80,
+        )
+    )
+    def test_record_mapping_stays_one_to_one(self, raw_pairs):
+        mapping = RecordMapping()
+        for old, new in raw_pairs:
+            mapping.try_add(f"o{old}", f"n{new}")
+        pairs = mapping.pairs()
+        assert len({o for o, _ in pairs}) == len(pairs)
+        assert len({n for _, n in pairs}) == len(pairs)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=60,
+        )
+    )
+    def test_group_mapping_partner_consistency(self, raw_pairs):
+        mapping = GroupMapping(
+            (f"g{old}", f"h{new}") for old, new in raw_pairs
+        )
+        for old, new in mapping:
+            assert new in mapping.partners_of_old(old)
+            assert old in mapping.partners_of_new(new)
+        assert len(mapping) == len(set(mapping.pairs()))
+
+
+@st.composite
+def record_pairs(draw):
+    """Two records with overlapping attribute pools."""
+    pool = ["john", "mary", "william", "sarah", "thomas"]
+    surnames = ["ashworth", "smith", "holt", "kay"]
+
+    def one(record_id):
+        return PersonRecord(
+            record_id,
+            "h1",
+            draw(st.sampled_from(pool)),
+            draw(st.sampled_from(surnames)),
+            draw(st.sampled_from(["m", "f"])),
+            draw(st.integers(min_value=0, max_value=90)),
+            role=R.HEAD,
+        )
+
+    return one("r1"), one("r2")
+
+
+class TestSimilarityFunctionProperties:
+    @given(record_pairs())
+    @settings(max_examples=60)
+    def test_agg_sim_bounds(self, pair):
+        from repro.core.config import LinkageConfig
+
+        func = LinkageConfig().build_sim_func()
+        left, right = pair
+        value = func.agg_sim(left, right)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(record_pairs())
+    @settings(max_examples=60)
+    def test_agg_sim_symmetric(self, pair):
+        from repro.core.config import LinkageConfig
+
+        func = LinkageConfig().build_sim_func()
+        left, right = pair
+        assert func.agg_sim(left, right) == func.agg_sim(right, left)
+
+    @given(record_pairs())
+    @settings(max_examples=60)
+    def test_identity_scores_maximal(self, pair):
+        from repro.core.config import LinkageConfig
+
+        func = LinkageConfig().build_sim_func()
+        left, _ = pair
+        # Occupation/address are missing on both sides; the MISSING_ZERO
+        # policy caps the self-similarity at the sum of present weights.
+        assert func.agg_sim(left, left) >= 0.8 - 1e-12

@@ -1,0 +1,166 @@
+"""Unit tests for the string similarity substrates."""
+
+import pytest
+
+from repro.similarity.exact import exact_similarity, prefix_similarity
+from repro.similarity.jaro import jaro_similarity, jaro_winkler_similarity
+from repro.similarity.levenshtein import (
+    damerau_distance,
+    damerau_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+from repro.similarity.qgram import (
+    bigram_similarity,
+    qgram_similarity,
+    qgrams,
+    trigram_similarity,
+)
+
+
+class TestQgrams:
+    def test_padded_bigrams(self):
+        grams = qgrams("ab", q=2)
+        assert len(grams) == 3  # □a, ab, b□
+        assert grams[1] == "ab"
+
+    def test_unpadded_bigrams(self):
+        assert qgrams("abc", q=2, padded=False) == ["ab", "bc"]
+
+    def test_empty_string(self):
+        assert qgrams("", q=2) == []
+
+    def test_whitespace_normalised(self):
+        assert qgrams("  John  SMITH ", q=2, padded=False) == qgrams(
+            "john smith", q=2, padded=False
+        )
+
+    def test_short_string_single_gram(self):
+        assert qgrams("a", q=3, padded=False) == ["a"]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+
+class TestQgramSimilarity:
+    def test_identical_strings(self):
+        assert bigram_similarity("ashworth", "ashworth") == 1.0
+
+    def test_disjoint_strings(self):
+        assert bigram_similarity("abab", "cdcd") == 0.0
+
+    def test_both_empty(self):
+        assert bigram_similarity("", "") == 1.0
+
+    def test_one_empty(self):
+        assert bigram_similarity("john", "") == 0.0
+
+    def test_case_insensitive(self):
+        assert bigram_similarity("John", "JOHN") == 1.0
+
+    def test_typo_tolerance(self):
+        assert bigram_similarity("ashworth", "ashwort") > 0.8
+
+    def test_symmetric(self):
+        left = bigram_similarity("elizabeth", "elisabeth")
+        right = bigram_similarity("elisabeth", "elizabeth")
+        assert left == right
+
+    def test_range(self):
+        for pair in (("smith", "smyth"), ("riley", "varley"), ("ann", "nan")):
+            value = bigram_similarity(*pair)
+            assert 0.0 <= value <= 1.0
+
+    def test_jaccard_leq_dice(self):
+        dice = qgram_similarity("ashworth", "ashwort", mode="dice")
+        jaccard = qgram_similarity("ashworth", "ashwort", mode="jaccard")
+        assert jaccard <= dice
+
+    def test_overlap_geq_dice(self):
+        dice = qgram_similarity("ashworth", "ash", mode="dice")
+        overlap = qgram_similarity("ashworth", "ash", mode="overlap")
+        assert overlap >= dice
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            qgram_similarity("a", "b", mode="cosine")
+
+    def test_trigram_stricter_than_bigram(self):
+        assert trigram_similarity("smith", "smyth") <= bigram_similarity(
+            "smith", "smyth"
+        )
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("john", "john") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein_distance("smith", "smyth") == 1
+
+    def test_insertion_and_deletion(self):
+        assert levenshtein_distance("ashworth", "ashwort") == 1
+        assert levenshtein_distance("ann", "anne") == 1
+
+    def test_empty_vs_word(self):
+        assert levenshtein_distance("", "abc") == 3
+
+    def test_early_exit_bound(self):
+        assert levenshtein_distance("abcdefgh", "zyxwvuts", max_distance=2) == 3
+
+    def test_early_exit_on_length_gap(self):
+        assert levenshtein_distance("ab", "abcdefgh", max_distance=2) == 3
+
+    def test_similarity_normalised(self):
+        assert levenshtein_similarity("smith", "smyth") == pytest.approx(0.8)
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_damerau_transposition_cheaper(self):
+        assert levenshtein_distance("ahsworth", "ashworth") == 2
+        assert damerau_distance("ahsworth", "ashworth") == 1
+
+    def test_damerau_similarity_range(self):
+        assert 0.0 <= damerau_similarity("john", "joan") <= 1.0
+        assert damerau_similarity("", "") == 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_classic_example(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.944, abs=1e-3)
+
+    def test_no_match(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "") == 1.0
+        assert jaro_similarity("a", "") == 0.0
+
+    def test_winkler_prefix_boost(self):
+        plain = jaro_similarity("ashworth", "ashworthe")
+        boosted = jaro_winkler_similarity("ashworth", "ashworthe")
+        assert boosted >= plain
+
+    def test_winkler_scale_validation(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_scale=0.5)
+
+
+class TestExact:
+    def test_exact_match(self):
+        assert exact_similarity("m", "m") == 1.0
+        assert exact_similarity("M ", "m") == 1.0
+
+    def test_mismatch(self):
+        assert exact_similarity("m", "f") == 0.0
+
+    def test_prefix(self):
+        assert prefix_similarity("ashworth", "ashworthe") == 1.0
+        assert prefix_similarity("ashworth", "ackroyd") == 0.0
+
+    def test_prefix_length_validation(self):
+        with pytest.raises(ValueError):
+            prefix_similarity("a", "b", length=0)

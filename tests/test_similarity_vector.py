@@ -1,0 +1,163 @@
+"""Unit tests for the weighted multi-attribute similarity function."""
+
+import pytest
+
+import repro.model.roles as R
+from repro.model.records import PersonRecord
+from repro.similarity.vector import (
+    MISSING_IGNORE,
+    MISSING_NEUTRAL,
+    MISSING_ZERO,
+    AttributeComparator,
+    SimilarityFunction,
+    TemporalAgeComparator,
+    build_similarity_function,
+    resolve_comparator,
+)
+
+
+def record(record_id="r1", **overrides):
+    fields = dict(
+        household_id="h1",
+        first_name="john",
+        surname="ashworth",
+        sex="m",
+        age=39,
+        occupation="weaver",
+        address="bacup rd",
+        role=R.HEAD,
+    )
+    fields.update(overrides)
+    return PersonRecord(record_id, **fields)
+
+
+NAME_WEIGHTS = [("first_name", "qgram", 0.5), ("surname", "qgram", 0.5)]
+
+
+class TestConstruction:
+    def test_weights_normalised(self):
+        func = build_similarity_function(
+            [("first_name", "qgram", 2.0), ("surname", "qgram", 2.0)], 0.5
+        )
+        assert func.weights == (0.5, 0.5)
+
+    def test_empty_comparators_rejected(self):
+        with pytest.raises(ValueError):
+            SimilarityFunction([], 0.5)
+
+    def test_zero_total_weight_rejected(self):
+        comparator = AttributeComparator(
+            "first_name", resolve_comparator("exact"), 0.0
+        )
+        with pytest.raises(ValueError):
+            SimilarityFunction([comparator], 0.5)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeComparator("first_name", resolve_comparator("exact"), -1.0)
+
+    def test_unknown_comparator_name(self):
+        with pytest.raises(ValueError):
+            resolve_comparator("embedding")
+
+    def test_unknown_missing_policy(self):
+        with pytest.raises(ValueError):
+            build_similarity_function(NAME_WEIGHTS, 0.5, missing_policy="drop")
+
+    def test_attributes_property(self):
+        func = build_similarity_function(NAME_WEIGHTS, 0.5)
+        assert func.attributes == ("first_name", "surname")
+
+
+class TestScoring:
+    def test_identical_records_score_one(self):
+        func = build_similarity_function(NAME_WEIGHTS, 0.5)
+        assert func.agg_sim(record(), record("r2")) == pytest.approx(1.0)
+
+    def test_disjoint_names_score_zero(self):
+        func = build_similarity_function(NAME_WEIGHTS, 0.5)
+        other = record("r2", first_name="zz", surname="qq")
+        assert func.agg_sim(record(), other) == pytest.approx(0.0)
+
+    def test_weighted_sum(self):
+        func = build_similarity_function(
+            [("first_name", "exact", 0.3), ("surname", "exact", 0.7)], 0.5
+        )
+        other = record("r2", first_name="mary")
+        assert func.agg_sim(record(), other) == pytest.approx(0.7)
+
+    def test_matches_respects_threshold(self):
+        func = build_similarity_function(NAME_WEIGHTS, 0.9)
+        near = record("r2", surname="ashwort")
+        assert func.agg_sim(record(), near) < 0.99
+        assert not func.matches(record(), record("r2", surname="zzz"))
+        assert func.matches(record(), record("r2"))
+
+    def test_similarity_vector_marks_missing(self):
+        func = build_similarity_function(
+            NAME_WEIGHTS + [("occupation", "qgram", 0.5)], 0.5
+        )
+        other = record("r2", occupation=None)
+        vector = func.similarity_vector(record(), other)
+        assert vector[0] == pytest.approx(1.0)
+        assert vector[2] is None
+
+    def test_blank_string_treated_as_missing(self):
+        func = build_similarity_function([("occupation", "qgram", 1.0)], 0.5)
+        other = record("r2", occupation="  ")
+        assert func.agg_sim(record(), other) == 0.0
+
+
+class TestMissingPolicies:
+    def setup_method(self):
+        self.weights = [("first_name", "exact", 0.5), ("occupation", "exact", 0.5)]
+        self.left = record()
+        self.right = record("r2", occupation=None)
+
+    def test_missing_zero(self):
+        func = build_similarity_function(self.weights, 0.5, MISSING_ZERO)
+        assert func.agg_sim(self.left, self.right) == pytest.approx(0.5)
+
+    def test_missing_neutral(self):
+        func = build_similarity_function(self.weights, 0.5, MISSING_NEUTRAL)
+        assert func.agg_sim(self.left, self.right) == pytest.approx(0.75)
+
+    def test_missing_ignore_renormalises(self):
+        func = build_similarity_function(self.weights, 0.5, MISSING_IGNORE)
+        assert func.agg_sim(self.left, self.right) == pytest.approx(1.0)
+
+    def test_missing_ignore_all_missing(self):
+        func = build_similarity_function([("occupation", "exact", 1.0)], 0.5,
+                                         MISSING_IGNORE)
+        assert func.agg_sim(self.left, self.right) == 0.0
+
+
+class TestVariants:
+    def test_with_threshold_copies(self):
+        func = build_similarity_function(NAME_WEIGHTS, 0.9)
+        relaxed = func.with_threshold(0.5)
+        assert relaxed.threshold == 0.5
+        assert func.threshold == 0.9
+        assert relaxed.attributes == func.attributes
+
+    def test_repr_mentions_threshold(self):
+        func = build_similarity_function(NAME_WEIGHTS, 0.75)
+        assert "0.75" in repr(func)
+
+
+class TestTemporalAgeComparator:
+    def test_exact_gap(self):
+        comparator = TemporalAgeComparator(year_gap=10)
+        assert comparator(30, 40) == 1.0
+
+    def test_missing_age(self):
+        comparator = TemporalAgeComparator(year_gap=10)
+        assert comparator(None, 40) == 0.0
+        assert comparator("30", 40) == 0.0  # non-int treated as missing
+
+    def test_usable_inside_similarity_function(self):
+        comparator = AttributeComparator("age", TemporalAgeComparator(10), 1.0)
+        func = SimilarityFunction([comparator], 0.5)
+        old = record()
+        new = record("r2", age=49)
+        assert func.agg_sim(old, new) == pytest.approx(1.0)

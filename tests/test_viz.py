@@ -1,0 +1,83 @@
+"""Tests for the DOT visualisation exports."""
+
+import pytest
+
+from repro.core.enrichment import enrich_household
+from repro.evolution.graph import EvolutionGraph
+from repro.evolution.patterns import (
+    GroupPatterns,
+    PairPatterns,
+    RecordPatterns,
+)
+from repro.viz import evolution_graph_to_dot, household_to_dot
+
+
+@pytest.fixture
+def evolution_graph():
+    graph = EvolutionGraph()
+    graph.add_snapshot(1871, ["r1"], ["g1", "g2"])
+    graph.add_snapshot(1881, ["r2"], ["h1", "h2"])
+    graph.add_pair_patterns(
+        PairPatterns(
+            1871,
+            1881,
+            RecordPatterns(preserved=[("r1", "r2")]),
+            GroupPatterns(preserved=[("g1", "h1")], moves=[("g2", "h2")]),
+        )
+    )
+    return graph
+
+
+class TestHouseholdDot:
+    def test_contains_members_and_edges(self, census_1871):
+        household = enrich_household(census_1871.household("b71"))
+        dot = household_to_dot(household)
+        assert dot.startswith("graph")
+        assert dot.rstrip().endswith("}")
+        assert "john smith" in dot
+        assert "spouse" in dot
+        assert "age_diff=29" in dot  # Elizabeth-Steve derived edge
+
+    def test_derived_edges_can_be_hidden(self, census_1871):
+        household = enrich_household(census_1871.household("b71"))
+        full = household_to_dot(household, include_derived_edges=True)
+        slim = household_to_dot(household, include_derived_edges=False)
+        assert full.count("--") > slim.count("--")
+
+    def test_missing_age_rendered(self, census_1871):
+        household = census_1871.household("a71")
+        record = household.members["1871_2"].replace(age=None)
+        shell = household.copy_shell()
+        shell.members["1871_2"] = record
+        dot = household_to_dot(shell)
+        assert "?" in dot
+
+
+class TestEvolutionDot:
+    def test_group_view(self, evolution_graph):
+        dot = evolution_graph_to_dot(evolution_graph)
+        assert dot.startswith("digraph")
+        assert "preserve_G" in dot
+        assert "move" in dot
+        assert "g1" in dot and "h2" in dot
+        assert "r1" not in dot  # records hidden by default
+
+    def test_record_view(self, evolution_graph):
+        dot = evolution_graph_to_dot(evolution_graph, include_records=True)
+        assert "preserve_R" in dot
+        assert "r1" in dot
+
+    def test_edge_type_filter(self, evolution_graph):
+        dot = evolution_graph_to_dot(evolution_graph, edge_types=["move"])
+        assert "move" in dot
+        assert "preserve_G" not in dot
+
+    def test_rank_per_year(self, evolution_graph):
+        dot = evolution_graph_to_dot(evolution_graph)
+        assert dot.count("rank=same") == 2
+
+    def test_quoting_of_special_characters(self):
+        graph = EvolutionGraph()
+        graph.add_snapshot(1871, [], ['g"1'])
+        dot = evolution_graph_to_dot(graph)
+        assert r"\"" in dot
