@@ -1,12 +1,19 @@
-"""Scaling — end-to-end linkage runtime vs workload size.
+"""Scaling — end-to-end linkage runtime vs workload size and workers.
 
 Not a table of the paper (which does not report runtimes), but the
 practical question for a pure-Python reproduction: how does the
-pipeline scale with the number of households?  Dominated by candidate
-pair scoring, which grows roughly quadratically inside blocking
-key groups.
+pipeline scale with the number of households, and how much does the
+parallel cached pre-matching engine buy?  The grid runs every workload
+size serially and with 2 and 4 worker processes, checks that all three
+produce *identical* mappings, and prints the instrumentation profile of
+the largest serial run (pairs scored, cache hits, per-stage seconds).
+
+Speedups depend on the machine: on a single-core box the worker pool is
+pure overhead, so the wall-clock-improvement assertion only applies when
+the machine actually has multiple cores.
 """
 
+import os
 import time
 
 from benchlib import BENCH_SEED, once, write_result
@@ -15,45 +22,96 @@ from repro.core.config import LinkageConfig
 from repro.core.pipeline import link_datasets
 from repro.datagen.generator import generate_pair
 from repro.evaluation.reporting import format_table
+from repro.instrumentation import CACHE_HITS, PAIRS_SCORED
 
 SIZES = (50, 100, 200)
+WORKER_COUNTS = (1, 2, 4)
 
 
 def run_scaling():
     rows = []
+    profile_report = ""
     for size in SIZES:
         series = generate_pair(seed=BENCH_SEED, initial_households=size)
         old, new = series.datasets
-        start = time.perf_counter()
-        result = link_datasets(old, new, LinkageConfig())
-        elapsed = time.perf_counter() - start
-        rows.append(
-            (
-                size,
-                len(old) + len(new),
-                len(result.record_mapping),
-                elapsed,
+        serial_mappings = None
+        serial_seconds = None
+        for workers in WORKER_COUNTS:
+            config = LinkageConfig(n_workers=workers)
+            start = time.perf_counter()
+            result = link_datasets(old, new, config)
+            elapsed = time.perf_counter() - start
+            mappings = (
+                result.record_mapping.pairs(),
+                sorted(result.group_mapping.pairs()),
             )
-        )
-    return rows
+            if workers == 1:
+                serial_mappings = mappings
+                serial_seconds = elapsed
+                profile_report = result.profile.report(
+                    f"profile ({size} households, serial)"
+                )
+            else:
+                # The parallel engine must be a pure speed knob.
+                assert mappings == serial_mappings, (
+                    f"n_workers={workers} changed the output at size {size}"
+                )
+            rows.append(
+                (
+                    size,
+                    len(old) + len(new),
+                    workers,
+                    len(result.record_mapping),
+                    result.profile.value(PAIRS_SCORED),
+                    result.profile.value(CACHE_HITS),
+                    elapsed,
+                    serial_seconds / elapsed,
+                )
+            )
+    return rows, profile_report
 
 
 def test_scaling(benchmark):
-    rows = once(benchmark, run_scaling)
+    rows, profile_report = once(benchmark, run_scaling)
     table = format_table(
-        ["households", "records", "links", "seconds"],
+        ["households", "records", "workers", "links", "scored", "cache hits",
+         "seconds", "speedup"],
         [
-            [str(size), str(records), str(links), f"{seconds:.2f}"]
-            for size, records, links, seconds in rows
+            [str(size), str(records), str(workers), str(links), str(scored),
+             str(hits), f"{seconds:.2f}", f"{speedup:.2f}x"]
+            for size, records, workers, links, scored, hits, seconds, speedup
+            in rows
         ],
-        title="Scaling: end-to-end linkage runtime",
+        title="Scaling: linkage runtime by households x workers",
     )
-    write_result("scaling.txt", table)
+    write_result("scaling.txt", table + "\n\n" + profile_report)
+
+    serial_rows = [row for row in rows if row[2] == 1]
 
     # Runtime grows with size but stays sub-cubic: quadrupling the
     # households must not blow up by more than ~25x.
-    smallest = rows[0][3]
-    largest = rows[-1][3]
+    smallest = serial_rows[0][6]
+    largest = serial_rows[-1][6]
     assert largest < max(25.0 * smallest, 30.0)
     # Links scale roughly with population.
-    assert rows[-1][2] > rows[0][2]
+    assert serial_rows[-1][3] > serial_rows[0][3]
+
+    # The cross-round cache does the heavy lifting at every size: repeat
+    # lookups (hits) outnumber actual agg_sim computations.
+    for row in serial_rows:
+        assert row[5] > row[4], "cache hits should exceed pairs scored"
+
+    # Wall-clock improvement from workers is only observable on
+    # multi-core machines; on one core the pool is pure overhead.
+    if (os.cpu_count() or 1) >= 2:
+        largest_size = SIZES[-1]
+        serial_time = next(
+            row[6] for row in rows if row[0] == largest_size and row[2] == 1
+        )
+        best_parallel = min(
+            row[6] for row in rows if row[0] == largest_size and row[2] > 1
+        )
+        assert best_parallel < serial_time * 1.05, (
+            "parallel scoring should improve wall-clock time on the "
+            "largest workload"
+        )

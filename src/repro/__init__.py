@@ -35,6 +35,7 @@ Quickstart::
 from .core.config import OMEGA1, OMEGA2, LinkageConfig
 from .core.pipeline import IterativeGroupLinkage, LinkageResult, link_datasets
 from .evaluation.metrics import QualityResult, evaluate_mapping
+from .instrumentation import Instrumentation
 from .evolution.analysis import EvolutionAnalysis, analyse_series
 from .model.dataset import CensusDataset
 from .model.mappings import GroupMapping, RecordMapping

@@ -4,7 +4,8 @@ Usage (after ``pip install -e .``)::
 
     python -m repro.cli generate --out data/ --households 300 --snapshots 2
     python -m repro.cli link data/census_1871.csv data/census_1881.csv \
-        --records links_records.csv --groups links_groups.csv
+        --records links_records.csv --groups links_groups.csv \
+        --workers 4 --profile
     python -m repro.cli evaluate links_records.csv data/truth_records_1871_1881.csv
     python -m repro.cli evolve data/census_*.csv
 
@@ -61,6 +62,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         beta=args.beta,
         year_gap=new_dataset.year - old_dataset.year,
+        n_workers=args.workers,
     )
     result = link_datasets(old_dataset, new_dataset, config)
     print(
@@ -68,6 +70,17 @@ def _cmd_link(args: argparse.Namespace) -> int:
         f"{result.num_group_links} group links "
         f"({len(result.iterations)} iterations)"
     )
+    if args.profile and result.profile is not None:
+        print()
+        print(result.profile.report())
+        print()
+        print("round  delta  scored  cache_hits  seconds")
+        for stats in result.iterations:
+            print(
+                f"{stats.iteration:>5d}  {stats.delta:>5.2f}  "
+                f"{stats.pairs_scored:>6d}  {stats.cache_hits:>10d}  "
+                f"{stats.seconds:>7.3f}"
+            )
     if args.records:
         model_io.write_record_mapping(result.record_mapping, args.records)
         print(f"wrote {args.records}")
@@ -134,6 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
     link.add_argument("--delta-low", type=float, default=0.5)
     link.add_argument("--alpha", type=float, default=0.2)
     link.add_argument("--beta", type=float, default=0.7)
+    link.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for pair scoring (1 = serial, 0 = all cores); "
+        "output is identical for any value",
+    )
+    link.add_argument(
+        "--profile", action="store_true",
+        help="print per-stage timers, event counters and per-round "
+        "cache statistics after linking",
+    )
     link.set_defaults(func=_cmd_link)
 
     evaluate = commands.add_parser(

@@ -14,8 +14,10 @@ from .pipeline import (
     LinkageResult,
     link_datasets,
 )
+from .parallel import resolve_workers, score_pairs_chunked
 from .prematching import PreMatchResult, prematching
 from .remaining import match_remaining
+from .simcache import SimilarityCache
 from .scoring import (
     aggregate_group_similarity,
     average_record_similarity,
@@ -47,6 +49,9 @@ __all__ = [
     "PreMatchResult",
     "prematching",
     "match_remaining",
+    "SimilarityCache",
+    "resolve_workers",
+    "score_pairs_chunked",
     "aggregate_group_similarity",
     "average_record_similarity",
     "edge_similarity",

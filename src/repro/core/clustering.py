@@ -129,7 +129,7 @@ def cluster_records(
     threshold: float,
     strategy: str = CONNECTED_COMPONENTS,
 ) -> List[List[str]]:
-    """Cluster records from scored candidate pairs.
+    """Cluster records from scored candidate pairs (§3.2, Fig. 3).
 
     ``scores`` maps (old id, new id) candidate pairs to ``agg_sim``;
     only pairs at or above ``threshold`` participate.  Singleton

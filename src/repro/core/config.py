@@ -77,6 +77,13 @@ class LinkageConfig:
         Keep one-vertex common subgraphs with no matched edge.  Off by
         default: single shared members are handled by the remaining pass
         and surface as ``move`` patterns.
+    n_workers / worker_chunk_size:
+        Worker processes (and pairs per task) for bulk candidate-pair
+        scoring; ``n_workers=1`` is serial, ``0`` uses every core.
+        Output is byte-identical to serial for any worker count.
+    max_lazy_cache_entries:
+        LRU bound on lazily-added similarity-cache entries (pairs scored
+        on demand outside the blocked candidate set).
     """
 
     weights: Sequence[WeightSpec] = OMEGA2
@@ -115,6 +122,17 @@ class LinkageConfig:
     max_iterations: int = 50
     #: Skip blocking passes whose blocks exceed this many records (0 = off).
     max_block_size: int = 0
+    #: Worker processes for bulk candidate-pair scoring, the §3.2 hot
+    #: path: 1 = serial (the default), 0 = one worker per CPU core.
+    #: Results are merged deterministically, so all mappings are
+    #: identical to a serial run (see repro.core.parallel).
+    n_workers: int = 1
+    #: Candidate pairs per worker task when ``n_workers != 1``.
+    worker_chunk_size: int = 1024
+    #: Cap on lazily-added entries in the cross-round similarity cache
+    #: (pairs scored on demand outside the blocked candidate set; see
+    #: repro.core.simcache).  0 disables the cap.
+    max_lazy_cache_entries: int = 200_000
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0 or not 0.0 <= self.beta <= 1.0:
@@ -127,6 +145,12 @@ class LinkageConfig:
             raise ValueError("delta_step must be positive")
         if self.year_gap <= 0:
             raise ValueError("year_gap must be positive")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0 (0 = one per core)")
+        if self.worker_chunk_size <= 0:
+            raise ValueError("worker_chunk_size must be positive")
+        if self.max_lazy_cache_entries < 0:
+            raise ValueError("max_lazy_cache_entries must be >= 0 (0 = off)")
 
     @property
     def uniqueness_weight(self) -> float:
@@ -134,21 +158,25 @@ class LinkageConfig:
         return max(0.0, 1.0 - self.alpha - self.beta)
 
     def build_sim_func(self, threshold: Optional[float] = None) -> SimilarityFunction:
-        """``Sim_func`` with the configured weights (δ defaults to δ_high)."""
+        """``Sim_func`` (Eq. 3) with the configured weights ω (Table 2);
+        δ defaults to δ_high."""
         delta = self.delta_high if threshold is None else threshold
         return build_similarity_function(
             list(self.weights), delta, self.missing_policy
         )
 
     def build_remaining_sim_func(self) -> SimilarityFunction:
-        """``Sim_func_rem`` for the final attribute-only matching pass."""
+        """``Sim_func_rem`` for the final attribute-only matching pass
+        (Alg. 1, line 17)."""
         weights = self.remaining_weights or self.weights
         return build_similarity_function(
             list(weights), self.remaining_threshold, self.missing_policy
         )
 
     def build_blocker(self) -> Blocker:
-        """The configured candidate-pair generator."""
+        """The configured candidate-pair generator (a documented
+        extension of §3.2 pre-matching: the paper compares all record
+        pairs; see README "Faithfulness and extensions")."""
         if self.blocking == "standard":
             return StandardBlocker(max_block_size=self.max_block_size)
         if self.blocking == "cross":
@@ -158,7 +186,8 @@ class LinkageConfig:
         raise ValueError(f"unknown blocking setting {self.blocking!r}")
 
     def threshold_schedule(self) -> Tuple[float, ...]:
-        """The δ values visited by the iterative loop, high to low."""
+        """The δ values visited by the iterative loop (Alg. 1, lines
+        2 and 15: δ_high down to δ_low in Δ steps), high to low."""
         values = []
         delta = self.delta_high
         while delta >= self.delta_low - 1e-9 and len(values) < self.max_iterations:

@@ -24,14 +24,17 @@ from ..model.roles import HEAD, unify_roles
 def age_difference(
     record_a: PersonRecord, record_b: PersonRecord
 ) -> Optional[int]:
-    """Absolute age difference, or ``None`` when an age is missing."""
+    """Absolute age difference, or ``None`` when an age is missing — the
+    time-stable relationship property attached to every edge (§3.1,
+    Fig. 2)."""
     if record_a.age is None or record_b.age is None:
         return None
     return abs(record_a.age - record_b.age)
 
 
 def enrich_household(household: Household) -> Household:
-    """A new household whose graph is complete, typed and age-annotated.
+    """A new household whose graph is complete, typed and age-annotated
+    (§3.1, Fig. 2).
 
     The input household is not modified.  Every pair of members receives
     an edge whose type comes from unifying their head-relative roles; the
@@ -56,7 +59,8 @@ def enrich_household(household: Household) -> Household:
 
 
 def complete_groups(dataset: CensusDataset) -> Dict[str, Household]:
-    """Enrich every household of a dataset (``completeGroups``)."""
+    """Enrich every household of a dataset (``completeGroups`` of
+    Alg. 1, line 1; §3.1)."""
     return {
         household.household_id: enrich_household(household)
         for household in dataset.iter_households()

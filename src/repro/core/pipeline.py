@@ -4,34 +4,49 @@
 pre-matching, subgraph matching, group-link selection and the final
 remaining-record pass, relaxing the pre-matching threshold δ from
 ``δ_high`` down to ``δ_low`` so that safe matches anchor the harder ones.
+
+Performance plumbing: one :class:`~repro.core.simcache.SimilarityCache`
+serves every stage that needs ``agg_sim`` (Eq. 3) — candidate pairs are
+scored at most once across the whole δ schedule, subsequent rounds only
+re-test cached values against the new threshold, and (when the remaining
+pass uses the main attribute weights) the final pass reuses the same
+scores.  Bulk scoring fans out over ``config.n_workers`` processes with
+deterministic merging, and an :class:`~repro.instrumentation.Instrumentation`
+collector times every stage (see ``result.profile``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
+from ..instrumentation import (
+    CACHE_EVICTIONS,
+    CACHE_HITS,
+    CACHE_MISSES,
+    PAIRS_SCORED,
+    Instrumentation,
+)
 from ..model.dataset import CensusDataset
-from ..model.households import Household
 from ..model.mappings import (
     GroupMapping,
     RecordMapping,
     household_of_map,
     induced_group_mapping,
 )
-from ..model.records import PersonRecord
 from .config import LinkageConfig
 from .enrichment import complete_groups
 from .prematching import prematching
 from .remaining import match_remaining
 from .scoring import score_subgraphs
 from .selection import select_group_matches
+from .simcache import SimilarityCache
 from .subgraph import build_all_subgraphs
 
 
 @dataclass
 class IterationStats:
-    """Diagnostics of one δ round of the iterative loop."""
+    """Diagnostics of one δ round of the iterative loop (Alg. 1)."""
 
     iteration: int
     delta: float
@@ -40,6 +55,14 @@ class IterationStats:
     new_record_links: int
     remaining_old: int
     remaining_new: int
+    #: ``agg_sim`` computations performed during this round (bulk and
+    #: lazy); 0 from round 2 on proves the cross-round cache works.
+    pairs_scored: int = 0
+    #: Similarity-cache lookups served / missed during this round.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Wall-clock seconds of the round.
+    seconds: float = 0.0
 
 
 @dataclass
@@ -52,6 +75,8 @@ class LinkageResult:
     remaining_record_links: int = 0
     #: Record links found via subgraph matching (before the remaining pass).
     subgraph_record_links: int = 0
+    #: Per-stage timers and event counters of the whole run.
+    profile: Optional[Instrumentation] = None
 
     @property
     def num_record_links(self) -> int:
@@ -71,6 +96,7 @@ class IterativeGroupLinkage:
         result = linker.link(census_1871, census_1881)
         result.record_mapping   # 1:1 person links
         result.group_mapping    # N:M household links
+        print(result.profile.report())  # stage timers + counters
     """
 
     def __init__(self, config: Optional[LinkageConfig] = None) -> None:
@@ -84,21 +110,28 @@ class IterativeGroupLinkage:
         """Run Algorithm 1 on two successive census datasets."""
         config = self.config
         blocker = config.build_blocker()
+        instrumentation = Instrumentation()
 
-        enriched_old = complete_groups(old_dataset)
-        enriched_new = complete_groups(new_dataset)
+        with instrumentation.stage("enrichment"):
+            enriched_old = complete_groups(old_dataset)
+            enriched_new = complete_groups(new_dataset)
         old_household_of = household_of_map(old_dataset)
         new_household_of = household_of_map(new_dataset)
 
         all_old = list(old_dataset.iter_records())
         all_new = list(new_dataset.iter_records())
 
-        # Candidate pairs and their scores are δ-independent: generate and
-        # score once, reuse in every round.
-        cached_pairs: Set[Tuple[str, str]] = blocker.candidate_pairs(
-            all_old, all_new
+        # Candidate pairs and their scores are δ-independent: generate
+        # and score once, reuse in every round.  Candidate scores are
+        # pinned in the cache; lazy pair_sim additions go through its
+        # bounded LRU (see repro.core.simcache).
+        with instrumentation.stage("blocking"):
+            cached_pairs: Set[Tuple[str, str]] = blocker.candidate_pairs(
+                all_old, all_new
+            )
+        cache = SimilarityCache(
+            max_lazy_entries=config.max_lazy_cache_entries or None
         )
-        cached_scores: Dict[Tuple[str, str], float] = {}
 
         record_mapping = RecordMapping()
         group_mapping = GroupMapping()
@@ -109,26 +142,40 @@ class IterativeGroupLinkage:
         for round_index, delta in enumerate(config.threshold_schedule(), start=1):
             if not remaining_old or not remaining_new:
                 break
+            round_start_scored = instrumentation.value(PAIRS_SCORED)
+            round_start_hits = cache.hits
+            round_start_misses = cache.misses
+            round_timer = Instrumentation()
             sim_func = config.build_sim_func(delta)
-            prematch = prematching(
-                remaining_old,
-                remaining_new,
-                sim_func,
-                blocker,
-                cached_scores=cached_scores,
-                cached_pairs=cached_pairs,
-                clustering=config.clustering,
-            )
+            with round_timer.stage("round"), instrumentation.stage("prematching"):
+                prematch = prematching(
+                    remaining_old,
+                    remaining_new,
+                    sim_func,
+                    blocker,
+                    cached_scores=cache,
+                    cached_pairs=cached_pairs,
+                    clustering=config.clustering,
+                    n_workers=config.n_workers,
+                    chunk_size=config.worker_chunk_size,
+                    instrumentation=instrumentation,
+                )
 
-            subgraphs = build_all_subgraphs(
-                prematch,
-                enriched_old,
-                enriched_new,
-                config,
-                record_mapping=record_mapping,
-            )
-            score_subgraphs(subgraphs, prematch, config)
-            selection = select_group_matches(subgraphs)
+            with round_timer.stage("round"), instrumentation.stage("subgraphs"):
+                subgraphs = build_all_subgraphs(
+                    prematch,
+                    enriched_old,
+                    enriched_new,
+                    config,
+                    record_mapping=record_mapping,
+                    instrumentation=instrumentation,
+                )
+            with round_timer.stage("round"), instrumentation.stage("scoring"):
+                score_subgraphs(subgraphs, prematch, config)
+            with round_timer.stage("round"), instrumentation.stage("selection"):
+                selection = select_group_matches(
+                    subgraphs, instrumentation=instrumentation
+                )
 
             partial_records = selection.extract_record_mapping()
             record_mapping.update(partial_records)
@@ -153,6 +200,11 @@ class IterativeGroupLinkage:
                     new_record_links=len(partial_records),
                     remaining_old=len(remaining_old),
                     remaining_new=len(remaining_new),
+                    pairs_scored=instrumentation.value(PAIRS_SCORED)
+                    - round_start_scored,
+                    cache_hits=cache.hits - round_start_hits,
+                    cache_misses=cache.misses - round_start_misses,
+                    seconds=round_timer.seconds("round"),
                 )
             )
             if not selection.group_mapping and config.stop_on_empty_round:
@@ -161,15 +213,25 @@ class IterativeGroupLinkage:
         subgraph_links = len(record_mapping)
 
         # Final attribute-only pass over leftover records (lines 17-19).
-        remaining_mapping = match_remaining(
-            remaining_old,
-            remaining_new,
-            config.build_remaining_sim_func(),
-            blocker,
-            config.year_gap,
-            config.max_normalised_age_difference,
-            config.remaining_ambiguity_margin,
-        )
+        # Sim_func_rem shares agg_sim with Sim_func when the weights (and
+        # missing policy) are identical, so the cache carries over; with
+        # custom remaining weights the scores are incomparable and the
+        # pass gets a private store.
+        shared_cache = cache if config.remaining_weights is None else None
+        with instrumentation.stage("remaining"):
+            remaining_mapping = match_remaining(
+                remaining_old,
+                remaining_new,
+                config.build_remaining_sim_func(),
+                blocker,
+                config.year_gap,
+                config.max_normalised_age_difference,
+                config.remaining_ambiguity_margin,
+                cached_scores=shared_cache,
+                n_workers=config.n_workers,
+                chunk_size=config.worker_chunk_size,
+                instrumentation=instrumentation,
+            )
         record_mapping.update(remaining_mapping)
         group_mapping.update(
             induced_group_mapping(
@@ -177,12 +239,17 @@ class IterativeGroupLinkage:
             )
         )
 
+        instrumentation.set_counter(CACHE_HITS, cache.hits)
+        instrumentation.set_counter(CACHE_MISSES, cache.misses)
+        instrumentation.set_counter(CACHE_EVICTIONS, cache.evictions)
+
         return LinkageResult(
             record_mapping=record_mapping,
             group_mapping=group_mapping,
             iterations=iterations,
             remaining_record_links=len(remaining_mapping),
             subgraph_record_links=subgraph_links,
+            profile=instrumentation,
         )
 
 def link_datasets(
@@ -190,6 +257,6 @@ def link_datasets(
     new_dataset: CensusDataset,
     config: Optional[LinkageConfig] = None,
 ) -> LinkageResult:
-    """Convenience wrapper: link two datasets with the given (or default)
-    configuration."""
+    """Convenience wrapper: run Algorithm 1 on two datasets with the
+    given (or default) configuration."""
     return IterativeGroupLinkage(config).link(old_dataset, new_dataset)

@@ -6,17 +6,30 @@ components of these links form clusters.  Every record — including
 unmatched singletons — receives its cluster's label (Fig. 3).  Labels let
 subgraph matching identify "similar records" without re-computing
 similarities.
+
+This is the pipeline's hot path: scores are δ-independent, so the
+iterative schedule of Alg. 1 shares one score store across all rounds
+(a plain dict or a bounded :class:`repro.core.simcache.SimilarityCache`),
+and the bulk scoring of still-unscored pairs can fan out over worker
+processes (:mod:`repro.core.parallel`) with results merged
+deterministically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, MutableMapping, Optional, Sequence, Set, Tuple
 
 from ..blocking.pairs import Blocker
+from ..instrumentation import CANDIDATE_PAIRS, PAIRS_SCORED, Instrumentation
 from ..model.records import PersonRecord
 from ..similarity.vector import SimilarityFunction
 from .clustering import CONNECTED_COMPONENTS, cluster_records
+from .parallel import DEFAULT_CHUNK_SIZE, score_pairs_chunked
+from .simcache import SimilarityCache
+
+#: Anything usable as the shared cross-round score store.
+ScoreStore = MutableMapping[Tuple[str, str], float]
 
 
 @dataclass
@@ -26,7 +39,10 @@ class PreMatchResult:
     ``scores`` holds ``agg_sim`` for every *candidate* pair (not only the
     matching ones); :meth:`pair_sim` computes missing entries lazily so
     the group-scoring stage can always obtain the record similarity of a
-    vertex pair.
+    vertex pair.  When ``scores`` is a
+    :class:`~repro.core.simcache.SimilarityCache` those lazy entries go
+    through its bounded LRU, so long series runs cannot accumulate
+    unbounded per-pair state.
     """
 
     sim_func: SimilarityFunction
@@ -34,13 +50,17 @@ class PreMatchResult:
     new_index: Dict[str, PersonRecord]
     labels: Dict[str, int] = field(default_factory=dict)
     clusters: Dict[int, List[str]] = field(default_factory=dict)
-    scores: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    scores: ScoreStore = field(default_factory=dict)
     matched_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    #: Optional event-counter sink shared with the pipeline.
+    instrumentation: Optional[Instrumentation] = None
 
     def label_of(self, record_id: str) -> int:
+        """The record's cluster label (Fig. 3)."""
         return self.labels[record_id]
 
     def cluster_of(self, record_id: str) -> List[str]:
+        """All records carrying this record's cluster label (§3.2)."""
         return self.clusters[self.labels[record_id]]
 
     def cluster_size(self, record_id: str) -> int:
@@ -48,15 +68,19 @@ class PreMatchResult:
         return len(self.cluster_of(record_id))
 
     def same_label(self, old_id: str, new_id: str) -> bool:
+        """True when both records share a cluster label (Fig. 3)."""
         return self.labels.get(old_id) == self.labels.get(new_id)
 
     def pair_sim(self, old_id: str, new_id: str) -> float:
-        """``agg_sim`` of a cross-dataset pair (computed lazily if needed)."""
+        """``agg_sim`` (Eq. 3) of a cross-dataset pair, computed lazily
+        and memoised in :attr:`scores` when not already present."""
         key = (old_id, new_id)
         score = self.scores.get(key)
         if score is None:
             score = self.sim_func.agg_sim(self.old_index[old_id], self.new_index[new_id])
             self.scores[key] = score
+            if self.instrumentation is not None:
+                self.instrumentation.count(PAIRS_SCORED)
         return score
 
     @property
@@ -64,7 +88,7 @@ class PreMatchResult:
         return len(self.clusters)
 
     def multi_record_clusters(self) -> Dict[int, List[str]]:
-        """Clusters containing more than one record."""
+        """Clusters containing more than one record (A–F of Fig. 3)."""
         return {
             label: members
             for label, members in self.clusters.items()
@@ -77,16 +101,24 @@ def prematching(
     new_records: Sequence[PersonRecord],
     sim_func: SimilarityFunction,
     blocker: Blocker,
-    cached_scores: Optional[Dict[Tuple[str, str], float]] = None,
+    cached_scores: Optional[ScoreStore] = None,
     cached_pairs: Optional[Set[Tuple[str, str]]] = None,
     clustering: str = CONNECTED_COMPONENTS,
+    n_workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> PreMatchResult:
-    """Cluster records of two datasets by attribute similarity.
+    """Cluster records of two datasets by attribute similarity (§3.2).
 
     ``cached_scores``/``cached_pairs`` allow the iterative pipeline to
     score each candidate pair exactly once across all δ rounds: scores do
-    not depend on δ, only the cut-off does.  ``clustering`` selects the
-    strategy of :mod:`repro.core.clustering` (the paper uses connected
+    not depend on δ, only the cut-off does.  ``cached_scores`` may be a
+    plain dict or a :class:`~repro.core.simcache.SimilarityCache` (which
+    additionally bounds lazily-added entries and tallies hits/misses).
+    Still-unscored pairs are bulk-scored, on ``n_workers`` processes when
+    ``n_workers != 1`` (:func:`repro.core.parallel.score_pairs_chunked`;
+    output is identical to serial).  ``clustering`` selects the strategy
+    of :mod:`repro.core.clustering` (the paper uses connected
     components).
     """
     old_index = {record.record_id: record for record in old_records}
@@ -102,22 +134,35 @@ def prematching(
             for old_id, new_id in cached_pairs
             if old_id in old_index and new_id in new_index
         }
+    if instrumentation is not None:
+        instrumentation.count(CANDIDATE_PAIRS, len(candidate_pairs))
 
-    # Use the caller's cache directly when given: scores computed lazily
+    # Use the caller's store directly when given: scores computed lazily
     # during subgraph matching then persist across δ rounds.
-    scores: Dict[Tuple[str, str], float] = (
-        cached_scores if cached_scores is not None else {}
+    scores: ScoreStore = cached_scores if cached_scores is not None else {}
+
+    # Bulk-score whatever the store does not hold yet; sorted order keeps
+    # the parallel chunking (and any cache-miss tally) deterministic.
+    unscored = [pair for pair in sorted(candidate_pairs) if scores.get(pair) is None]
+    if unscored:
+        fresh = score_pairs_chunked(
+            unscored, old_index, new_index, sim_func,
+            n_workers=n_workers, chunk_size=chunk_size,
+        )
+        if isinstance(scores, SimilarityCache):
+            # Candidate-pair scores are re-tested every round: pin them.
+            for pair, score in fresh.items():
+                scores.pin(pair, score)
+        else:
+            scores.update(fresh)
+        if instrumentation is not None:
+            instrumentation.count(PAIRS_SCORED, len(fresh))
+
+    matched = sorted(
+        pair
+        for pair in candidate_pairs
+        if scores[pair] >= sim_func.threshold
     )
-    matched = []
-    for pair in candidate_pairs:
-        score = scores.get(pair)
-        if score is None:
-            old_id, new_id = pair
-            score = sim_func.agg_sim(old_index[old_id], new_index[new_id])
-            scores[pair] = score
-        if score >= sim_func.threshold:
-            matched.append(pair)
-    matched.sort()
 
     # Cluster the match links (transitive closure by default); singleton
     # clusters are emitted for unmatched records, as in Fig. 3.
@@ -142,4 +187,5 @@ def prematching(
         clusters=clusters,
         scores=scores,
         matched_pairs=matched,
+        instrumentation=instrumentation,
     )

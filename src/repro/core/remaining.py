@@ -4,18 +4,28 @@ Records that subgraph matching never placed into an accepted common
 subgraph — movers, members of dissolved households, singletons — get one
 more chance: a conservative attribute-only matcher (``Sim_func_rem``)
 with a hard temporal age filter, resolved greedily to a 1:1 mapping.
+
+When ``Sim_func_rem`` uses the same attribute weights as the main
+``Sim_func`` (the default), the pipeline shares its cross-round score
+store with this pass, so pairs already scored during pre-matching are
+looked up instead of recomputed; fresh pairs are bulk-scored, optionally
+on worker processes.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..blocking.pairs import Blocker
+from ..instrumentation import PAIRS_SCORED, REMAINING_PAIRS, Instrumentation
 from ..model.mappings import RecordMapping
 from ..model.records import PersonRecord
 from ..similarity.numeric import normalised_age_difference
 from ..similarity.vector import SimilarityFunction
+from .parallel import DEFAULT_CHUNK_SIZE, score_pairs_chunked
+from .prematching import ScoreStore
+from .simcache import SimilarityCache
 
 
 def match_remaining(
@@ -26,8 +36,12 @@ def match_remaining(
     year_gap: int,
     max_normalised_age_difference: float = 3.0,
     ambiguity_margin: float = 0.0,
+    cached_scores: Optional[ScoreStore] = None,
+    n_workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> RecordMapping:
-    """Greedy 1:1 matching of leftover records.
+    """Greedy 1:1 matching of leftover records (Alg. 1, lines 17–19).
 
     Candidate pairs survive when ``agg_sim`` reaches the remaining
     threshold *and* the age difference normalised by the census gap is at
@@ -35,6 +49,13 @@ def match_remaining(
     the main pipeline, subgraph matching enforces the analogous
     constraint through edge properties).  Pairs with a missing age pass
     the filter — missing data must not veto a link outright.
+
+    ``cached_scores`` may carry ``agg_sim`` values computed earlier in
+    the run; it is only sound to pass when the earlier scores came from a
+    similarity function with identical weights and missing policy (the
+    threshold does not enter ``agg_sim``).  Unscored age-plausible pairs
+    are bulk-scored via :func:`repro.core.parallel.score_pairs_chunked`
+    with ``n_workers``/``chunk_size``, deterministically.
 
     With ``ambiguity_margin > 0`` a pair is linked only when its score
     beats every competing candidate of *both* endpoints by the margin:
@@ -44,20 +65,41 @@ def match_remaining(
     old_index = {record.record_id: record for record in old_records}
     new_index = {record.record_id: record for record in new_records}
 
-    scored: List[Tuple[float, str, str]] = []
-    old_scores: Dict[str, List[float]] = defaultdict(list)
-    new_scores: Dict[str, List[float]] = defaultdict(list)
+    # Age-plausible candidate pairs first (cheap filter before scoring).
+    plausible: List[Tuple[str, str]] = []
     for old_id, new_id in blocker.candidate_pairs(
         list(old_records), list(new_records)
     ):
-        old_record = old_index[old_id]
-        new_record = new_index[new_id]
         age_gap = normalised_age_difference(
-            old_record.age, new_record.age, year_gap
+            old_index[old_id].age, new_index[new_id].age, year_gap
         )
         if age_gap is not None and age_gap > max_normalised_age_difference:
             continue
-        score = sim_func_rem.agg_sim(old_record, new_record)
+        plausible.append((old_id, new_id))
+    plausible.sort()
+    if instrumentation is not None:
+        instrumentation.count(REMAINING_PAIRS, len(plausible))
+
+    scores: ScoreStore = cached_scores if cached_scores is not None else {}
+    unscored = [pair for pair in plausible if scores.get(pair) is None]
+    if unscored:
+        fresh = score_pairs_chunked(
+            unscored, old_index, new_index, sim_func_rem,
+            n_workers=n_workers, chunk_size=chunk_size,
+        )
+        if isinstance(scores, SimilarityCache):
+            for pair, score in fresh.items():
+                scores.pin(pair, score)
+        else:
+            scores.update(fresh)
+        if instrumentation is not None:
+            instrumentation.count(PAIRS_SCORED, len(fresh))
+
+    scored: List[Tuple[float, str, str]] = []
+    old_scores: Dict[str, List[float]] = defaultdict(list)
+    new_scores: Dict[str, List[float]] = defaultdict(list)
+    for old_id, new_id in plausible:
+        score = scores[(old_id, new_id)]
         if score >= sim_func_rem.threshold:
             scored.append((score, old_id, new_id))
             old_scores[old_id].append(score)

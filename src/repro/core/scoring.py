@@ -76,7 +76,11 @@ def aggregate_group_similarity(
 def score_subgraph(
     subgraph: SubgraphMatch, prematch: PreMatchResult, config: LinkageConfig
 ) -> SubgraphMatch:
-    """Fill the four score fields of a subgraph in place (and return it)."""
+    """Fill the four score fields of a subgraph in place (and return it):
+    ``avg_sim``, ``e_sim``, ``unique`` and their combination ``g_sim``
+    (Eq. 4–7, §3.4).  Record similarities come from the pre-matching
+    score store via :meth:`PreMatchResult.pair_sim`, so nothing is
+    recomputed for already-scored pairs."""
     subgraph.avg_sim = average_record_similarity(subgraph, prematch)
     subgraph.e_sim = edge_similarity(subgraph)
     subgraph.unique = uniqueness(subgraph, prematch)
@@ -91,6 +95,6 @@ def score_subgraphs(
     prematch: PreMatchResult,
     config: LinkageConfig,
 ) -> None:
-    """Score a batch of subgraphs in place."""
+    """Score a batch of subgraphs in place (Eq. 4–7; Alg. 1, line 8)."""
     for subgraph in subgraphs:
         score_subgraph(subgraph, prematch, config)

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..instrumentation import QUEUE_POPS, Instrumentation
 from ..model.mappings import GroupMapping, RecordMapping
 from .subgraph import SubgraphMatch
 
@@ -39,11 +40,16 @@ class SelectionResult:
         return mapping
 
 
-def select_group_matches(subgraphs: Sequence[SubgraphMatch]) -> SelectionResult:
-    """``selectGroupMatches`` of Alg. 1 / Algorithm 2 of the paper.
+def select_group_matches(
+    subgraphs: Sequence[SubgraphMatch],
+    instrumentation: Optional[Instrumentation] = None,
+) -> SelectionResult:
+    """``selectGroupMatches`` of Alg. 1 (line 10) / Algorithm 2 of the
+    paper.
 
     Ties on ``g_sim`` break deterministically: larger subgraphs first,
-    then lexicographic group ids.
+    then lexicographic group ids.  ``instrumentation`` (optional) tallies
+    priority-queue pops (one per candidate subgraph considered).
     """
     queue: List[Tuple[float, int, str, str, int]] = []
     for index, subgraph in enumerate(subgraphs):
@@ -64,6 +70,8 @@ def select_group_matches(subgraphs: Sequence[SubgraphMatch]) -> SelectionResult:
 
     while queue:
         _, _, _, _, index = heapq.heappop(queue)
+        if instrumentation is not None:
+            instrumentation.count(QUEUE_POPS)
         subgraph = subgraphs[index]
         old_claimed = linked_old.setdefault(subgraph.old_group_id, set())
         new_claimed = linked_new.setdefault(subgraph.new_group_id, set())

@@ -1,0 +1,137 @@
+"""Cross-iteration similarity cache for the pre-matching hot path (§3.2).
+
+``agg_sim`` (Eq. 3) does not depend on the threshold δ — only the cut-off
+test does — so the iterative schedule of Alg. 1 can score each candidate
+pair once and re-test the cached value every round.  The cache also backs
+the lazy lookups of :meth:`repro.core.prematching.PreMatchResult.pair_sim`
+(subgraph vertex assignment and Eq. 5 scoring) and, when the remaining
+pass (Alg. 1 line 17) runs with the same attribute weights, the final
+attribute-only matching as well.
+
+Two storage classes keep memory bounded over long series runs:
+
+* **pinned** entries — bulk-scored candidate pairs.  Their number is
+  bounded by blocking, they are never evicted, and they are exactly the
+  pairs re-tested every δ round.
+* **lazy** entries — pairs scored on demand outside the candidate set
+  (e.g. same-cluster household members that blocking never proposed).
+  They live in an LRU of at most ``max_lazy_entries`` and may be evicted;
+  an evicted pair is simply re-scored on next use.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+#: (old record id, new record id) — the cache key.
+PairKey = Tuple[str, str]
+
+#: Default cap on lazily-added entries (~a few MiB of floats and keys).
+DEFAULT_MAX_LAZY_ENTRIES = 200_000
+
+
+class SimilarityCache:
+    """Bounded ``agg_sim`` memo keyed by (old id, new id) pairs.
+
+    Implements the mapping surface used by
+    :class:`repro.core.prematching.PreMatchResult` (``get``, item access,
+    ``items``, ``len``), so it is a drop-in replacement for the plain
+    score dict; item assignment stores a *lazy* entry, :meth:`pin` a
+    permanent one.  ``hits``/``misses``/``evictions`` tally every
+    :meth:`get`, which lets callers assert that no pair was ever scored
+    twice (``misses == len(cache)`` while ``evictions == 0``).
+    """
+
+    def __init__(
+        self, max_lazy_entries: Optional[int] = DEFAULT_MAX_LAZY_ENTRIES
+    ) -> None:
+        if max_lazy_entries is not None and max_lazy_entries < 0:
+            raise ValueError("max_lazy_entries must be >= 0 or None")
+        #: ``None`` or 0 disables the cap (unbounded lazy storage).
+        self.max_lazy_entries = max_lazy_entries or None
+        self._pinned: Dict[PairKey, float] = {}
+        self._lazy: "OrderedDict[PairKey, float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- lookups -------------------------------------------------------------
+
+    def get(self, key: PairKey, default: Optional[float] = None) -> Optional[float]:
+        """Cached score for ``key``, counting a hit or a miss."""
+        score = self._pinned.get(key)
+        if score is not None:
+            self.hits += 1
+            return score
+        score = self._lazy.get(key)
+        if score is not None:
+            self._lazy.move_to_end(key)  # LRU refresh
+            self.hits += 1
+            return score
+        self.misses += 1
+        return default
+
+    def __getitem__(self, key: PairKey) -> float:
+        score = self.get(key)
+        if score is None:
+            raise KeyError(key)
+        return score
+
+    def __contains__(self, key: PairKey) -> bool:
+        """Membership test; does not touch the hit/miss tallies."""
+        return key in self._pinned or key in self._lazy
+
+    def __len__(self) -> int:
+        return len(self._pinned) + len(self._lazy)
+
+    def items(self) -> Iterator[Tuple[PairKey, float]]:
+        """All (pair, score) entries, pinned first."""
+        yield from self._pinned.items()
+        yield from self._lazy.items()
+
+    # -- insertion -----------------------------------------------------------
+
+    def pin(self, key: PairKey, score: float) -> None:
+        """Store a permanent (never evicted) entry — candidate pairs."""
+        self._lazy.pop(key, None)
+        self._pinned[key] = score
+
+    def __setitem__(self, key: PairKey, score: float) -> None:
+        """Store a lazy entry, evicting the least recently used beyond
+        ``max_lazy_entries``."""
+        if key in self._pinned:
+            return  # pinned entries are authoritative
+        self._lazy[key] = score
+        self._lazy.move_to_end(key)
+        if self.max_lazy_entries is not None:
+            while len(self._lazy) > self.max_lazy_entries:
+                self._lazy.popitem(last=False)
+                self.evictions += 1
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_pinned(self) -> int:
+        return len(self._pinned)
+
+    @property
+    def num_lazy(self) -> int:
+        return len(self._lazy)
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/eviction tallies plus sizes, for instrumentation."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "pinned": len(self._pinned),
+            "lazy": len(self._lazy),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SimilarityCache(pinned={len(self._pinned)}, "
+            f"lazy={len(self._lazy)}, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
+        )

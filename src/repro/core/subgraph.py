@@ -16,6 +16,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..instrumentation import GROUP_PAIRS, SUBGRAPHS_BUILT, Instrumentation
 from ..model.households import Household
 from ..model.mappings import RecordMapping
 from ..model.records import PersonRecord
@@ -188,7 +189,8 @@ def build_subgraph(
     config: LinkageConfig,
     anchors: Optional[List[Tuple[str, str]]] = None,
 ) -> Optional[SubgraphMatch]:
-    """The common subgraph of two enriched households, or ``None``.
+    """The common subgraph of two enriched households (§3.3, Fig. 4),
+    or ``None``.
 
     ``anchors`` are record pairs between these two households that were
     already linked in earlier rounds; they join the subgraph as trusted
@@ -314,11 +316,15 @@ def build_all_subgraphs(
     new_households: Dict[str, Household],
     config: LinkageConfig,
     record_mapping: Optional["RecordMapping"] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> List[SubgraphMatch]:
-    """``subgroups`` of Alg. 1: common subgraphs of all candidate pairs.
+    """``subgroups`` of Alg. 1 (line 7, §3.3): common subgraphs of all
+    candidate group pairs.
 
     ``record_mapping`` holds the links accepted in earlier δ rounds;
     links that fall inside a candidate household pair become anchors.
+    ``instrumentation`` (optional) tallies the group pairs considered
+    and the non-empty subgraphs built.
     """
     old_group_of = {
         record_id: household.household_id
@@ -331,9 +337,10 @@ def build_all_subgraphs(
         for record_id in household.members
     }
     subgraphs: List[SubgraphMatch] = []
-    for old_group_id, new_group_id in candidate_group_pairs(
-        prematch, old_group_of, new_group_of
-    ):
+    group_pairs = candidate_group_pairs(prematch, old_group_of, new_group_of)
+    if instrumentation is not None:
+        instrumentation.count(GROUP_PAIRS, len(group_pairs))
+    for old_group_id, new_group_id in group_pairs:
         old_household = old_households[old_group_id]
         new_household = new_households[new_group_id]
         anchors: List[Tuple[str, str]] = []
@@ -347,4 +354,6 @@ def build_all_subgraphs(
         )
         if subgraph is not None:
             subgraphs.append(subgraph)
+    if instrumentation is not None:
+        instrumentation.count(SUBGRAPHS_BUILT, len(subgraphs))
     return subgraphs

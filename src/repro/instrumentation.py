@@ -1,0 +1,140 @@
+"""Per-stage timers and counters for the linkage pipeline.
+
+Pre-matching (§3.2) dominates end-to-end runtime: every δ round of
+Alg. 1 tests candidate pairs against ``Sim_func``, and subgraph scoring
+(Eq. 5) touches pair similarities again.  This module provides the
+measurement substrate for that hot path: an :class:`Instrumentation`
+object accumulates wall-clock time per pipeline stage and named event
+counters (pairs scored, similarity-cache hits/misses, subgraphs built,
+selection-queue pops), so a run can prove properties such as *"no
+candidate pair was scored twice across the δ schedule"* instead of
+asserting them by inspection.
+
+The pipeline attaches the collector to its result (``result.profile``);
+``python -m repro.cli link --profile`` and ``benchmarks/bench_scaling.py``
+print the same report.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+#: Counter names used by the core pipeline.  Stages may add their own;
+#: these constants just keep producers and consumers in sync.
+PAIRS_SCORED = "pairs_scored"  # agg_sim evaluations actually performed
+CACHE_HITS = "cache_hits"  # similarity-cache lookups served
+CACHE_MISSES = "cache_misses"  # lookups that required a computation
+CACHE_EVICTIONS = "cache_evictions"  # lazy entries dropped by the LRU cap
+CANDIDATE_PAIRS = "candidate_pairs"  # pairs proposed by blocking
+GROUP_PAIRS = "group_pairs"  # candidate group pairs considered
+SUBGRAPHS_BUILT = "subgraphs_built"  # non-empty common subgraphs
+QUEUE_POPS = "queue_pops"  # Alg. 2 priority-queue pops
+REMAINING_PAIRS = "remaining_pairs"  # age-plausible pairs in the final pass
+
+
+@dataclass
+class StageStats:
+    """Accumulated wall-clock time and entry count of one pipeline stage."""
+
+    seconds: float = 0.0
+    calls: int = 0
+
+
+@dataclass
+class Instrumentation:
+    """Wall-clock timers per stage plus named event counters.
+
+    Cheap enough to be always on: counting is a dict increment and each
+    stage is timed once per δ round.  All methods are safe to call on a
+    freshly constructed instance — stages and counters appear on first
+    use.
+    """
+
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with``-block and accumulate it under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            stats = self.stages.setdefault(name, StageStats())
+            stats.seconds += time.perf_counter() - start
+            stats.calls += 1
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_counter(self, name: str, value: int) -> None:
+        """Overwrite counter ``name`` (used to mirror external tallies,
+        e.g. the similarity cache's own hit/miss counts)."""
+        self.counters[name] = value
+
+    # -- reading -------------------------------------------------------------
+
+    def value(self, name: str) -> int:
+        """Current value of a counter (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def seconds(self, name: str) -> float:
+        """Accumulated wall-clock seconds of a stage (0.0 when never run)."""
+        stats = self.stages.get(name)
+        return stats.seconds if stats else 0.0
+
+    def total_seconds(self) -> float:
+        """Sum of all stage timers."""
+        return sum(stats.seconds for stats in self.stages.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data snapshot (stages and counters), e.g. for JSON dumps."""
+        return {
+            "stages": {
+                name: {"seconds": stats.seconds, "calls": stats.calls}
+                for name, stats in self.stages.items()
+            },
+            "counters": dict(self.counters),
+        }
+
+    def merge(self, other: "Instrumentation") -> None:
+        """Fold another collector into this one (timers and counters add)."""
+        for name, stats in other.stages.items():
+            mine = self.stages.setdefault(name, StageStats())
+            mine.seconds += stats.seconds
+            mine.calls += stats.calls
+        for name, value in other.counters.items():
+            self.count(name, value)
+
+    def report(self, title: str = "pipeline profile") -> str:
+        """Human-readable two-part table: stage timers, then counters."""
+        lines = [title, "=" * len(title)]
+        if self.stages:
+            width = max(len(name) for name in self.stages)
+            lines.append(f"{'stage'.ljust(width)}  {'seconds':>9}  {'calls':>6}")
+            for name, stats in sorted(
+                self.stages.items(), key=lambda item: -item[1].seconds
+            ):
+                lines.append(
+                    f"{name.ljust(width)}  {stats.seconds:>9.3f}  "
+                    f"{stats.calls:>6d}"
+                )
+            lines.append(
+                f"{'total'.ljust(width)}  {self.total_seconds():>9.3f}"
+            )
+        if self.counters:
+            if self.stages:
+                lines.append("")
+            width = max(len(name) for name in self.counters)
+            lines.append(f"{'counter'.ljust(width)}  {'value':>12}")
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"{name.ljust(width)}  {value:>12d}")
+        if not self.stages and not self.counters:
+            lines.append("(empty)")
+        return "\n".join(lines)

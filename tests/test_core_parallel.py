@@ -1,0 +1,129 @@
+"""Parallel pre-matching engine: determinism and serial equivalence.
+
+The multiprocess scorer (repro.core.parallel) must be a pure speed knob:
+for any worker count the scores, and therefore every downstream mapping,
+are identical to a serial run.
+"""
+
+import pytest
+
+from repro.core.config import LinkageConfig
+from repro.core.parallel import resolve_workers, score_pairs_chunked
+from repro.core.pipeline import link_datasets
+from repro.core.prematching import prematching
+from repro.blocking.standard import CrossProductBlocker
+from repro.datagen import generate_pair
+from repro.similarity.vector import build_similarity_function
+
+SIM = build_similarity_function(
+    [("first_name", "qgram", 0.5), ("surname", "qgram", 0.5)], 0.7
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    series = generate_pair(seed=20170321, initial_households=40)
+    return series.datasets
+
+
+@pytest.fixture(scope="module")
+def indexes(workload):
+    old, new = workload
+    old_index = {r.record_id: r for r in old.iter_records()}
+    new_index = {r.record_id: r for r in new.iter_records()}
+    pairs = sorted(
+        (old_id, new_id)
+        for old_id in list(old_index)[:40]
+        for new_id in list(new_index)[:40]
+    )
+    return old_index, new_index, pairs
+
+
+class TestScorePairsChunked:
+    def test_serial_scores_every_pair(self, indexes):
+        old_index, new_index, pairs = indexes
+        scores = score_pairs_chunked(pairs, old_index, new_index, SIM)
+        assert set(scores) == set(pairs)
+        assert all(0.0 <= score <= 1.0 for score in scores.values())
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_equals_serial(self, indexes, workers):
+        old_index, new_index, pairs = indexes
+        serial = score_pairs_chunked(pairs, old_index, new_index, SIM)
+        # Tiny chunks force a real multi-chunk pool even on this workload.
+        parallel = score_pairs_chunked(
+            pairs, old_index, new_index, SIM,
+            n_workers=workers, chunk_size=97,
+        )
+        assert parallel == serial
+
+    def test_small_workload_short_circuits_to_serial(self, indexes):
+        old_index, new_index, pairs = indexes
+        subset = pairs[:10]
+        # chunk_size >= workload: must not start a pool (same result).
+        scores = score_pairs_chunked(
+            subset, old_index, new_index, SIM, n_workers=8, chunk_size=1024
+        )
+        assert set(scores) == set(subset)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+
+
+class TestParallelPrematching:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_prematch_clusters_identical(self, workload, workers):
+        old, new = workload
+        old_records = list(old.iter_records())[:60]
+        new_records = list(new.iter_records())[:60]
+        serial = prematching(
+            old_records, new_records, SIM, CrossProductBlocker()
+        )
+        parallel = prematching(
+            old_records, new_records, SIM, CrossProductBlocker(),
+            n_workers=workers, chunk_size=128,
+        )
+        assert parallel.matched_pairs == serial.matched_pairs
+        assert parallel.labels == serial.labels
+        assert parallel.clusters == serial.clusters
+
+
+class TestParallelPipeline:
+    """Acceptance: n_workers in {2, 4} yields mappings identical to serial
+    on a seeded generate_pair workload."""
+
+    @pytest.fixture(scope="class")
+    def serial_result(self, workload):
+        old, new = workload
+        return link_datasets(old, new, LinkageConfig(n_workers=1))
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_link_datasets_identical(self, workload, serial_result, workers):
+        old, new = workload
+        config = LinkageConfig(n_workers=workers, worker_chunk_size=256)
+        result = link_datasets(old, new, config)
+        assert (
+            result.record_mapping.pairs()
+            == serial_result.record_mapping.pairs()
+        )
+        assert sorted(result.group_mapping.pairs()) == sorted(
+            serial_result.group_mapping.pairs()
+        )
+        # Same work, same diagnostics.
+        assert len(result.iterations) == len(serial_result.iterations)
+        assert result.profile.value("pairs_scored") == \
+            serial_result.profile.value("pairs_scored")
+
+    def test_all_cores_setting(self, workload):
+        old, new = workload
+        result = link_datasets(old, new, LinkageConfig(n_workers=0))
+        serial = link_datasets(old, new, LinkageConfig())
+        assert result.record_mapping.pairs() == serial.record_mapping.pairs()
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            LinkageConfig(n_workers=-1)
+        with pytest.raises(ValueError):
+            LinkageConfig(worker_chunk_size=0)

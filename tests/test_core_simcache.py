@@ -1,0 +1,115 @@
+"""SimilarityCache: pinned vs lazy storage, LRU bound, hit/miss tallies."""
+
+import pytest
+
+from repro.core.simcache import SimilarityCache
+
+
+class TestBasics:
+    def test_get_miss_then_hit(self):
+        cache = SimilarityCache()
+        assert cache.get(("a", "b")) is None
+        cache[("a", "b")] = 0.5
+        assert cache.get(("a", "b")) == 0.5
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_getitem_and_contains(self):
+        cache = SimilarityCache()
+        cache.pin(("a", "b"), 0.9)
+        assert ("a", "b") in cache
+        assert cache[("a", "b")] == 0.9
+        with pytest.raises(KeyError):
+            cache[("x", "y")]
+
+    def test_len_and_items(self):
+        cache = SimilarityCache()
+        cache.pin(("a", "b"), 0.9)
+        cache[("c", "d")] = 0.1
+        assert len(cache) == 2
+        assert dict(cache.items()) == {("a", "b"): 0.9, ("c", "d"): 0.1}
+        assert cache.num_pinned == 1
+        assert cache.num_lazy == 1
+
+
+class TestEviction:
+    def test_lazy_entries_are_capped(self):
+        cache = SimilarityCache(max_lazy_entries=3)
+        for index in range(5):
+            cache[(f"o{index}", f"n{index}")] = float(index)
+        assert cache.num_lazy == 3
+        assert cache.evictions == 2
+        # Oldest entries were dropped, newest survive.
+        assert ("o0", "n0") not in cache
+        assert ("o4", "n4") in cache
+
+    def test_pinned_entries_never_evicted(self):
+        cache = SimilarityCache(max_lazy_entries=2)
+        for index in range(10):
+            cache.pin((f"p{index}", f"q{index}"), float(index))
+        for index in range(10):
+            cache[(f"o{index}", f"n{index}")] = float(index)
+        assert cache.num_pinned == 10
+        assert cache.num_lazy == 2
+        assert cache.get(("p0", "q0")) == 0.0
+
+    def test_lru_refresh_on_get(self):
+        cache = SimilarityCache(max_lazy_entries=2)
+        cache[("a", "a")] = 0.1
+        cache[("b", "b")] = 0.2
+        cache.get(("a", "a"))  # refresh: a becomes most recent
+        cache[("c", "c")] = 0.3  # evicts b, not a
+        assert ("a", "a") in cache
+        assert ("b", "b") not in cache
+
+    def test_pin_promotes_lazy_entry(self):
+        cache = SimilarityCache(max_lazy_entries=1)
+        cache[("a", "a")] = 0.1
+        cache.pin(("a", "a"), 0.1)
+        cache[("b", "b")] = 0.2  # would evict a if it were still lazy
+        assert ("a", "a") in cache
+        assert cache.num_pinned == 1
+
+    def test_setitem_does_not_shadow_pinned(self):
+        cache = SimilarityCache()
+        cache.pin(("a", "a"), 0.9)
+        cache[("a", "a")] = 0.1  # ignored: pinned value is authoritative
+        assert cache[("a", "a")] == 0.9
+        assert cache.num_lazy == 0
+
+    def test_unbounded_when_disabled(self):
+        cache = SimilarityCache(max_lazy_entries=None)
+        for index in range(1000):
+            cache[(f"o{index}", f"n{index}")] = float(index)
+        assert cache.num_lazy == 1000
+        assert cache.evictions == 0
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            SimilarityCache(max_lazy_entries=-1)
+
+
+class TestCounters:
+    def test_counters_snapshot(self):
+        cache = SimilarityCache()
+        cache.get(("a", "b"))
+        cache.pin(("a", "b"), 0.5)
+        cache.get(("a", "b"))
+        counters = cache.counters()
+        assert counters["hits"] == 1
+        assert counters["misses"] == 1
+        assert counters["pinned"] == 1
+
+    def test_no_double_scoring_invariant(self):
+        """misses == len(cache) while evictions == 0 means every miss led
+        to exactly one stored score — i.e. nothing was computed twice."""
+        cache = SimilarityCache()
+        for index in range(20):
+            key = (f"o{index}", f"n{index}")
+            if cache.get(key) is None:
+                cache.pin(key, float(index))
+        for index in range(20):  # all hits now
+            assert cache.get((f"o{index}", f"n{index}")) is not None
+        assert cache.misses == len(cache) == 20
+        assert cache.evictions == 0
+        assert cache.hits == 20
