@@ -4,15 +4,18 @@ Not a table of the paper (which does not report runtimes), but the
 practical question for a pure-Python reproduction: how does the
 pipeline scale with the number of households, and how much does the
 parallel cached pre-matching engine buy?  The grid runs every workload
-size serially and with 2 and 4 worker processes, checks that all three
-produce *identical* mappings, and prints the instrumentation profile of
-the largest serial run (pairs scored, cache hits, per-stage seconds).
+size serially and with 2 and 4 worker processes, judges parallel and
+cache-bounded variants against the serial run through the differential
+harness (:mod:`repro.validation.differential`), measures the wall-clock
+overhead of inline invariant validation (``validate=True``), and prints
+the instrumentation profile of the largest serial run.
 
 Speedups depend on the machine: on a single-core box the worker pool is
 pure overhead, so the wall-clock-improvement assertion only applies when
 the machine actually has multiple cores.
 """
 
+import dataclasses
 import os
 import time
 
@@ -23,6 +26,7 @@ from repro.core.pipeline import link_datasets
 from repro.datagen.generator import generate_pair
 from repro.evaluation.reporting import format_table
 from repro.instrumentation import CACHE_HITS, PAIRS_SCORED
+from repro.validation.differential import IDENTICAL, compare_results
 
 SIZES = (50, 100, 200)
 WORKER_COUNTS = (1, 2, 4)
@@ -30,32 +34,34 @@ WORKER_COUNTS = (1, 2, 4)
 
 def run_scaling():
     rows = []
+    validate_rows = []
     profile_report = ""
     for size in SIZES:
         series = generate_pair(seed=BENCH_SEED, initial_households=size)
         old, new = series.datasets
-        serial_mappings = None
+        serial_config = LinkageConfig(n_workers=1)
+        serial_result = None
         serial_seconds = None
         for workers in WORKER_COUNTS:
             config = LinkageConfig(n_workers=workers)
             start = time.perf_counter()
             result = link_datasets(old, new, config)
             elapsed = time.perf_counter() - start
-            mappings = (
-                result.record_mapping.pairs(),
-                sorted(result.group_mapping.pairs()),
-            )
             if workers == 1:
-                serial_mappings = mappings
+                serial_result = result
                 serial_seconds = elapsed
                 profile_report = result.profile.report(
                     f"profile ({size} households, serial)"
                 )
             else:
-                # The parallel engine must be a pure speed knob.
-                assert mappings == serial_mappings, (
-                    f"n_workers={workers} changed the output at size {size}"
+                # The parallel engine must be a pure speed knob; the
+                # differential harness reuses the already-computed runs.
+                outcome = compare_results(
+                    f"serial-vs-parallel(n_workers={workers}, size={size})",
+                    IDENTICAL, serial_config, config, serial_result, result,
+                    check_diagnostics=True,
                 )
+                assert outcome.ok, outcome.report()
             rows.append(
                 (
                     size,
@@ -68,11 +74,31 @@ def run_scaling():
                     serial_seconds / elapsed,
                 )
             )
-    return rows, profile_report
+        # Inline invariant validation: same serial run with validate=True.
+        validating_config = dataclasses.replace(serial_config, validate=True)
+        start = time.perf_counter()
+        validated_result = link_datasets(old, new, validating_config)
+        validated_seconds = time.perf_counter() - start
+        outcome = compare_results(
+            f"plain-vs-validated(size={size})",
+            IDENTICAL, serial_config, validating_config,
+            serial_result, validated_result,
+        )
+        assert outcome.ok, outcome.report()
+        validate_rows.append(
+            (
+                size,
+                serial_seconds,
+                validated_seconds,
+                validated_seconds / serial_seconds - 1.0,
+                validated_result.profile.value("invariant_checks"),
+            )
+        )
+    return rows, validate_rows, profile_report
 
 
 def test_scaling(benchmark):
-    rows, profile_report = once(benchmark, run_scaling)
+    rows, validate_rows, profile_report = once(benchmark, run_scaling)
     table = format_table(
         ["households", "records", "workers", "links", "scored", "cache hits",
          "seconds", "speedup"],
@@ -84,7 +110,28 @@ def test_scaling(benchmark):
         ],
         title="Scaling: linkage runtime by households x workers",
     )
-    write_result("scaling.txt", table + "\n\n" + profile_report)
+    validate_table = format_table(
+        ["households", "plain s", "validated s", "overhead", "checks"],
+        [
+            [str(size), f"{plain:.2f}", f"{validated:.2f}",
+             f"{overhead * 100:+.1f}%", str(checks)]
+            for size, plain, validated, overhead, checks in validate_rows
+        ],
+        title="Inline validation (validate=True) overhead, serial runs",
+    )
+    write_result(
+        "scaling.txt",
+        table + "\n\n" + validate_table + "\n\n" + profile_report,
+    )
+
+    # Inline validation is a guard rail, not a second pipeline: on the
+    # largest workload it must stay within a modest fraction of the
+    # plain serial run (measured ~2-5%; the bound absorbs timer noise).
+    largest_overhead = validate_rows[-1][3]
+    assert largest_overhead < 0.10, (
+        f"validate=True overhead {largest_overhead * 100:.1f}% exceeds 10% "
+        f"on the largest workload"
+    )
 
     serial_rows = [row for row in rows if row[2] == 1]
 

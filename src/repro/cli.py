@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
         --workers 4 --profile
     python -m repro.cli evaluate links_records.csv data/truth_records_1871_1881.csv
     python -m repro.cli evolve data/census_*.csv
+    python -m repro.cli golden --check          # replay committed goldens
 
 Every subcommand works on the CSV formats of :mod:`repro.model.io`, so
 real census extracts in the same shape plug straight in.
@@ -63,6 +64,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
         beta=args.beta,
         year_gap=new_dataset.year - old_dataset.year,
         n_workers=args.workers,
+        validate=args.validate,
     )
     result = link_datasets(old_dataset, new_dataset, config)
     print(
@@ -118,6 +120,31 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from .validation import golden as golden_mod
+
+    if args.record == args.check:
+        print("golden: choose exactly one of --record / --check",
+              file=sys.stderr)
+        return 2
+    try:
+        specs = golden_mod.specs_by_name(args.names)
+    except KeyError as error:
+        print(f"golden: {error}", file=sys.stderr)
+        return 2
+    failures = 0
+    for spec in specs:
+        if args.record:
+            path = golden_mod.record_golden(spec, args.dir)
+            print(f"recorded {path}")
+        else:
+            check = golden_mod.check_golden(spec, args.dir)
+            print(check.report())
+            if not check.ok:
+                failures += 1
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -157,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-stage timers, event counters and per-round "
         "cache statistics after linking",
     )
+    link.add_argument(
+        "--validate", action="store_true",
+        help="enforce the structural invariants of Alg. 1/2 inline "
+        "(record-disjoint subgraphs, 1:1 links, witnessed group links); "
+        "violations abort with a structured report",
+    )
     link.set_defaults(func=_cmd_link)
 
     evaluate = commands.add_parser(
@@ -171,6 +204,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evolve.add_argument("datasets", nargs="+", help="census CSVs (>=2 years)")
     evolve.set_defaults(func=_cmd_evolve)
+
+    golden = commands.add_parser(
+        "golden",
+        help="record or check the golden-run regression fixtures",
+    )
+    golden.add_argument(
+        "--record", action="store_true",
+        help="re-run every golden spec and overwrite its fixture",
+    )
+    golden.add_argument(
+        "--check", action="store_true",
+        help="replay every golden spec and diff against its fixture",
+    )
+    golden.add_argument(
+        "--dir", default="tests/goldens",
+        help="fixture directory (default: tests/goldens)",
+    )
+    golden.add_argument(
+        "--names", nargs="*",
+        help="subset of golden spec names (default: all)",
+    )
+    golden.set_defaults(func=_cmd_golden)
 
     return parser
 

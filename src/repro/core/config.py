@@ -84,6 +84,9 @@ class LinkageConfig:
     max_lazy_cache_entries:
         LRU bound on lazily-added similarity-cache entries (pairs scored
         on demand outside the blocked candidate set).
+    validate:
+        Enforce the paper's structural invariants inline (per δ round
+        and on the final result); violations raise ``InvariantViolation``.
     """
 
     weights: Sequence[WeightSpec] = OMEGA2
@@ -133,6 +136,14 @@ class LinkageConfig:
     #: (pairs scored on demand outside the blocked candidate set; see
     #: repro.core.simcache).  0 disables the cap.
     max_lazy_cache_entries: int = 200_000
+    #: Run the validation layer inline: every δ round checks the Alg. 2
+    #: invariants (record-disjoint subgraph consumption, 1:1 links, links
+    #: reaching the round's δ) and the final result is validated against
+    #: the full registry of repro.validation.invariants.  Violations raise
+    #: :class:`repro.validation.invariants.InvariantViolation` with a
+    #: structured report.  Off by default; the checks never change the
+    #: result, its mappings or its instrumentation counters.
+    validate: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0 or not 0.0 <= self.beta <= 1.0:

@@ -18,7 +18,7 @@ collector times every stage (see ``result.profile``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
 
 from ..instrumentation import (
     CACHE_EVICTIONS,
@@ -65,6 +65,22 @@ class IterationStats:
     seconds: float = 0.0
 
 
+class LinkOrigin(NamedTuple):
+    """Where a record link came from: which pass, round and threshold.
+
+    Recorded per link when ``LinkageConfig(validate=True)`` so that the
+    validation layer can check every link against the threshold of the
+    pass that accepted it (``link-scores-reach-threshold``).
+    """
+
+    #: ``"subgraph"`` (a δ round of Alg. 1) or ``"remaining"`` (line 17).
+    source: str
+    #: 1-based δ round, or ``None`` for the remaining pass.
+    round: Optional[int]
+    #: The δ (or remaining threshold) in force when the link was accepted.
+    threshold: float
+
+
 @dataclass
 class LinkageResult:
     """Output of Algorithm 1 plus per-round diagnostics."""
@@ -77,6 +93,9 @@ class LinkageResult:
     subgraph_record_links: int = 0
     #: Per-stage timers and event counters of the whole run.
     profile: Optional[Instrumentation] = None
+    #: Per-link :class:`LinkOrigin`, populated only when the run was
+    #: validated (``LinkageConfig.validate``); ``None`` otherwise.
+    provenance: Optional[Dict[Tuple[str, str], LinkOrigin]] = None
 
     @property
     def num_record_links(self) -> int:
@@ -111,6 +130,17 @@ class IterativeGroupLinkage:
         config = self.config
         blocker = config.build_blocker()
         instrumentation = Instrumentation()
+        validating = config.validate
+        provenance: Optional[Dict[Tuple[str, str], LinkOrigin]] = (
+            {} if validating else None
+        )
+        if validating:
+            # Imported lazily: core must stay importable without the
+            # validation package, and the checks cost nothing when off.
+            from ..validation.invariants import (
+                validate_result,
+                validate_selection,
+            )
 
         with instrumentation.stage("enrichment"):
             enriched_old = complete_groups(old_dataset)
@@ -177,9 +207,25 @@ class IterativeGroupLinkage:
                     subgraphs, instrumentation=instrumentation
                 )
 
+            if validating:
+                # Check the round's selection against the Alg. 2 contracts
+                # *before* merging its links; a violation aborts the run.
+                with instrumentation.stage("validation"):
+                    validate_selection(
+                        selection,
+                        record_mapping,
+                        prematch,
+                        delta,
+                        config,
+                        instrumentation=instrumentation,
+                    ).raise_if_failed()
+
             partial_records = selection.extract_record_mapping()
             record_mapping.update(partial_records)
             group_mapping.update(selection.group_mapping)
+            if provenance is not None:
+                for pair in partial_records:
+                    provenance[pair] = LinkOrigin("subgraph", round_index, delta)
 
             remaining_old = [
                 record
@@ -238,19 +284,37 @@ class IterativeGroupLinkage:
                 remaining_mapping, old_household_of, new_household_of
             )
         )
+        if provenance is not None:
+            for pair in remaining_mapping:
+                provenance[pair] = LinkOrigin(
+                    "remaining", None, config.remaining_threshold
+                )
 
         instrumentation.set_counter(CACHE_HITS, cache.hits)
         instrumentation.set_counter(CACHE_MISSES, cache.misses)
         instrumentation.set_counter(CACHE_EVICTIONS, cache.evictions)
 
-        return LinkageResult(
+        result = LinkageResult(
             record_mapping=record_mapping,
             group_mapping=group_mapping,
             iterations=iterations,
             remaining_record_links=len(remaining_mapping),
             subgraph_record_links=subgraph_links,
             profile=instrumentation,
+            provenance=provenance,
         )
+        if validating:
+            # Full-result pass over the invariant registry (Eq. 1/2,
+            # δ schedule, witness and threshold checks).
+            with instrumentation.stage("validation"):
+                validate_result(
+                    result,
+                    old_dataset,
+                    new_dataset,
+                    config,
+                    instrumentation=instrumentation,
+                ).raise_if_failed()
+        return result
 
 def link_datasets(
     old_dataset: CensusDataset,

@@ -39,6 +39,27 @@ class SelectionResult:
                 mapping.add(old_id, new_id)
         return mapping
 
+    def disjointness_violations(self) -> List[str]:
+        """Record ids claimed by more than one accepted subgraph.
+
+        Alg. 2 guarantees this list is empty; the validation layer
+        re-derives it from the accepted subgraphs instead of trusting the
+        selection loop, so a future refactor of the queue logic cannot
+        silently break record-disjoint consumption (§3.4).
+        """
+        seen_old: Set[str] = set()
+        seen_new: Set[str] = set()
+        duplicated: List[str] = []
+        for subgraph in self.accepted:
+            for old_id, new_id in subgraph.new_link_vertices:
+                if old_id in seen_old:
+                    duplicated.append(old_id)
+                if new_id in seen_new:
+                    duplicated.append(new_id)
+                seen_old.add(old_id)
+                seen_new.add(new_id)
+        return duplicated
+
 
 def select_group_matches(
     subgraphs: Sequence[SubgraphMatch],

@@ -82,6 +82,15 @@ class SimilarityCache:
         """Membership test; does not touch the hit/miss tallies."""
         return key in self._pinned or key in self._lazy
 
+    def peek(self, key: PairKey) -> Optional[float]:
+        """Cached score without side effects: no hit/miss tally and no
+        LRU refresh.  Used by the validation layer, which must observe
+        the cache without altering eviction order or instrumentation."""
+        score = self._pinned.get(key)
+        if score is not None:
+            return score
+        return self._lazy.get(key)
+
     def __len__(self) -> int:
         return len(self._pinned) + len(self._lazy)
 

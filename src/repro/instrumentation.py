@@ -33,6 +33,7 @@ GROUP_PAIRS = "group_pairs"  # candidate group pairs considered
 SUBGRAPHS_BUILT = "subgraphs_built"  # non-empty common subgraphs
 QUEUE_POPS = "queue_pops"  # Alg. 2 priority-queue pops
 REMAINING_PAIRS = "remaining_pairs"  # age-plausible pairs in the final pass
+INVARIANT_CHECKS = "invariant_checks"  # validation-layer invariants evaluated
 
 
 @dataclass

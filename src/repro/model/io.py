@@ -96,10 +96,13 @@ def read_group_mapping(path: PathLike) -> GroupMapping:
 def _write_pairs(
     pairs: List[Tuple[str, str]], path: PathLike, header: Tuple[str, str]
 ) -> None:
+    # Canonical order on disk regardless of the caller's iteration order:
+    # mapping CSVs must be byte-stable across runs, hash seeds and
+    # Python versions (the golden fixtures depend on this).
     with open(path, "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
         writer.writerow(header)
-        writer.writerows(pairs)
+        writer.writerows(sorted(pairs))
 
 
 def _read_pairs(path: PathLike) -> List[Tuple[str, str]]:

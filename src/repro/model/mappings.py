@@ -88,6 +88,15 @@ class RecordMapping:
         """All pairs in deterministic (sorted) order."""
         return sorted(self._old_to_new.items())
 
+    def as_jsonable(self) -> List[List[str]]:
+        """Canonical JSON form: sorted ``[old_id, new_id]`` rows.
+
+        Every serialization path (CSV, golden fixtures, diffs) goes
+        through the sorted order, so output is byte-stable regardless of
+        insertion order, hash seed, Python version or worker count.
+        """
+        return [[old_id, new_id] for old_id, new_id in self.pairs()]
+
     def __iter__(self) -> Iterator[Tuple[str, str]]:
         return iter(self.pairs())
 
@@ -169,7 +178,13 @@ class GroupMapping:
         return set(self._new_to_old)
 
     def pairs(self) -> List[Tuple[str, str]]:
+        """All pairs in deterministic (sorted) order."""
         return sorted(self._pairs)
+
+    def as_jsonable(self) -> List[List[str]]:
+        """Canonical JSON form: sorted ``[old_id, new_id]`` rows (see
+        :meth:`RecordMapping.as_jsonable`)."""
+        return [[old_id, new_id] for old_id, new_id in self.pairs()]
 
     def __iter__(self) -> Iterator[Tuple[str, str]]:
         return iter(self.pairs())
@@ -183,7 +198,10 @@ class GroupMapping:
         return self._pairs == other._pairs
 
     def copy(self) -> "GroupMapping":
-        return GroupMapping(self._pairs)
+        # Rebuild from the sorted pairs, not the raw set: the copy's
+        # internal dict insertion order is then independent of the hash
+        # seed, keeping every downstream iteration deterministic.
+        return GroupMapping(self.pairs())
 
     def is_one_to_one_pair(self, old_id: str, new_id: str) -> bool:
         """True when the two groups link only to each other."""

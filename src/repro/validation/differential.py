@@ -1,0 +1,311 @@
+"""Differential-equivalence harness: one pipeline, two configs, a claim.
+
+Several configuration knobs are documented as *pure speed/scale knobs*
+that must not change the output:
+
+* ``n_workers`` — parallel scoring is byte-identical to serial
+  (:mod:`repro.core.parallel`);
+* ``max_lazy_cache_entries`` — evicted similarity-cache entries are
+  recomputed to the same value, so a bounded cache equals an unbounded
+  one (:mod:`repro.core.simcache`);
+
+and one is a declared *coverage* knob:
+
+* ``blocking`` — the exact cross product proposes a superset of the
+  standard blocker's candidates, so its final links must cover the
+  standard run's links on data where both are feasible.
+
+This module turns those promises into executable checks: a runner
+executes the pipeline under a base and a variant configuration and
+asserts the declared relation (``identical`` or ``superset``), producing
+a human-readable mapping diff on failure.  ``benchmarks/bench_scaling.py``
+and ``tests/test_validation_differential.py`` run the declared set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.config import LinkageConfig
+from ..core.pipeline import LinkageResult, link_datasets
+from ..model.dataset import CensusDataset
+
+#: The relations a differential check may declare.
+IDENTICAL = "identical"
+SUPERSET = "superset"  # variant links ⊇ base links
+
+
+class EquivalenceViolation(AssertionError):
+    """A declared equivalence between two configurations failed."""
+
+    def __init__(self, outcomes: Sequence["DifferentialOutcome"]) -> None:
+        failed = [outcome for outcome in outcomes if not outcome.ok]
+        super().__init__(
+            "\n\n".join(outcome.report() for outcome in failed)
+            or "equivalence violation"
+        )
+        self.outcomes = list(outcomes)
+
+
+@dataclass
+class MappingDiff:
+    """Pair-level difference between two mappings of the same kind."""
+
+    label: str
+    only_in_base: List[Tuple[str, str]] = field(default_factory=list)
+    only_in_variant: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def is_identical(self) -> bool:
+        return not self.only_in_base and not self.only_in_variant
+
+    def satisfies(self, relation: str) -> bool:
+        if relation == IDENTICAL:
+            return self.is_identical
+        if relation == SUPERSET:
+            return not self.only_in_base  # every base pair also in variant
+        raise ValueError(f"unknown relation {relation!r}")
+
+    def report(self, limit: int = 15) -> List[str]:
+        lines: List[str] = []
+        for side, pairs in (
+            ("only in base", self.only_in_base),
+            ("only in variant", self.only_in_variant),
+        ):
+            for old_id, new_id in pairs[:limit]:
+                lines.append(f"{self.label} {side}: {old_id}->{new_id}")
+            if len(pairs) > limit:
+                lines.append(
+                    f"{self.label} {side}: ... {len(pairs) - limit} more"
+                )
+        return lines
+
+
+def _diff_pairs(
+    label: str,
+    base_pairs: Iterable[Tuple[str, str]],
+    variant_pairs: Iterable[Tuple[str, str]],
+) -> MappingDiff:
+    base_set = set(base_pairs)
+    variant_set = set(variant_pairs)
+    return MappingDiff(
+        label=label,
+        only_in_base=sorted(base_set - variant_set),
+        only_in_variant=sorted(variant_set - base_set),
+    )
+
+
+@dataclass
+class DifferentialOutcome:
+    """Result of one base-vs-variant pipeline comparison."""
+
+    name: str
+    relation: str
+    base_config: LinkageConfig
+    variant_config: LinkageConfig
+    record_diff: MappingDiff
+    group_diff: MappingDiff
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.record_diff.satisfies(self.relation)
+            and self.group_diff.satisfies(self.relation)
+            and not self.notes
+        )
+
+    def report(self) -> str:
+        """Human-readable verdict, with the mapping diff on failure."""
+        verdict = "holds" if self.ok else "VIOLATED"
+        lines = [f"differential {self.name} [{self.relation}]: {verdict}"]
+        if not self.ok:
+            lines.extend(f"  {line}" for line in self.notes)
+            lines.extend(f"  {line}" for line in self.record_diff.report())
+            lines.extend(f"  {line}" for line in self.group_diff.report())
+        return "\n".join(lines)
+
+
+def compare_results(
+    name: str,
+    relation: str,
+    base_config: LinkageConfig,
+    variant_config: LinkageConfig,
+    base_result: LinkageResult,
+    variant_result: LinkageResult,
+    check_diagnostics: bool = False,
+) -> DifferentialOutcome:
+    """Judge two finished runs against a declared relation.
+
+    ``check_diagnostics`` additionally requires identical round structure
+    and scoring effort (iteration count and pairs scored) — appropriate
+    for knobs like ``n_workers`` that claim to change *nothing at all*.
+    """
+    record_diff = _diff_pairs(
+        "record link",
+        base_result.record_mapping.pairs(),
+        variant_result.record_mapping.pairs(),
+    )
+    group_diff = _diff_pairs(
+        "group link",
+        base_result.group_mapping.pairs(),
+        variant_result.group_mapping.pairs(),
+    )
+    notes: List[str] = []
+    if check_diagnostics:
+        if len(base_result.iterations) != len(variant_result.iterations):
+            notes.append(
+                f"iteration count differs: base "
+                f"{len(base_result.iterations)}, variant "
+                f"{len(variant_result.iterations)}"
+            )
+        if base_result.profile is not None and variant_result.profile is not None:
+            base_scored = base_result.profile.value("pairs_scored")
+            variant_scored = variant_result.profile.value("pairs_scored")
+            if base_scored != variant_scored:
+                notes.append(
+                    f"pairs scored differ: base {base_scored}, "
+                    f"variant {variant_scored}"
+                )
+    return DifferentialOutcome(
+        name=name,
+        relation=relation,
+        base_config=base_config,
+        variant_config=variant_config,
+        record_diff=record_diff,
+        group_diff=group_diff,
+        notes=notes,
+    )
+
+
+def run_differential(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    base_config: LinkageConfig,
+    variant_config: LinkageConfig,
+    relation: str = IDENTICAL,
+    name: str = "differential",
+    check_diagnostics: bool = False,
+    base_result: Optional[LinkageResult] = None,
+) -> DifferentialOutcome:
+    """Execute the pipeline under two configs and judge the relation.
+
+    ``base_result`` (optional) reuses an already-computed base run —
+    callers sweeping several variants against one base (e.g.
+    :func:`serial_vs_parallel` over worker counts) link the base once.
+    """
+    if base_result is None:
+        base_result = link_datasets(old_dataset, new_dataset, base_config)
+    variant_result = link_datasets(old_dataset, new_dataset, variant_config)
+    return compare_results(
+        name,
+        relation,
+        base_config,
+        variant_config,
+        base_result,
+        variant_result,
+        check_diagnostics=check_diagnostics,
+    )
+
+
+# -- declared equivalences ---------------------------------------------------
+
+
+def serial_vs_parallel(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    config: Optional[LinkageConfig] = None,
+    workers: Sequence[int] = (2, 4),
+) -> List[DifferentialOutcome]:
+    """Serial output is identical for every worker count (PR 1 promise)."""
+    config = config or LinkageConfig()
+    base_config = dataclasses.replace(config, n_workers=1)
+    base_result = link_datasets(old_dataset, new_dataset, base_config)
+    outcomes = []
+    for count in workers:
+        variant = dataclasses.replace(
+            config, n_workers=count, worker_chunk_size=64
+        )
+        outcomes.append(
+            run_differential(
+                old_dataset,
+                new_dataset,
+                base_config,
+                variant,
+                relation=IDENTICAL,
+                name=f"serial-vs-parallel(n_workers={count})",
+                check_diagnostics=True,
+                base_result=base_result,
+            )
+        )
+    return outcomes
+
+
+def cache_bounded_vs_unbounded(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    config: Optional[LinkageConfig] = None,
+    bound: int = 64,
+) -> DifferentialOutcome:
+    """A tightly bounded lazy cache yields the unbounded run's output.
+
+    Evicted entries are recomputed to the same deterministic score, so
+    only the hit/miss/eviction tallies may differ — never a mapping.
+    """
+    config = config or LinkageConfig()
+    return run_differential(
+        old_dataset,
+        new_dataset,
+        dataclasses.replace(config, max_lazy_cache_entries=0),  # unbounded
+        dataclasses.replace(config, max_lazy_cache_entries=bound),
+        relation=IDENTICAL,
+        name=f"cache-unbounded-vs-bounded({bound})",
+    )
+
+
+def blocking_cross_covers_standard(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    config: Optional[LinkageConfig] = None,
+) -> DifferentialOutcome:
+    """Cross-product blocking links are a superset of standard blocking's.
+
+    The cross product proposes every pair the standard blocker proposes
+    (and more), so on data small enough to afford it the final links must
+    cover the standard run's links.  Quadratic in the record count — keep
+    workloads small.
+    """
+    config = config or LinkageConfig()
+    return run_differential(
+        old_dataset,
+        new_dataset,
+        dataclasses.replace(config, blocking="standard"),
+        dataclasses.replace(config, blocking="cross"),
+        relation=SUPERSET,
+        name="blocking-cross-covers-standard",
+    )
+
+
+def assert_equivalences(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    config: Optional[LinkageConfig] = None,
+    workers: Sequence[int] = (2, 4),
+    include_blocking: bool = False,
+) -> List[DifferentialOutcome]:
+    """Run the declared equivalence suite; raise on any violation.
+
+    ``include_blocking`` adds the quadratic cross-product comparison —
+    off by default so the suite stays usable on larger workloads.
+    """
+    outcomes = serial_vs_parallel(old_dataset, new_dataset, config, workers)
+    outcomes.append(cache_bounded_vs_unbounded(old_dataset, new_dataset, config))
+    if include_blocking:
+        outcomes.append(
+            blocking_cross_covers_standard(old_dataset, new_dataset, config)
+        )
+    if any(not outcome.ok for outcome in outcomes):
+        raise EquivalenceViolation(outcomes)
+    return outcomes

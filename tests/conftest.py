@@ -66,6 +66,22 @@ def build_1881_dataset() -> CensusDataset:
     return CensusDataset.from_records(1881, records)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="re-record the golden-run fixtures in tests/goldens/ "
+        "instead of diffing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """True when the run should refresh fixtures instead of checking."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def census_1871() -> CensusDataset:
     return build_1871_dataset()

@@ -1,0 +1,164 @@
+"""Shared hypothesis strategies for records, households and datasets.
+
+Every property-based test draws from the same vocabulary:
+
+* low-level text/number strategies (``names``, ``words``) for the
+  similarity-function properties;
+* structural strategies (:func:`person_records`, :func:`households_st`,
+  :func:`census_datasets`) that always produce *valid* model objects —
+  respecting role vocabulary, age plausibility and id uniqueness;
+* :func:`census_dataset_pairs` for pipeline-level properties: two
+  successive snapshots with full ground truth, driven through the
+  deterministic synthetic generator by a drawn seed, so every example is
+  a structurally coherent town rather than random noise.
+"""
+
+import string
+
+from hypothesis import strategies as st
+
+import repro.model.roles as R
+from repro.datagen import generate_pair
+from repro.model.dataset import CensusDataset
+from repro.model.records import PersonRecord
+
+# -- text pools --------------------------------------------------------------
+
+names = st.text(alphabet=string.ascii_lowercase + " ", min_size=0, max_size=24)
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=16)
+
+FIRST_NAMES = ("john", "mary", "william", "sarah", "thomas", "elizabeth")
+SURNAMES = ("ashworth", "smith", "holt", "kay", "riley")
+OCCUPATIONS = (None, "weaver", "miner", "farmer")
+STREETS = (None, "bacup rd", "york st", "mill ln")
+
+first_names = st.sampled_from(FIRST_NAMES)
+surnames = st.sampled_from(SURNAMES)
+sexes = st.sampled_from(("m", "f"))
+ages = st.integers(min_value=0, max_value=90)
+
+#: Roles that need no structural counterpart to be plausible.
+MEMBER_ROLES = (R.SON, R.DAUGHTER, R.LODGER, R.SERVANT, R.FATHER_IN_LAW)
+
+
+@st.composite
+def person_records(draw, record_id=None, household_id=None, role=None):
+    """A single valid :class:`PersonRecord` with overlapping name pools.
+
+    ``record_id``/``household_id``/``role`` may be fixed by the caller
+    (e.g. when composing households); otherwise small ids are drawn.
+    """
+    if record_id is None:
+        record_id = f"r{draw(st.integers(min_value=0, max_value=9999))}"
+    if household_id is None:
+        household_id = f"h{draw(st.integers(min_value=0, max_value=99))}"
+    if role is None:
+        role = draw(st.sampled_from((R.HEAD,) + MEMBER_ROLES))
+    return PersonRecord(
+        record_id=record_id,
+        household_id=household_id,
+        first_name=draw(first_names),
+        surname=draw(surnames),
+        sex=draw(sexes),
+        age=draw(ages),
+        occupation=draw(st.sampled_from(OCCUPATIONS)),
+        address=draw(st.sampled_from(STREETS)),
+        role=role,
+    )
+
+
+@st.composite
+def record_pairs(draw):
+    """Two records with overlapping attribute pools (same household)."""
+    return (
+        draw(person_records(record_id="r1", household_id="h1", role=R.HEAD)),
+        draw(person_records(record_id="r2", household_id="h1", role=R.HEAD)),
+    )
+
+
+@st.composite
+def households_st(draw, household_id="h1", id_prefix="r"):
+    """A plausible household: a head, optional spouse, 0-4 members.
+
+    All members share the head's surname and address, ages are
+    generation-plausible, and record ids are unique within the household.
+    """
+    surname = draw(surnames)
+    address = draw(st.sampled_from(STREETS[1:]))  # heads have an address
+    head_age = draw(st.integers(min_value=20, max_value=70))
+    head_sex = draw(sexes)
+    members = [
+        PersonRecord(
+            record_id=f"{id_prefix}_{household_id}_0",
+            household_id=household_id,
+            first_name=draw(first_names),
+            surname=surname,
+            sex=head_sex,
+            age=head_age,
+            occupation=draw(st.sampled_from(OCCUPATIONS)),
+            address=address,
+            role=R.HEAD,
+        )
+    ]
+    if draw(st.booleans()):
+        members.append(
+            PersonRecord(
+                record_id=f"{id_prefix}_{household_id}_1",
+                household_id=household_id,
+                first_name=draw(first_names),
+                surname=surname,
+                sex="f" if head_sex == "m" else "m",
+                age=draw(st.integers(min_value=18, max_value=70)),
+                occupation=None,
+                address=address,
+                role=R.WIFE if head_sex == "m" else R.HUSBAND,
+            )
+        )
+    num_children = draw(st.integers(min_value=0, max_value=4))
+    for index in range(num_children):
+        child_sex = draw(sexes)
+        members.append(
+            PersonRecord(
+                record_id=f"{id_prefix}_{household_id}_c{index}",
+                household_id=household_id,
+                first_name=draw(first_names),
+                surname=surname,
+                sex=child_sex,
+                age=draw(st.integers(min_value=0, max_value=max(1, head_age - 18))),
+                occupation=None,
+                address=address,
+                role=R.SON if child_sex == "m" else R.DAUGHTER,
+            )
+        )
+    return members
+
+
+@st.composite
+def census_datasets(draw, year=1871, min_households=1, max_households=5):
+    """A small, valid single-snapshot :class:`CensusDataset`."""
+    count = draw(st.integers(min_value=min_households, max_value=max_households))
+    records = []
+    for index in range(count):
+        records.extend(
+            draw(households_st(household_id=f"h{index}", id_prefix=f"{year}"))
+        )
+    return CensusDataset.from_records(year, records)
+
+
+@st.composite
+def census_dataset_pairs(draw, min_households=5, max_households=12):
+    """Two successive snapshots with ground truth, for pipeline properties.
+
+    Drawn examples are seeds into the deterministic synthetic generator:
+    each one is a coherent town (births, deaths, marriages, moves, noise)
+    rather than independently random records, so pipeline-level
+    properties are exercised on realistic structure.  Returns
+    ``(old_dataset, new_dataset, series)``.
+    """
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    households = draw(
+        st.integers(min_value=min_households, max_value=max_households)
+    )
+    series = generate_pair(seed=seed, initial_households=households)
+    old_dataset, new_dataset = series.datasets
+    return old_dataset, new_dataset, series

@@ -94,6 +94,67 @@ class TestEvolve:
         assert "Largest connected component" in output
 
 
+class TestLinkValidate:
+    def test_validate_flag_accepted(self, data_dir, capsys):
+        code = main([
+            "link",
+            str(data_dir / "census_1871.csv"),
+            str(data_dir / "census_1881.csv"),
+            "--validate",
+        ])
+        assert code == 0
+        assert "record links" in capsys.readouterr().out
+
+
+class TestGolden:
+    def test_record_then_check_roundtrip(self, tmp_path, capsys):
+        code = main([
+            "golden", "--record", "--dir", str(tmp_path),
+            "--names", "seed7-default",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "recorded" in output
+        assert (tmp_path / "seed7-default.json").exists()
+
+        code = main([
+            "golden", "--check", "--dir", str(tmp_path),
+            "--names", "seed7-default",
+        ])
+        assert code == 0
+        assert "seed7-default: ok" in capsys.readouterr().out
+
+    def test_check_mismatch_exits_nonzero(self, tmp_path, capsys):
+        main([
+            "golden", "--record", "--dir", str(tmp_path),
+            "--names", "seed7-default",
+        ])
+        capsys.readouterr()
+        fixture = tmp_path / "seed7-default.json"
+        fixture.write_text(
+            fixture.read_text(encoding="utf-8").replace(
+                '"num_record_links": ', '"num_record_links": 9'
+            ),
+            encoding="utf-8",
+        )
+        code = main([
+            "golden", "--check", "--dir", str(tmp_path),
+            "--names", "seed7-default",
+        ])
+        assert code == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_requires_exactly_one_mode(self, capsys):
+        assert main(["golden"]) == 2
+        assert main(["golden", "--record", "--check"]) == 2
+        assert "choose exactly one" in capsys.readouterr().err
+
+    def test_unknown_name_rejected(self, capsys):
+        code = main(["golden", "--check", "--names", "nope"])
+        assert code == 2
+        assert "nope" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

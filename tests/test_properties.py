@@ -1,14 +1,16 @@
-"""Property-based tests (hypothesis) for core invariants."""
+"""Property-based tests (hypothesis) for core invariants.
 
-import string
+All strategies are shared with the rest of the suite via
+``tests/strategies.py``; pipeline-level properties validate every
+generated linkage result against the full invariant registry of
+:mod:`repro.validation.invariants`.
+"""
 
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-import repro.model.roles as R
 from repro.graphutil.union_find import UnionFind
 from repro.model.mappings import GroupMapping, RecordMapping
-from repro.model.records import PersonRecord
 from repro.similarity.jaro import jaro_similarity, jaro_winkler_similarity
 from repro.similarity.levenshtein import (
     levenshtein_distance,
@@ -21,8 +23,15 @@ from repro.similarity.numeric import (
 from repro.similarity.phonetic import nysiis, soundex
 from repro.similarity.qgram import qgram_similarity, qgrams
 
-names = st.text(alphabet=string.ascii_lowercase + " ", min_size=0, max_size=24)
-words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=16)
+from tests.strategies import (
+    census_dataset_pairs,
+    census_datasets,
+    households_st,
+    names,
+    person_records,
+    record_pairs,
+    words,
+)
 
 
 class TestStringSimilarityProperties:
@@ -167,26 +176,6 @@ class TestMappingProperties:
         assert len(mapping) == len(set(mapping.pairs()))
 
 
-@st.composite
-def record_pairs(draw):
-    """Two records with overlapping attribute pools."""
-    pool = ["john", "mary", "william", "sarah", "thomas"]
-    surnames = ["ashworth", "smith", "holt", "kay"]
-
-    def one(record_id):
-        return PersonRecord(
-            record_id,
-            "h1",
-            draw(st.sampled_from(pool)),
-            draw(st.sampled_from(surnames)),
-            draw(st.sampled_from(["m", "f"])),
-            draw(st.integers(min_value=0, max_value=90)),
-            role=R.HEAD,
-        )
-
-    return one("r1"), one("r2")
-
-
 class TestSimilarityFunctionProperties:
     @given(record_pairs())
     @settings(max_examples=60)
@@ -214,6 +203,83 @@ class TestSimilarityFunctionProperties:
 
         func = LinkageConfig().build_sim_func()
         left, _ = pair
-        # Occupation/address are missing on both sides; the MISSING_ZERO
-        # policy caps the self-similarity at the sum of present weights.
+        # Occupation/address may be missing on both sides; the
+        # MISSING_ZERO policy then caps the self-similarity at the sum
+        # of the present weights (>= 0.8 under ω2).
         assert func.agg_sim(left, left) >= 0.8 - 1e-12
+
+
+class TestStructuralStrategies:
+    """The shared strategies only ever produce valid model objects."""
+
+    @given(person_records())
+    @settings(max_examples=40)
+    def test_person_records_valid(self, record):
+        assert record.record_id and record.household_id
+        assert record.sex in ("m", "f")
+        assert 0 <= record.age <= 90
+
+    @given(households_st())
+    @settings(max_examples=30)
+    def test_households_share_surname_and_id(self, members):
+        assert members, "a household has at least a head"
+        surnames_seen = {member.surname for member in members}
+        households_seen = {member.household_id for member in members}
+        ids = [member.record_id for member in members]
+        assert len(surnames_seen) == 1
+        assert len(households_seen) == 1
+        assert len(set(ids)) == len(ids)
+
+    @given(census_datasets())
+    @settings(max_examples=20)
+    def test_census_datasets_unique_ids(self, dataset):
+        ids = [record.record_id for record in dataset.iter_records()]
+        assert len(set(ids)) == len(ids)
+        assert len(dataset) == len(ids)
+
+
+class TestPipelineProperties:
+    """Every linkage output passes the full invariant registry."""
+
+    @given(census_dataset_pairs(min_households=5, max_households=10))
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_link_datasets_always_validates(self, pair):
+        from repro.core.config import LinkageConfig
+        from repro.core.pipeline import link_datasets
+        from repro.validation.invariants import validate_result
+
+        old_dataset, new_dataset, _ = pair
+        config = LinkageConfig(validate=True)
+        # Inline validation must not raise on any generated town ...
+        result = link_datasets(old_dataset, new_dataset, config)
+        # ... and the standalone pass over the registry agrees.
+        report = validate_result(result, old_dataset, new_dataset, config)
+        assert report.ok, report.summary()
+        assert "link-scores-reach-threshold" in report.checked
+
+    @given(census_dataset_pairs(min_households=4, max_households=8))
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_validation_never_changes_the_result(self, pair):
+        from repro.core.config import LinkageConfig
+        from repro.core.pipeline import link_datasets
+
+        old_dataset, new_dataset, _ = pair
+        plain = link_datasets(old_dataset, new_dataset, LinkageConfig())
+        checked = link_datasets(
+            old_dataset, new_dataset, LinkageConfig(validate=True)
+        )
+        assert checked.record_mapping.pairs() == plain.record_mapping.pairs()
+        assert checked.group_mapping.pairs() == plain.group_mapping.pairs()
+        # Identical instrumentation apart from the validation tallies.
+        plain_counters = dict(plain.profile.counters)
+        checked_counters = dict(checked.profile.counters)
+        checked_counters.pop("invariant_checks", None)
+        assert checked_counters == plain_counters

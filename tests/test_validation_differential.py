@@ -1,0 +1,133 @@
+"""Differential-equivalence harness: declared config equivalences hold."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import LinkageConfig
+from repro.core.pipeline import link_datasets
+from repro.datagen import generate_pair
+from repro.validation.differential import (
+    IDENTICAL,
+    SUPERSET,
+    EquivalenceViolation,
+    MappingDiff,
+    assert_equivalences,
+    blocking_cross_covers_standard,
+    cache_bounded_vs_unbounded,
+    compare_results,
+    run_differential,
+    serial_vs_parallel,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    series = generate_pair(seed=7, initial_households=30)
+    return series.datasets
+
+
+class TestDeclaredEquivalences:
+    def test_serial_vs_parallel_identity(self, workload):
+        """Ports the serial-vs-parallel assertion of test_core_parallel.py
+        onto the differential runner: workers 2 and 4 must match serial
+        byte for byte, including round structure and scoring effort."""
+        old, new = workload
+        outcomes = serial_vs_parallel(old, new, workers=(2, 4))
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert outcome.ok, outcome.report()
+            assert outcome.relation == IDENTICAL
+            assert outcome.record_diff.is_identical
+            assert outcome.group_diff.is_identical
+
+    def test_cache_bounded_vs_unbounded_identity(self, workload):
+        old, new = workload
+        outcome = cache_bounded_vs_unbounded(old, new, bound=64)
+        assert outcome.ok, outcome.report()
+        assert outcome.variant_config.max_lazy_cache_entries == 64
+        assert outcome.base_config.max_lazy_cache_entries == 0
+
+    def test_blocking_cross_covers_standard(self, workload):
+        old, new = workload
+        outcome = blocking_cross_covers_standard(old, new)
+        assert outcome.ok, outcome.report()
+        assert outcome.relation == SUPERSET
+
+    def test_assert_equivalences_passes(self, workload):
+        old, new = workload
+        outcomes = assert_equivalences(old, new, workers=(2,))
+        assert all(outcome.ok for outcome in outcomes)
+        assert len(outcomes) == 2  # one worker variant + the cache check
+
+
+class TestFailurePaths:
+    def test_identity_violation_reported_with_diff(self, workload):
+        """A knob that genuinely changes the output must fail IDENTICAL
+        with a mapping diff that names the divergent pairs."""
+        old, new = workload
+        base = LinkageConfig()
+        # Raising delta_low prunes late low-confidence rounds, so the
+        # variant links strictly less — a real behavioural difference.
+        variant = dataclasses.replace(base, delta_low=0.69, remaining_threshold=0.95)
+        outcome = run_differential(
+            old, new, base, variant, relation=IDENTICAL, name="knob-differs"
+        )
+        assert not outcome.ok
+        report = outcome.report()
+        assert "VIOLATED" in report
+        assert "only in" in report
+
+    def test_equivalence_violation_raised(self, workload):
+        old, new = workload
+        base = LinkageConfig()
+        base_result = link_datasets(old, new, base)
+        variant = dataclasses.replace(base, delta_low=0.69, remaining_threshold=0.95)
+        outcome = run_differential(
+            old, new, base, variant, relation=IDENTICAL,
+            name="forced-failure", base_result=base_result,
+        )
+        with pytest.raises(EquivalenceViolation) as excinfo:
+            if not outcome.ok:
+                raise EquivalenceViolation([outcome])
+        assert "forced-failure" in str(excinfo.value)
+
+    def test_diagnostics_mismatch_noted(self, workload):
+        old, new = workload
+        config = LinkageConfig()
+        base_result = link_datasets(old, new, config)
+        variant = dataclasses.replace(config, delta_low=0.69)
+        variant_result = link_datasets(old, new, variant)
+        outcome = compare_results(
+            "diag", IDENTICAL, config, variant, base_result, variant_result,
+            check_diagnostics=True,
+        )
+        assert any("iteration count" in note or "pairs scored" in note
+                   for note in outcome.notes)
+
+
+class TestMappingDiff:
+    def test_superset_semantics(self):
+        diff = MappingDiff(
+            "record link", only_in_base=[], only_in_variant=[("o1", "n1")]
+        )
+        assert diff.satisfies(SUPERSET)
+        assert not diff.satisfies(IDENTICAL)
+        assert not diff.is_identical
+
+    def test_identical_semantics(self):
+        diff = MappingDiff("record link")
+        assert diff.is_identical
+        assert diff.satisfies(IDENTICAL)
+        assert diff.satisfies(SUPERSET)
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(ValueError):
+            MappingDiff("record link").satisfies("subset")
+
+    def test_report_truncates(self):
+        pairs = [(f"o{i}", f"n{i}") for i in range(20)]
+        diff = MappingDiff("record link", only_in_base=pairs)
+        lines = diff.report(limit=15)
+        assert any("... 5 more" in line for line in lines)
+        assert "record link only in base: o0->n0" in lines[0]

@@ -1,0 +1,125 @@
+"""Golden-run regression fixtures: replay every committed spec.
+
+Run ``pytest --update-goldens`` (or ``repro golden --record``) after an
+intentional behaviour change to refresh the fixtures.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.validation.golden import (
+    DEFAULT_SPECS,
+    GoldenSpec,
+    canonical_json,
+    check_golden,
+    config_fingerprint,
+    diff_documents,
+    golden_path,
+    load_golden,
+    record_golden,
+    run_golden,
+    specs_by_name,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+@pytest.mark.parametrize("spec", DEFAULT_SPECS, ids=lambda spec: spec.name)
+def test_golden_replay(spec, update_goldens):
+    """Tier-1 regression gate: every seeded run matches its fixture."""
+    if update_goldens:
+        path = record_golden(spec, GOLDEN_DIR)
+        assert path.exists()
+        return
+    check = check_golden(spec, GOLDEN_DIR)
+    assert check.ok, check.report()
+
+
+class TestGoldenDocuments:
+    def test_fixtures_are_canonical_on_disk(self):
+        """Committed files are byte-identical to their canonical form."""
+        for spec in DEFAULT_SPECS:
+            path = golden_path(GOLDEN_DIR, spec)
+            assert path.exists(), f"missing fixture {path}"
+            on_disk = path.read_text(encoding="utf-8")
+            assert on_disk == canonical_json(load_golden(path))
+
+    def test_fingerprint_matches_spec_config(self):
+        for spec in DEFAULT_SPECS:
+            document = load_golden(golden_path(GOLDEN_DIR, spec))
+            assert document["config_fingerprint"] == config_fingerprint(
+                spec.build_config()
+            )
+            assert document["name"] == spec.name
+            assert document["seed"] == spec.seed
+
+    def test_document_excludes_wall_clock(self):
+        document = load_golden(golden_path(GOLDEN_DIR, DEFAULT_SPECS[0]))
+        for stats in document["result"]["iterations"]:
+            assert "seconds" not in stats
+
+    def test_rerun_is_byte_stable(self):
+        """Two in-process replays of one spec serialize identically."""
+        spec = DEFAULT_SPECS[0]
+        assert canonical_json(run_golden(spec)) == canonical_json(
+            run_golden(spec)
+        )
+
+
+class TestDiffDocuments:
+    def test_identical_documents_have_no_diff(self):
+        document = load_golden(golden_path(GOLDEN_DIR, DEFAULT_SPECS[0]))
+        assert diff_documents(document, document) == []
+
+    def test_scalar_drift_is_named(self):
+        expected = {"result": {"num_record_links": 100}}
+        actual = {"result": {"num_record_links": 99}}
+        (line,) = diff_documents(expected, actual)
+        assert "result.num_record_links" in line
+        assert "100" in line and "99" in line
+
+    def test_mapping_drift_lists_pairs(self):
+        expected = {"record_mapping": [["o1", "n1"], ["o2", "n2"]]}
+        actual = {"record_mapping": [["o1", "n1"], ["o2", "n9"]]}
+        lines = diff_documents(expected, actual)
+        assert any("missing pair o2->n2" in line for line in lines)
+        assert any("unexpected pair o2->n9" in line for line in lines)
+
+    def test_missing_key_reported(self):
+        lines = diff_documents({"a": 1, "b": 2}, {"a": 1})
+        assert lines == ["b: only in expected (2)"]
+
+    def test_diff_truncates(self):
+        expected = {f"k{i:03d}": i for i in range(60)}
+        actual = {f"k{i:03d}": i + 1 for i in range(60)}
+        lines = diff_documents(expected, actual, limit=10)
+        assert len(lines) == 11
+        assert "more difference(s)" in lines[-1]
+
+
+class TestSpecs:
+    def test_specs_by_name_subset_and_order(self):
+        specs = specs_by_name(["seed20170321-default", "seed7-default"])
+        assert [spec.name for spec in specs] == [
+            "seed20170321-default", "seed7-default"
+        ]
+
+    def test_specs_by_name_unknown_raises(self):
+        with pytest.raises(KeyError, match="no-such-golden"):
+            specs_by_name(["no-such-golden"])
+
+    def test_build_config_normalises_weight_lists(self):
+        spec = GoldenSpec(
+            "tmp", seed=1, households=5,
+            config_overrides=(
+                ("weights", [["surname", "jaro_winkler", 0.3]]),
+            ),
+        )
+        config = spec.build_config()
+        assert config.weights == (("surname", "jaro_winkler", 0.3),)
+
+    def test_missing_fixture_reports_not_crashes(self, tmp_path):
+        check = check_golden(DEFAULT_SPECS[0], tmp_path)
+        assert not check.ok
+        assert any("fixture missing" in line for line in check.diff)
