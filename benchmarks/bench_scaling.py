@@ -25,7 +25,15 @@ from repro.core.config import LinkageConfig
 from repro.core.pipeline import link_datasets
 from repro.datagen.generator import generate_pair
 from repro.evaluation.reporting import format_table
-from repro.instrumentation import CACHE_HITS, PAIRS_SCORED
+from repro.instrumentation import (
+    CACHE_HITS,
+    CANDIDATE_PAIRS,
+    FULL_AGG_SIM_CALLS,
+    PAIRS_PRUNED_EARLY_EXIT,
+    PAIRS_PRUNED_LENGTH,
+    PAIRS_PRUNED_QGRAM,
+    PAIRS_SCORED,
+)
 from repro.validation.differential import IDENTICAL, compare_results
 
 SIZES = (50, 100, 200)
@@ -62,6 +70,11 @@ def run_scaling():
                     check_diagnostics=True,
                 )
                 assert outcome.ok, outcome.report()
+            pruned = sum(
+                result.profile.value(counter)
+                for counter in (PAIRS_PRUNED_LENGTH, PAIRS_PRUNED_QGRAM,
+                                PAIRS_PRUNED_EARLY_EXIT)
+            )
             rows.append(
                 (
                     size,
@@ -70,15 +83,28 @@ def run_scaling():
                     len(result.record_mapping),
                     result.profile.value(PAIRS_SCORED),
                     result.profile.value(CACHE_HITS),
+                    pruned,
                     elapsed,
                     serial_seconds / elapsed,
                 )
             )
         # Inline invariant validation: same serial run with validate=True.
+        # Wall-clock noise between runs easily exceeds the validation
+        # cost itself, so interleave two timed runs of each variant and
+        # compare the minima instead of single measurements.
         validating_config = dataclasses.replace(serial_config, validate=True)
-        start = time.perf_counter()
-        validated_result = link_datasets(old, new, validating_config)
-        validated_seconds = time.perf_counter() - start
+        plain_times = []
+        validated_times = []
+        validated_result = None
+        for _ in range(2):
+            start = time.perf_counter()
+            link_datasets(old, new, serial_config)
+            plain_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            validated_result = link_datasets(old, new, validating_config)
+            validated_times.append(time.perf_counter() - start)
+        plain_best = min(plain_times)
+        validated_best = min(validated_times)
         outcome = compare_results(
             f"plain-vs-validated(size={size})",
             IDENTICAL, serial_config, validating_config,
@@ -88,25 +114,97 @@ def run_scaling():
         validate_rows.append(
             (
                 size,
-                serial_seconds,
-                validated_seconds,
-                validated_seconds / serial_seconds - 1.0,
+                plain_best,
+                validated_best,
+                validated_best / plain_best - 1.0,
                 validated_result.profile.value("invariant_checks"),
             )
         )
     return rows, validate_rows, profile_report
 
 
+def run_pruning(sizes=SIZES):
+    """Serial filtering-on vs filtering-off runs per workload size.
+
+    Judged IDENTICAL through the differential harness with diagnostics
+    comparison off — the pruning engine legitimately changes scoring
+    effort; only the mappings must match byte for byte.
+    """
+    rows = []
+    for size in sizes:
+        series = generate_pair(seed=BENCH_SEED, initial_households=size)
+        old, new = series.datasets
+        off_config = LinkageConfig(n_workers=1, filtering=False)
+        on_config = LinkageConfig(n_workers=1, filtering=True)
+        start = time.perf_counter()
+        off_result = link_datasets(old, new, off_config)
+        off_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        on_result = link_datasets(old, new, on_config)
+        on_seconds = time.perf_counter() - start
+        outcome = compare_results(
+            f"filtering-on-vs-off(size={size})",
+            IDENTICAL, off_config, on_config, off_result, on_result,
+            check_diagnostics=False,
+        )
+        assert outcome.ok, outcome.report()
+        profile = on_result.profile
+        full_on = profile.value(FULL_AGG_SIM_CALLS)
+        full_off = off_result.profile.value(FULL_AGG_SIM_CALLS)
+        rows.append(
+            (
+                size,
+                profile.value(CANDIDATE_PAIRS),
+                full_off,
+                full_on,
+                full_off / full_on if full_on else float("inf"),
+                profile.value(PAIRS_PRUNED_LENGTH),
+                profile.value(PAIRS_PRUNED_QGRAM),
+                profile.value(PAIRS_PRUNED_EARLY_EXIT),
+                off_seconds,
+                on_seconds,
+            )
+        )
+    return rows
+
+
+def format_pruning_table(rows):
+    return format_table(
+        ["households", "candidates", "full off", "full on", "reduction",
+         "len", "qgram", "early", "off s", "on s"],
+        [
+            [str(size), str(cands), str(off), str(on), f"{ratio:.2f}x",
+             str(by_len), str(by_qgram), str(by_early),
+             f"{off_s:.2f}", f"{on_s:.2f}"]
+            for size, cands, off, on, ratio, by_len, by_qgram, by_early,
+            off_s, on_s in rows
+        ],
+        title="Candidate pruning: full agg_sim evaluations on vs off",
+    )
+
+
+def test_pruning(benchmark):
+    rows = once(benchmark, run_pruning)
+    write_result("pruning.txt", format_pruning_table(rows))
+    for row in rows:
+        # Strictly fewer full evaluations than blocking proposed pairs.
+        assert row[3] < row[1], "filtering did not skip any candidate"
+    # Headline acceptance: >= 2x fewer full evaluations at the largest size.
+    assert rows[-1][4] >= 2.0, (
+        f"pruning reduction {rows[-1][4]:.2f}x below the 2x target"
+    )
+
+
 def test_scaling(benchmark):
     rows, validate_rows, profile_report = once(benchmark, run_scaling)
     table = format_table(
         ["households", "records", "workers", "links", "scored", "cache hits",
-         "seconds", "speedup"],
+         "pruned", "seconds", "speedup"],
         [
             [str(size), str(records), str(workers), str(links), str(scored),
-             str(hits), f"{seconds:.2f}", f"{speedup:.2f}x"]
-            for size, records, workers, links, scored, hits, seconds, speedup
-            in rows
+             str(hits), str(pruned), f"{seconds:.2f}", f"{speedup:.2f}x"]
+            for size, records, workers, links, scored, hits, pruned,
+            seconds, speedup in rows
         ],
         title="Scaling: linkage runtime by households x workers",
     )
@@ -137,28 +235,65 @@ def test_scaling(benchmark):
 
     # Runtime grows with size but stays sub-cubic: quadrupling the
     # households must not blow up by more than ~25x.
-    smallest = serial_rows[0][6]
-    largest = serial_rows[-1][6]
+    smallest = serial_rows[0][7]
+    largest = serial_rows[-1][7]
     assert largest < max(25.0 * smallest, 30.0)
     # Links scale roughly with population.
     assert serial_rows[-1][3] > serial_rows[0][3]
 
-    # The cross-round cache does the heavy lifting at every size: repeat
-    # lookups (hits) outnumber actual agg_sim computations.
+    # The cross-round engines do the heavy lifting at every size: pairs
+    # served without a fresh computation — score-cache hits plus pruning
+    # decisions answered from cheap bounds — outnumber the actual
+    # agg_sim evaluations.
     for row in serial_rows:
-        assert row[5] > row[4], "cache hits should exceed pairs scored"
+        assert row[5] + row[6] > row[4], (
+            "cache hits + pruned bounds should exceed pairs scored"
+        )
 
     # Wall-clock improvement from workers is only observable on
     # multi-core machines; on one core the pool is pure overhead.
     if (os.cpu_count() or 1) >= 2:
         largest_size = SIZES[-1]
         serial_time = next(
-            row[6] for row in rows if row[0] == largest_size and row[2] == 1
+            row[7] for row in rows if row[0] == largest_size and row[2] == 1
         )
         best_parallel = min(
-            row[6] for row in rows if row[0] == largest_size and row[2] > 1
+            row[7] for row in rows if row[0] == largest_size and row[2] > 1
         )
         assert best_parallel < serial_time * 1.05, (
             "parallel scoring should improve wall-clock time on the "
             "largest workload"
         )
+
+
+def main(argv=None):
+    """CI smoke entry point: ``python benchmarks/bench_scaling.py --quick``.
+
+    Runs the pruning comparison on the smallest workload only, asserts
+    the engine actually skipped candidates, and persists the counter
+    table as ``results/pruning_quick.txt`` for the CI artifact upload.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="pruning-effectiveness smoke run on the smallest size only",
+    )
+    args = parser.parse_args(argv)
+    sizes = SIZES[:1] if args.quick else SIZES
+    rows = run_pruning(sizes=sizes)
+    name = "pruning_quick.txt" if args.quick else "pruning.txt"
+    write_result(name, format_pruning_table(rows))
+    for size, candidates, _, full_on, ratio, *_ in rows:
+        assert full_on < candidates, (
+            f"size {size}: {full_on} full evaluations for {candidates} "
+            f"candidate pairs — the pruning engine skipped nothing"
+        )
+        print(f"size {size}: {full_on}/{candidates} candidates fully "
+              f"evaluated ({ratio:.2f}x fewer than without filtering)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,33 +2,39 @@
 
 from .pairs import (
     Blocker,
+    UnionBlocker,
     pairs_above_threshold,
     pairs_completeness,
     reduction_ratio,
     score_pairs,
 )
+from .qgram_index import QGramIndexBlocker
 from .sorted_neighbourhood import SortedNeighbourhoodBlocker, default_sort_key
 from .standard import (
     DEFAULT_KEY_FUNCTIONS,
     CrossProductBlocker,
     StandardBlocker,
     firstname_soundex_key,
+    no_block_key,
     surname_soundex_initial_key,
     surname_soundex_key,
 )
 
 __all__ = [
     "Blocker",
+    "UnionBlocker",
     "pairs_above_threshold",
     "pairs_completeness",
     "reduction_ratio",
     "score_pairs",
+    "QGramIndexBlocker",
     "SortedNeighbourhoodBlocker",
     "default_sort_key",
     "DEFAULT_KEY_FUNCTIONS",
     "CrossProductBlocker",
     "StandardBlocker",
     "firstname_soundex_key",
+    "no_block_key",
     "surname_soundex_initial_key",
     "surname_soundex_key",
 ]

@@ -19,6 +19,31 @@ class Blocker(Protocol):
         ...
 
 
+class UnionBlocker:
+    """Union of several blockers' candidate pairs (multi-source blocking).
+
+    Each member contributes its full pair set, so the union's recall is
+    at least every member's — e.g. ``"standard+qgram"`` runs the phonetic
+    passes alongside the inverted q-gram index
+    (:class:`repro.blocking.qgram_index.QGramIndexBlocker`).
+    """
+
+    def __init__(self, blockers: Sequence[Blocker]) -> None:
+        if not blockers:
+            raise ValueError("at least one blocker is required")
+        self.blockers = tuple(blockers)
+
+    def candidate_pairs(
+        self,
+        old_records: Sequence[PersonRecord],
+        new_records: Sequence[PersonRecord],
+    ) -> Set[Tuple[str, str]]:
+        pairs: Set[Tuple[str, str]] = set()
+        for blocker in self.blockers:
+            pairs.update(blocker.candidate_pairs(old_records, new_records))
+        return pairs
+
+
 def score_pairs(
     pairs: Iterable[Tuple[str, str]],
     old_index: Dict[str, PersonRecord],

@@ -15,6 +15,19 @@ from ..similarity.phonetic import soundex
 
 BlockKeyFunction = Callable[[PersonRecord], str]
 
+#: Prefix of keys that must never form a block.  Key functions return
+#: :func:`no_block_key` when a record lacks the attributes the key is
+#: built from; the per-record suffix keeps such records in singleton
+#: "blocks" even under naive group-by-key consumers, so they can never
+#: be lumped into one giant everyone-missing block.
+NO_BLOCK_PREFIX = "\x00no-block"
+
+
+def no_block_key(record: PersonRecord) -> str:
+    """A key that joins no block: unique per record, skipped by
+    :class:`StandardBlocker` outright."""
+    return f"{NO_BLOCK_PREFIX}|{record.record_id}"
+
 
 def surname_soundex_key(record: PersonRecord) -> str:
     """Soundex of the surname — tolerant to most spelling variation."""
@@ -34,9 +47,15 @@ def firstname_soundex_key(record: PersonRecord) -> str:
 
 
 def sex_birthyear_key(record: PersonRecord, year: int = 0) -> str:
-    """Sex plus approximate birth decade (needs the census year bound in)."""
+    """Sex plus approximate birth decade (needs the census year bound in).
+
+    Records missing age or sex get a :func:`no_block_key`: an empty
+    string here would group *every* such record under one shared key,
+    turning the missing-data population into a single giant block for
+    any consumer that does not special-case empty keys.
+    """
     if record.age is None or record.sex is None:
-        return ""
+        return no_block_key(record)
     birth = year - record.age
     return f"{record.sex}|{birth // 10}"
 
@@ -75,7 +94,7 @@ class StandardBlocker:
         blocks: Dict[str, List[str]] = defaultdict(list)
         for record in records:
             key = key_function(record)
-            if key:
+            if key and not key.startswith(NO_BLOCK_PREFIX):
                 blocks[key].append(record.record_id)
         return blocks
 

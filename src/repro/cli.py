@@ -65,6 +65,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
         year_gap=new_dataset.year - old_dataset.year,
         n_workers=args.workers,
         validate=args.validate,
+        filtering=not args.no_filtering,
     )
     result = link_datasets(old_dataset, new_dataset, config)
     print(
@@ -189,6 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="enforce the structural invariants of Alg. 1/2 inline "
         "(record-disjoint subgraphs, 1:1 links, witnessed group links); "
         "violations abort with a structured report",
+    )
+    link.add_argument(
+        "--no-filtering", action="store_true",
+        help="disable the lossless candidate-pruning engine "
+        "(repro.core.filtering); mappings are identical either way, "
+        "pruning only avoids full similarity computations",
     )
     link.set_defaults(func=_cmd_link)
 

@@ -2,6 +2,7 @@
 linkage (Sections 3.1–3.4, Algorithms 1 and 2)."""
 
 from .config import OMEGA1, OMEGA2, LinkageConfig
+from .filtering import CandidateFilter, FilteringConfig, PairOutcome
 from .enrichment import (
     age_difference,
     complete_groups,
@@ -14,7 +15,11 @@ from .pipeline import (
     LinkageResult,
     link_datasets,
 )
-from .parallel import resolve_workers, score_pairs_chunked
+from .parallel import (
+    filter_and_score_chunked,
+    resolve_workers,
+    score_pairs_chunked,
+)
 from .prematching import PreMatchResult, prematching
 from .remaining import match_remaining
 from .simcache import SimilarityCache
@@ -38,6 +43,9 @@ __all__ = [
     "OMEGA1",
     "OMEGA2",
     "LinkageConfig",
+    "CandidateFilter",
+    "FilteringConfig",
+    "PairOutcome",
     "age_difference",
     "complete_groups",
     "enrich_household",
@@ -52,6 +60,7 @@ __all__ = [
     "SimilarityCache",
     "resolve_workers",
     "score_pairs_chunked",
+    "filter_and_score_chunked",
     "aggregate_group_similarity",
     "average_record_similarity",
     "edge_similarity",

@@ -11,13 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
-from ..blocking.pairs import Blocker
+from ..blocking.pairs import Blocker, UnionBlocker
+from ..blocking.qgram_index import QGramIndexBlocker
 from ..blocking.standard import CrossProductBlocker, StandardBlocker
 from ..similarity.vector import (
     MISSING_ZERO,
     SimilarityFunction,
     build_similarity_function,
 )
+from .filtering import CandidateFilter, FilteringConfig
 
 #: Weight spec entries: (attribute, comparator name, weight).
 WeightSpec = Tuple[str, str, float]
@@ -72,7 +74,9 @@ class LinkageConfig:
         Years between the two compared censuses.
     blocking:
         ``"standard"`` (multi-pass phonetic), ``"cross"`` (exact cross
-        product, small data only) or a custom :class:`Blocker` instance.
+        product, small data only), ``"standard+qgram"`` (the phonetic
+        passes unioned with an inverted q-gram index over names) or a
+        custom :class:`Blocker` instance.
     allow_singleton_subgraphs:
         Keep one-vertex common subgraphs with no matched edge.  Off by
         default: single shared members are handled by the remaining pass
@@ -144,6 +148,15 @@ class LinkageConfig:
     #: structured report.  Off by default; the checks never change the
     #: result, its mappings or its instrumentation counters.
     validate: bool = False
+    #: Lossless candidate pruning for the §3.2 hot path (see
+    #: repro.core.filtering): cheap per-pair upper bounds on ``agg_sim``
+    #: reject pairs that cannot reach the round's δ before the full Eq. 3
+    #: sum runs.  ``True``/``"on"`` (the default), ``False``/``"off"``, or
+    #: a :class:`repro.core.filtering.FilteringConfig` for per-filter
+    #: control.  Mappings are byte-identical either way (enforced by
+    #: ``repro.validation.differential.filtering_on_vs_off``); only the
+    #: amount of computation changes.
+    filtering: object = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0 or not 0.0 <= self.beta <= 1.0:
@@ -162,6 +175,8 @@ class LinkageConfig:
             raise ValueError("worker_chunk_size must be positive")
         if self.max_lazy_cache_entries < 0:
             raise ValueError("max_lazy_cache_entries must be >= 0 (0 = off)")
+        # Reject malformed filtering settings at construction time.
+        FilteringConfig.coerce(self.filtering)
 
     @property
     def uniqueness_weight(self) -> float:
@@ -184,6 +199,16 @@ class LinkageConfig:
             list(weights), self.remaining_threshold, self.missing_policy
         )
 
+    def build_candidate_filter(
+        self, sim_func: SimilarityFunction
+    ) -> Optional[CandidateFilter]:
+        """The candidate-pruning engine for ``sim_func`` per the
+        ``filtering`` setting, or ``None`` when filtering is off."""
+        config = FilteringConfig.coerce(self.filtering)
+        if not config.enabled:
+            return None
+        return CandidateFilter(sim_func, config)
+
     def build_blocker(self) -> Blocker:
         """The configured candidate-pair generator (a documented
         extension of §3.2 pre-matching: the paper compares all record
@@ -192,6 +217,17 @@ class LinkageConfig:
             return StandardBlocker(max_block_size=self.max_block_size)
         if self.blocking == "cross":
             return CrossProductBlocker()
+        if self.blocking == "standard+qgram":
+            # Multi-pass union: the phonetic passes plus an inverted
+            # q-gram index over names, catching pairs whose soundex codes
+            # diverge but whose gram overlap is high (extra recall at
+            # extra candidate cost; see repro.blocking.qgram_index).
+            return UnionBlocker(
+                (
+                    StandardBlocker(max_block_size=self.max_block_size),
+                    QGramIndexBlocker(),
+                )
+            )
         if hasattr(self.blocking, "candidate_pairs"):
             return self.blocking  # custom blocker instance
         raise ValueError(f"unknown blocking setting {self.blocking!r}")

@@ -11,6 +11,12 @@ mapping — is *identical* to a serial run, whatever the worker count.
 Worker processes receive the similarity function and both record indexes
 once (via the pool initializer), not per chunk; on platforms with
 ``fork`` this is inherited memory rather than pickled state.
+
+:func:`filter_and_score_chunked` is the same machinery with the
+candidate-pruning engine (:mod:`repro.core.filtering`) run *inside* the
+worker chunks: each pair comes back either exactly scored or pruned with
+an upper bound, and — filters being pure per-pair functions too — the
+merged outcome list is byte-identical to a serial filtered run.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..model.records import PersonRecord
 from ..similarity.vector import SimilarityFunction
+from .filtering import CandidateFilter, PairOutcome, filter_pairs
 
 PairKey = Tuple[str, str]
 
@@ -109,3 +116,70 @@ def score_pairs_chunked(
         for pair, score in zip(chunk, values):
             scores[pair] = score
     return scores
+
+
+def _init_filter_worker(
+    candidate_filter: CandidateFilter,
+    delta: float,
+    old_index: Dict[str, PersonRecord],
+    new_index: Dict[str, PersonRecord],
+) -> None:
+    _WORKER_STATE["candidate_filter"] = candidate_filter
+    _WORKER_STATE["delta"] = delta
+    _WORKER_STATE["old_index"] = old_index
+    _WORKER_STATE["new_index"] = new_index
+
+
+def _filter_chunk(chunk: Sequence[PairKey]) -> List[PairOutcome]:
+    return filter_pairs(
+        chunk,
+        _WORKER_STATE["old_index"],
+        _WORKER_STATE["new_index"],
+        _WORKER_STATE["candidate_filter"],
+        _WORKER_STATE["delta"],
+    )
+
+
+def filter_and_score_chunked(
+    pairs: Iterable[PairKey],
+    old_index: Dict[str, PersonRecord],
+    new_index: Dict[str, PersonRecord],
+    candidate_filter: CandidateFilter,
+    delta: float,
+    n_workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Dict[PairKey, PairOutcome]:
+    """Run the pruning engine over every pair, serial or parallel.
+
+    Each pair maps to a :class:`repro.core.filtering.PairOutcome`: the
+    exact ``agg_sim`` when the pair survived the filters (bit-identical
+    to :func:`score_pairs_chunked`), or a sub-δ upper bound naming the
+    filter that rejected it.  Same determinism contract as
+    :func:`score_pairs_chunked`: sorted pairs, fixed chunks, chunk-order
+    merge — the worker count never changes a single outcome.
+    """
+    ordered = sorted(pairs)
+    workers = resolve_workers(n_workers)
+    if workers <= 1 or len(ordered) <= chunk_size:
+        outcomes = filter_pairs(
+            ordered, old_index, new_index, candidate_filter, delta
+        )
+        return dict(zip(ordered, outcomes))
+
+    chunks = [
+        ordered[start : start + chunk_size]
+        for start in range(0, len(ordered), chunk_size)
+    ]
+    context = _pool_context()
+    with context.Pool(
+        processes=min(workers, len(chunks)),
+        initializer=_init_filter_worker,
+        initargs=(candidate_filter, delta, old_index, new_index),
+    ) as pool:
+        chunk_outcomes = pool.map(_filter_chunk, chunks)
+
+    merged: Dict[PairKey, PairOutcome] = {}
+    for chunk, values in zip(chunks, chunk_outcomes):
+        for pair, outcome in zip(chunk, values):
+            merged[pair] = outcome
+    return merged

@@ -162,6 +162,12 @@ class IterativeGroupLinkage:
         cache = SimilarityCache(
             max_lazy_entries=config.max_lazy_cache_entries or None
         )
+        # One pruning engine for the whole schedule: it is δ-agnostic
+        # (δ is an argument of each evaluation) and its per-string
+        # length statistics warm up across rounds.  ``None`` = off.
+        candidate_filter = config.build_candidate_filter(
+            config.build_sim_func()
+        )
 
         record_mapping = RecordMapping()
         group_mapping = GroupMapping()
@@ -189,6 +195,7 @@ class IterativeGroupLinkage:
                     n_workers=config.n_workers,
                     chunk_size=config.worker_chunk_size,
                     instrumentation=instrumentation,
+                    candidate_filter=candidate_filter,
                 )
 
             with round_timer.stage("round"), instrumentation.stage("subgraphs"):
@@ -264,11 +271,20 @@ class IterativeGroupLinkage:
         # custom remaining weights the scores are incomparable and the
         # pass gets a private store.
         shared_cache = cache if config.remaining_weights is None else None
+        sim_func_rem = config.build_remaining_sim_func()
+        # The pruning engine follows the same sharing rule as the cache:
+        # with the main weights its bounds and statistics carry over;
+        # custom remaining weights need their own engine.
+        remaining_filter = (
+            candidate_filter
+            if config.remaining_weights is None
+            else config.build_candidate_filter(sim_func_rem)
+        )
         with instrumentation.stage("remaining"):
             remaining_mapping = match_remaining(
                 remaining_old,
                 remaining_new,
-                config.build_remaining_sim_func(),
+                sim_func_rem,
                 blocker,
                 config.year_gap,
                 config.max_normalised_age_difference,
@@ -277,6 +293,7 @@ class IterativeGroupLinkage:
                 n_workers=config.n_workers,
                 chunk_size=config.worker_chunk_size,
                 instrumentation=instrumentation,
+                candidate_filter=remaining_filter,
             )
         record_mapping.update(remaining_mapping)
         group_mapping.update(

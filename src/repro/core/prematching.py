@@ -17,16 +17,42 @@ deterministically.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, MutableMapping, Optional, Sequence, Set, Tuple
 
 from ..blocking.pairs import Blocker
-from ..instrumentation import CANDIDATE_PAIRS, PAIRS_SCORED, Instrumentation
+from ..instrumentation import (
+    CANDIDATE_PAIRS,
+    FULL_AGG_SIM_CALLS,
+    PAIRS_PRUNED_EARLY_EXIT,
+    PAIRS_PRUNED_LENGTH,
+    PAIRS_PRUNED_QGRAM,
+    PAIRS_SCORED,
+    Instrumentation,
+)
 from ..model.records import PersonRecord
 from ..similarity.vector import SimilarityFunction
 from .clustering import CONNECTED_COMPONENTS, cluster_records
-from .parallel import DEFAULT_CHUNK_SIZE, score_pairs_chunked
+from .filtering import (
+    PRUNED_EARLY_EXIT,
+    PRUNED_LENGTH,
+    PRUNED_QGRAM,
+    CandidateFilter,
+)
+from .parallel import (
+    DEFAULT_CHUNK_SIZE,
+    filter_and_score_chunked,
+    score_pairs_chunked,
+)
 from .simcache import SimilarityCache
+
+#: Pruning-kind -> instrumentation counter, for per-filter attribution.
+_PRUNE_COUNTERS = {
+    PRUNED_LENGTH: PAIRS_PRUNED_LENGTH,
+    PRUNED_QGRAM: PAIRS_PRUNED_QGRAM,
+    PRUNED_EARLY_EXIT: PAIRS_PRUNED_EARLY_EXIT,
+}
 
 #: Anything usable as the shared cross-round score store.
 ScoreStore = MutableMapping[Tuple[str, str], float]
@@ -81,6 +107,7 @@ class PreMatchResult:
             self.scores[key] = score
             if self.instrumentation is not None:
                 self.instrumentation.count(PAIRS_SCORED)
+                self.instrumentation.count(FULL_AGG_SIM_CALLS)
         return score
 
     @property
@@ -107,6 +134,7 @@ def prematching(
     n_workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     instrumentation: Optional[Instrumentation] = None,
+    candidate_filter: Optional[CandidateFilter] = None,
 ) -> PreMatchResult:
     """Cluster records of two datasets by attribute similarity (§3.2).
 
@@ -120,6 +148,15 @@ def prematching(
     output is identical to serial).  ``clustering`` selects the strategy
     of :mod:`repro.core.clustering` (the paper uses connected
     components).
+
+    With a ``candidate_filter`` (:mod:`repro.core.filtering`), unscored
+    pairs first pass the pruning engine: a pair whose similarity upper
+    bound already falls below this round's δ is rejected without the full
+    ``agg_sim`` — losslessly, since such a pair could never enter
+    ``matched_pairs``.  Pruning bounds are δ-independent, so when the
+    score store is a :class:`~repro.core.simcache.SimilarityCache` they
+    are remembered across rounds and only re-examined once the schedule's
+    δ drops past them.
     """
     old_index = {record.record_id: record for record in old_records}
     new_index = {record.record_id: record for record in new_records}
@@ -141,33 +178,57 @@ def prematching(
     # during subgraph matching then persist across δ rounds.
     scores: ScoreStore = cached_scores if cached_scores is not None else {}
 
-    # Bulk-score whatever the store does not hold yet; sorted order keeps
-    # the parallel chunking (and any cache-miss tally) deterministic.
-    unscored = [pair for pair in sorted(candidate_pairs) if scores.get(pair) is None]
-    if unscored:
-        fresh = score_pairs_chunked(
-            unscored, old_index, new_index, sim_func,
-            n_workers=n_workers, chunk_size=chunk_size,
+    if candidate_filter is not None and candidate_filter.active:
+        timer = (
+            instrumentation.stage("filtering")
+            if instrumentation is not None
+            else nullcontext()
         )
-        if isinstance(scores, SimilarityCache):
-            # Candidate-pair scores are re-tested every round: pin them.
-            for pair, score in fresh.items():
-                scores.pin(pair, score)
-        else:
-            scores.update(fresh)
-        if instrumentation is not None:
-            instrumentation.count(PAIRS_SCORED, len(fresh))
-
-    matched = sorted(
-        pair
-        for pair in candidate_pairs
-        if scores[pair] >= sim_func.threshold
-    )
+        with timer:
+            exact_scores = _filtered_bulk_scores(
+                candidate_pairs, scores, old_index, new_index, sim_func,
+                candidate_filter, n_workers, chunk_size, instrumentation,
+            )
+        # A pruned pair's similarity is provably below δ, so restricting
+        # the threshold test to exactly-scored pairs loses nothing.
+        matched = sorted(
+            pair
+            for pair, score in exact_scores.items()
+            if score >= sim_func.threshold
+        )
+        matched_scores = {pair: exact_scores[pair] for pair in matched}
+    else:
+        # Bulk-score whatever the store does not hold yet; sorted order
+        # keeps the parallel chunking (and any cache-miss tally)
+        # deterministic.
+        unscored = [
+            pair for pair in sorted(candidate_pairs)
+            if scores.get(pair) is None
+        ]
+        if unscored:
+            fresh = score_pairs_chunked(
+                unscored, old_index, new_index, sim_func,
+                n_workers=n_workers, chunk_size=chunk_size,
+            )
+            if isinstance(scores, SimilarityCache):
+                # Candidate-pair scores are re-tested every round: pin them.
+                for pair, score in fresh.items():
+                    scores.pin(pair, score)
+            else:
+                scores.update(fresh)
+            if instrumentation is not None:
+                instrumentation.count(PAIRS_SCORED, len(fresh))
+                instrumentation.count(FULL_AGG_SIM_CALLS, len(fresh))
+        matched = sorted(
+            pair
+            for pair in candidate_pairs
+            if scores[pair] >= sim_func.threshold
+        )
+        matched_scores = {pair: scores[pair] for pair in matched}
 
     # Cluster the match links (transitive closure by default); singleton
     # clusters are emitted for unmatched records, as in Fig. 3.
     all_ids = list(old_index) + list(new_index)
-    matched_scores = {pair: scores[pair] for pair in matched}
     groups = cluster_records(
         all_ids, matched_scores, sim_func.threshold, clustering
     )
@@ -189,3 +250,79 @@ def prematching(
         matched_pairs=matched,
         instrumentation=instrumentation,
     )
+
+
+def _filtered_bulk_scores(
+    candidate_pairs: Set[Tuple[str, str]],
+    scores: ScoreStore,
+    old_index: Dict[str, PersonRecord],
+    new_index: Dict[str, PersonRecord],
+    sim_func: SimilarityFunction,
+    candidate_filter: CandidateFilter,
+    n_workers: int,
+    chunk_size: int,
+    instrumentation: Optional[Instrumentation],
+) -> Dict[Tuple[str, str], float]:
+    """Resolve every candidate pair against this round's δ through the
+    pruning engine; return the exactly-known scores.
+
+    Each pair lands in one of three buckets, checked cheapest-first:
+
+    1. exact score already in the store (earlier round, or a lazy lookup)
+       — reuse it;
+    2. a cached pruning bound still below δ − margin — the pair stays
+       pruned without recomputing anything (counted under the filter that
+       set the bound);
+    3. everything else runs through
+       :func:`repro.core.parallel.filter_and_score_chunked`: survivors
+       are stored exactly (pinned in a
+       :class:`~repro.core.simcache.SimilarityCache`), rejects record
+       their fresh bound for later rounds.
+    """
+    delta = sim_func.threshold
+    cutoff = delta - candidate_filter.margin
+    cache = scores if isinstance(scores, SimilarityCache) else None
+    exact_scores: Dict[Tuple[str, str], float] = {}
+    pruned: Dict[str, int] = {
+        PRUNED_LENGTH: 0, PRUNED_QGRAM: 0, PRUNED_EARLY_EXIT: 0,
+    }
+    to_evaluate: List[Tuple[str, str]] = []
+    for pair in sorted(candidate_pairs):
+        score = scores.get(pair)
+        if score is not None:
+            exact_scores[pair] = score
+            continue
+        if cache is not None:
+            cached_bound = cache.get_bound(pair)
+            if cached_bound is not None and cached_bound[0] < cutoff:
+                pruned[cached_bound[1]] += 1
+                continue
+        to_evaluate.append(pair)
+
+    if to_evaluate:
+        outcomes = filter_and_score_chunked(
+            to_evaluate, old_index, new_index, candidate_filter, delta,
+            n_workers=n_workers, chunk_size=chunk_size,
+        )
+        fresh = 0
+        for pair, outcome in outcomes.items():
+            if outcome.is_exact:
+                if cache is not None:
+                    cache.pin(pair, outcome.value)
+                else:
+                    scores[pair] = outcome.value
+                exact_scores[pair] = outcome.value
+                fresh += 1
+            else:
+                if cache is not None:
+                    cache.set_bound(pair, outcome.value, outcome.kind)
+                pruned[outcome.kind] += 1
+        if instrumentation is not None:
+            instrumentation.count(PAIRS_SCORED, fresh)
+            instrumentation.count(FULL_AGG_SIM_CALLS, fresh)
+
+    if instrumentation is not None:
+        for kind, counter in _PRUNE_COUNTERS.items():
+            if pruned[kind]:
+                instrumentation.count(counter, pruned[kind])
+    return exact_scores

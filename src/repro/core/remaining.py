@@ -18,13 +18,19 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..blocking.pairs import Blocker
-from ..instrumentation import PAIRS_SCORED, REMAINING_PAIRS, Instrumentation
+from ..instrumentation import (
+    FULL_AGG_SIM_CALLS,
+    PAIRS_SCORED,
+    REMAINING_PAIRS,
+    Instrumentation,
+)
 from ..model.mappings import RecordMapping
 from ..model.records import PersonRecord
 from ..similarity.numeric import normalised_age_difference
 from ..similarity.vector import SimilarityFunction
+from .filtering import CandidateFilter
 from .parallel import DEFAULT_CHUNK_SIZE, score_pairs_chunked
-from .prematching import ScoreStore
+from .prematching import ScoreStore, _filtered_bulk_scores
 from .simcache import SimilarityCache
 
 
@@ -40,6 +46,7 @@ def match_remaining(
     n_workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     instrumentation: Optional[Instrumentation] = None,
+    candidate_filter: Optional[CandidateFilter] = None,
 ) -> RecordMapping:
     """Greedy 1:1 matching of leftover records (Alg. 1, lines 17–19).
 
@@ -81,26 +88,38 @@ def match_remaining(
         instrumentation.count(REMAINING_PAIRS, len(plausible))
 
     scores: ScoreStore = cached_scores if cached_scores is not None else {}
-    unscored = [pair for pair in plausible if scores.get(pair) is None]
-    if unscored:
-        fresh = score_pairs_chunked(
-            unscored, old_index, new_index, sim_func_rem,
-            n_workers=n_workers, chunk_size=chunk_size,
+    if candidate_filter is not None and candidate_filter.active:
+        # Lossless pruning against the remaining threshold: a pruned
+        # pair's agg_sim is provably below it, and the greedy resolution
+        # below only ever looks at pairs at or above the threshold, so
+        # skipping the full evaluation cannot change the mapping.
+        exact_scores = _filtered_bulk_scores(
+            set(plausible), scores, old_index, new_index, sim_func_rem,
+            candidate_filter, n_workers, chunk_size, instrumentation,
         )
-        if isinstance(scores, SimilarityCache):
-            for pair, score in fresh.items():
-                scores.pin(pair, score)
-        else:
-            scores.update(fresh)
-        if instrumentation is not None:
-            instrumentation.count(PAIRS_SCORED, len(fresh))
+    else:
+        unscored = [pair for pair in plausible if scores.get(pair) is None]
+        if unscored:
+            fresh = score_pairs_chunked(
+                unscored, old_index, new_index, sim_func_rem,
+                n_workers=n_workers, chunk_size=chunk_size,
+            )
+            if isinstance(scores, SimilarityCache):
+                for pair, score in fresh.items():
+                    scores.pin(pair, score)
+            else:
+                scores.update(fresh)
+            if instrumentation is not None:
+                instrumentation.count(PAIRS_SCORED, len(fresh))
+                instrumentation.count(FULL_AGG_SIM_CALLS, len(fresh))
+        exact_scores = {pair: scores[pair] for pair in plausible}
 
     scored: List[Tuple[float, str, str]] = []
     old_scores: Dict[str, List[float]] = defaultdict(list)
     new_scores: Dict[str, List[float]] = defaultdict(list)
     for old_id, new_id in plausible:
-        score = scores[(old_id, new_id)]
-        if score >= sim_func_rem.threshold:
+        score = exact_scores.get((old_id, new_id))
+        if score is not None and score >= sim_func_rem.threshold:
             scored.append((score, old_id, new_id))
             old_scores[old_id].append(score)
             new_scores[new_id].append(score)

@@ -17,6 +17,14 @@ Two storage classes keep memory bounded over long series runs:
   (e.g. same-cluster household members that blocking never proposed).
   They live in an LRU of at most ``max_lazy_entries`` and may be evicted;
   an evicted pair is simply re-scored on next use.
+
+The candidate-pruning engine (:mod:`repro.core.filtering`) adds a third,
+weaker kind of knowledge: an *upper bound* on a pair's similarity,
+recorded when a filter rejected the pair against some round's δ.  Bounds
+are δ-independent facts, so they are cached **per bound, not per round**:
+a later round with a lower δ first consults :meth:`get_bound` and only
+re-runs the engine when the cached bound no longer rules the pair out.
+A bound is superseded the moment the pair's exact score is pinned.
 """
 
 from __future__ import annotations
@@ -52,6 +60,8 @@ class SimilarityCache:
         self.max_lazy_entries = max_lazy_entries or None
         self._pinned: Dict[PairKey, float] = {}
         self._lazy: "OrderedDict[PairKey, float]" = OrderedDict()
+        #: Pair -> (similarity upper bound, name of the filter that set it).
+        self._bounds: Dict[PairKey, Tuple[float, str]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -102,8 +112,10 @@ class SimilarityCache:
     # -- insertion -----------------------------------------------------------
 
     def pin(self, key: PairKey, score: float) -> None:
-        """Store a permanent (never evicted) entry — candidate pairs."""
+        """Store a permanent (never evicted) entry — candidate pairs.
+        An exact score supersedes any cached pruning bound."""
         self._lazy.pop(key, None)
+        self._bounds.pop(key, None)
         self._pinned[key] = score
 
     def __setitem__(self, key: PairKey, score: float) -> None:
@@ -117,6 +129,25 @@ class SimilarityCache:
             while len(self._lazy) > self.max_lazy_entries:
                 self._lazy.popitem(last=False)
                 self.evictions += 1
+
+    # -- pruning bounds (repro.core.filtering) -------------------------------
+
+    def get_bound(self, key: PairKey) -> Optional[Tuple[float, str]]:
+        """Cached ``(upper bound, filter origin)`` for a pair the pruning
+        engine rejected earlier, or ``None``.  Bound lookups are not part
+        of the hit/miss guarantee — they track *avoided* computations."""
+        return self._bounds.get(key)
+
+    def set_bound(self, key: PairKey, bound: float, origin: str) -> None:
+        """Record a pruning upper bound for ``key``.  A no-op when the
+        exact score is already pinned (the bound adds nothing)."""
+        if key in self._pinned:
+            return
+        self._bounds[key] = (bound, origin)
+
+    @property
+    def num_bounds(self) -> int:
+        return len(self._bounds)
 
     # -- introspection -------------------------------------------------------
 
@@ -136,6 +167,7 @@ class SimilarityCache:
             "evictions": self.evictions,
             "pinned": len(self._pinned),
             "lazy": len(self._lazy),
+            "bounds": len(self._bounds),
         }
 
     def __repr__(self) -> str:

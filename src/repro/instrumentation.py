@@ -34,6 +34,10 @@ SUBGRAPHS_BUILT = "subgraphs_built"  # non-empty common subgraphs
 QUEUE_POPS = "queue_pops"  # Alg. 2 priority-queue pops
 REMAINING_PAIRS = "remaining_pairs"  # age-plausible pairs in the final pass
 INVARIANT_CHECKS = "invariant_checks"  # validation-layer invariants evaluated
+FULL_AGG_SIM_CALLS = "full_agg_sim_calls"  # pairs that got the full Eq. 3 sum
+PAIRS_PRUNED_LENGTH = "pairs_pruned_length"  # rejected by the length filter
+PAIRS_PRUNED_QGRAM = "pairs_pruned_qgram"  # rejected by the q-gram count filter
+PAIRS_PRUNED_EARLY_EXIT = "pairs_pruned_early_exit"  # abandoned mid-sum
 
 
 @dataclass

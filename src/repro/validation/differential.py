@@ -8,6 +8,10 @@ that must not change the output:
 * ``max_lazy_cache_entries`` — evicted similarity-cache entries are
   recomputed to the same value, so a bounded cache equals an unbounded
   one (:mod:`repro.core.simcache`);
+* ``filtering`` — the candidate-pruning engine only rejects pairs whose
+  similarity upper bound proves they cannot reach the round's δ, so a
+  filtered run's mappings are byte-identical to an unfiltered run's
+  (:mod:`repro.core.filtering`), serial and parallel alike;
 
 and one is a declared *coverage* knob:
 
@@ -265,6 +269,64 @@ def cache_bounded_vs_unbounded(
     )
 
 
+def filtering_on_vs_off(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    config: Optional[LinkageConfig] = None,
+    workers: Sequence[int] = (1, 2),
+) -> List[DifferentialOutcome]:
+    """Candidate pruning is lossless: on == off, serial and parallel.
+
+    The unfiltered serial run is the base; each variant enables the
+    pruning engine at one worker count.  ``check_diagnostics`` stays off
+    on purpose — pruning exists to *change* the scoring effort
+    (``pairs_scored`` drops), only the mappings must be byte-identical.
+    """
+    config = config or LinkageConfig()
+    base_config = dataclasses.replace(config, filtering=False, n_workers=1)
+    base_result = link_datasets(old_dataset, new_dataset, base_config)
+    outcomes = []
+    for count in workers:
+        variant = dataclasses.replace(config, filtering=True, n_workers=count)
+        if count > 1:
+            variant = dataclasses.replace(variant, worker_chunk_size=64)
+        outcomes.append(
+            run_differential(
+                old_dataset,
+                new_dataset,
+                base_config,
+                variant,
+                relation=IDENTICAL,
+                name=f"filtering-off-vs-on(n_workers={count})",
+                base_result=base_result,
+            )
+        )
+    return outcomes
+
+
+def blocking_standard_qgram_covers_standard(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    config: Optional[LinkageConfig] = None,
+) -> DifferentialOutcome:
+    """``standard+qgram`` blocking links cover the standard run's links.
+
+    The union blocker proposes every pair the standard blocker proposes
+    plus the q-gram index's additions, so its final links must be a
+    superset (same argument as the cross-product check, at far lower
+    candidate cost).
+    """
+    config = config or LinkageConfig()
+    return run_differential(
+        old_dataset,
+        new_dataset,
+        dataclasses.replace(config, blocking="standard"),
+        dataclasses.replace(config, blocking="standard+qgram"),
+        relation=SUPERSET,
+        name="blocking-standard-qgram-covers-standard",
+    )
+
+
 def blocking_cross_covers_standard(
     old_dataset: CensusDataset,
     new_dataset: CensusDataset,
@@ -297,14 +359,25 @@ def assert_equivalences(
 ) -> List[DifferentialOutcome]:
     """Run the declared equivalence suite; raise on any violation.
 
-    ``include_blocking`` adds the quadratic cross-product comparison —
-    off by default so the suite stays usable on larger workloads.
+    Always runs serial-vs-parallel, bounded-vs-unbounded cache, and
+    filtering-on-vs-off (serial and 2 workers).  ``include_blocking``
+    adds the quadratic cross-product comparison and the ``standard+qgram``
+    coverage check — off by default so the suite stays usable on larger
+    workloads.
     """
     outcomes = serial_vs_parallel(old_dataset, new_dataset, config, workers)
     outcomes.append(cache_bounded_vs_unbounded(old_dataset, new_dataset, config))
+    outcomes.extend(
+        filtering_on_vs_off(old_dataset, new_dataset, config, workers=(1, 2))
+    )
     if include_blocking:
         outcomes.append(
             blocking_cross_covers_standard(old_dataset, new_dataset, config)
+        )
+        outcomes.append(
+            blocking_standard_qgram_covers_standard(
+                old_dataset, new_dataset, config
+            )
         )
     if any(not outcome.ok for outcome in outcomes):
         raise EquivalenceViolation(outcomes)

@@ -4,16 +4,21 @@ import pytest
 
 import repro.model.roles as R
 from repro.blocking.pairs import (
+    UnionBlocker,
     pairs_above_threshold,
     pairs_completeness,
     reduction_ratio,
     score_pairs,
 )
+from repro.blocking.qgram_index import QGramIndexBlocker
 from repro.blocking.sorted_neighbourhood import SortedNeighbourhoodBlocker
 from repro.blocking.standard import (
+    NO_BLOCK_PREFIX,
     CrossProductBlocker,
     StandardBlocker,
     firstname_soundex_key,
+    no_block_key,
+    sex_birthyear_key,
     surname_soundex_initial_key,
     surname_soundex_key,
 )
@@ -50,6 +55,105 @@ class TestKeyFunctions:
     def test_missing_attributes_give_empty_key(self):
         ghost = PersonRecord("x", "h", None, None, role=R.HEAD)
         assert surname_soundex_key(ghost) == ""
+
+
+class TestSexBirthyearKey:
+    """Regression: records missing age or sex must not share one key.
+
+    ``sex_birthyear_key`` used to return ``""`` for them; the standard
+    blocker happens to skip empty keys, but any consumer grouping by key
+    would have collapsed the whole missing-data population into a single
+    giant block.  The key function now returns a per-record no-block
+    sentinel instead."""
+
+    def test_complete_record_keys_by_sex_and_birth_decade(self):
+        person = PersonRecord("p1", "h1", "ann", "holt", "f", 34, role=R.HEAD)
+        assert sex_birthyear_key(person, year=1890) == "f|185"
+
+    def test_missing_age_gets_no_block_sentinel(self):
+        person = PersonRecord("p1", "h1", "ann", "holt", "f", None, role=R.HEAD)
+        assert sex_birthyear_key(person, year=1890) == no_block_key(person)
+
+    def test_missing_sex_gets_no_block_sentinel(self):
+        person = PersonRecord("p1", "h1", "ann", "holt", None, 34, role=R.HEAD)
+        assert sex_birthyear_key(person, year=1890).startswith(NO_BLOCK_PREFIX)
+
+    def test_sentinels_are_unique_per_record(self):
+        """Even a naive group-by-key consumer keeps them in singletons."""
+        ghosts = [
+            PersonRecord(f"g{i}", "h", "x", "y", None, None, role=R.HEAD)
+            for i in range(5)
+        ]
+        keys = {sex_birthyear_key(ghost) for ghost in ghosts}
+        assert len(keys) == len(ghosts)
+
+    def test_standard_blocker_never_pairs_sentinel_records(self):
+        old_ghosts = [
+            PersonRecord(f"o{i}", "h", "x", "y", None, None, role=R.HEAD)
+            for i in range(3)
+        ]
+        new_ghosts = [
+            PersonRecord(f"n{i}", "h", "x", "y", None, None, role=R.HEAD)
+            for i in range(3)
+        ]
+        blocker = StandardBlocker(key_functions=(sex_birthyear_key,))
+        assert not blocker.candidate_pairs(old_ghosts, new_ghosts)
+
+
+class TestQGramIndexBlocker:
+    def test_recovers_pair_missed_by_soundex(self):
+        """'catherine'/'katherine' diverge on the Soundex first letter but
+        share plenty of bigrams — the index blocker's reason to exist."""
+        old = [record("o1", "catherine", "brown")]
+        new = [record("n1", "katherine", "taylor")]  # surname changed too
+        assert ("o1", "n1") not in StandardBlocker().candidate_pairs(old, new)
+        assert ("o1", "n1") in QGramIndexBlocker().candidate_pairs(old, new)
+
+    def test_min_common_prunes_weak_overlap(self):
+        old = [record("o1", "amy", "pool")]
+        new = [record("n1", "may", "lowe")]  # few shared distinct grams
+        loose = QGramIndexBlocker(min_common=1).candidate_pairs(old, new)
+        strict = QGramIndexBlocker(min_common=4).candidate_pairs(old, new)
+        assert strict <= loose
+
+    def test_missing_attribute_values_never_block(self):
+        old = [PersonRecord("o1", "h", None, None, "m", 30, role=R.HEAD)]
+        new = [PersonRecord("n1", "h", None, None, "m", 30, role=R.HEAD)]
+        assert not QGramIndexBlocker().candidate_pairs(old, new)
+
+    def test_max_posting_size_skips_frequent_grams(self):
+        many_old = [record(f"o{i}", "ann", "smith") for i in range(6)]
+        new = [record("n1", "ann", "smith")]
+        unlimited = QGramIndexBlocker().candidate_pairs(many_old, new)
+        limited = QGramIndexBlocker(max_posting_size=3).candidate_pairs(
+            many_old, new
+        )
+        assert len(unlimited) == 6
+        assert not limited
+
+    def test_attributes_indexed_independently(self):
+        """Grams of different attributes never match each other."""
+        old = [record("o1", "holt", "xxxx")]
+        new = [record("n1", "zzzz", "holt")]
+        assert not QGramIndexBlocker().candidate_pairs(old, new)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            QGramIndexBlocker(attributes=())
+        with pytest.raises(ValueError):
+            QGramIndexBlocker(min_common=0)
+
+
+class TestUnionBlocker:
+    def test_union_of_member_pairs(self):
+        union = UnionBlocker((StandardBlocker(), QGramIndexBlocker()))
+        pairs = union.candidate_pairs(OLD, NEW)
+        assert StandardBlocker().candidate_pairs(OLD, NEW) <= pairs
+        assert QGramIndexBlocker().candidate_pairs(OLD, NEW) <= pairs
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            UnionBlocker(())
 
 
 class TestStandardBlocker:

@@ -1,0 +1,263 @@
+"""Filter-soundness battery for the candidate-pruning engine.
+
+The engine (:mod:`repro.core.filtering`) may reject a candidate pair
+only from an *upper bound* on its similarity — so the load-bearing
+property, checked here exhaustively with hypothesis, is that every bound
+dominates the true value:
+
+* length bound ≥ Levenshtein (and Damerau) similarity,
+* q-gram count bound ≥ q-gram Dice similarity,
+* the composed weighted bound ≥ ``agg_sim`` for every missing policy,
+* every pruning decision of ``evaluate`` is lossless: a pruned pair's
+  true ``agg_sim`` is below the δ it was pruned against, and a surviving
+  pair's score is **bit-identical** to ``SimilarityFunction.agg_sim``.
+
+These properties gate the tentpole: if any of them fails, the pruning
+engine is not lossless and must not ship.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filtering import (
+    KIND_EXACT,
+    PRUNED_EARLY_EXIT,
+    PRUNED_LENGTH,
+    PRUNED_QGRAM,
+    CandidateFilter,
+    FilteringConfig,
+    length_similarity_bound,
+    normalised_length,
+    qgram_count,
+    qgram_count_bound,
+)
+from repro.similarity.levenshtein import damerau_similarity, levenshtein_similarity
+from repro.similarity.qgram import qgram_similarity, qgrams
+from repro.similarity.vector import (
+    MISSING_IGNORE,
+    MISSING_NEUTRAL,
+    MISSING_ZERO,
+    build_similarity_function,
+)
+from tests.strategies import names, record_pairs
+
+#: Float slack for bounds composed with a different summation order than
+#: the true value (the engine prunes only below δ - its margin, 1e-9).
+MARGIN = 1e-9
+
+#: Weight specs exercising every comparator class the engine knows.
+WEIGHT_SPECS = {
+    "omega2-qgram": (
+        ("first_name", "qgram", 0.4),
+        ("sex", "exact", 0.2),
+        ("surname", "qgram", 0.2),
+        ("address", "qgram", 0.1),
+        ("occupation", "qgram", 0.1),
+    ),
+    "levenshtein-mix": (
+        ("first_name", "levenshtein", 0.3),
+        ("surname", "levenshtein", 0.3),
+        ("sex", "exact", 0.2),
+        ("address", "qgram", 0.2),
+    ),
+    "trigram-opaque-mix": (
+        ("first_name", "trigram", 0.4),
+        ("surname", "jaro_winkler", 0.4),  # no cheap bound: opaque
+        ("sex", "exact", 0.2),
+    ),
+}
+
+deltas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+policies = st.sampled_from((MISSING_ZERO, MISSING_NEUTRAL, MISSING_IGNORE))
+spec_keys = st.sampled_from(sorted(WEIGHT_SPECS))
+
+
+# -- scalar bounds vs true comparators ---------------------------------------
+
+
+class TestScalarBounds:
+    @given(names, names)
+    def test_length_bound_dominates_levenshtein(self, left, right):
+        assert length_similarity_bound(left, right) >= \
+            levenshtein_similarity(left, right)
+
+    @given(names, names)
+    def test_length_bound_dominates_damerau(self, left, right):
+        """The bound only uses |len(a)-len(b)|, which lower-bounds the
+        Damerau distance too (transpositions preserve length)."""
+        assert length_similarity_bound(left, right) >= \
+            damerau_similarity(left, right)
+
+    @given(names, names)
+    def test_length_bound_in_unit_interval(self, left, right):
+        assert 0.0 <= length_similarity_bound(left, right) <= 1.0
+
+    @given(
+        names,
+        st.integers(min_value=1, max_value=4),
+        st.booleans(),
+    )
+    def test_qgram_count_matches_materialised_grams(self, text, q, padded):
+        """The closed-form count equals what qgrams() actually emits —
+        the premise of the whole count filter."""
+        assert qgram_count(text, q, padded) == len(qgrams(text, q, padded))
+
+    @given(names, names, st.integers(min_value=1, max_value=4), st.booleans())
+    def test_qgram_count_bound_dominates_dice(self, left, right, q, padded):
+        bound = qgram_count_bound(left, right, q, padded)
+        assert 0.0 <= bound <= 1.0
+        assert bound >= qgram_similarity(left, right, q, padded, mode="dice")
+
+    @given(names)
+    def test_normalised_length_matches_comparator_normalisation(self, text):
+        assert normalised_length(text) == len(" ".join(text.lower().split()))
+
+
+# -- composed pair bound vs agg_sim ------------------------------------------
+
+
+class TestUpperBound:
+    @given(record_pairs(), spec_keys, policies)
+    @settings(max_examples=200)
+    def test_upper_bound_dominates_agg_sim(self, pair, spec_key, policy):
+        old, new = pair
+        sim_func = build_similarity_function(
+            list(WEIGHT_SPECS[spec_key]), 0.7, policy
+        )
+        engine = CandidateFilter(sim_func)
+        assert engine.upper_bound(old, new) + MARGIN >= \
+            sim_func.agg_sim(old, new)
+
+    @given(record_pairs(), spec_keys, policies, st.integers(0, 14))
+    @settings(max_examples=200)
+    def test_upper_bound_sound_under_every_filter_subset(
+        self, pair, spec_key, policy, mask
+    ):
+        """Disabling individual filters only loosens bounds, never below
+        the true similarity."""
+        old, new = pair
+        sim_func = build_similarity_function(
+            list(WEIGHT_SPECS[spec_key]), 0.7, policy
+        )
+        config = FilteringConfig(
+            length_filter=bool(mask & 1),
+            qgram_filter=bool(mask & 2),
+            exact_shortcircuit=bool(mask & 4),
+            early_exit=bool(mask & 8),
+        )
+        engine = CandidateFilter(sim_func, config)
+        assert engine.upper_bound(old, new) + MARGIN >= \
+            sim_func.agg_sim(old, new)
+
+
+# -- evaluate(): the actual pruning decision ---------------------------------
+
+
+class TestEvaluateLossless:
+    @given(record_pairs(), spec_keys, policies, deltas)
+    @settings(max_examples=300)
+    def test_exact_outcomes_are_bit_identical(
+        self, pair, spec_key, policy, delta
+    ):
+        """A surviving pair's score must equal agg_sim to the last bit —
+        that is what makes filtered mappings byte-identical."""
+        old, new = pair
+        sim_func = build_similarity_function(
+            list(WEIGHT_SPECS[spec_key]), delta, policy
+        )
+        outcome = CandidateFilter(sim_func).evaluate(old, new, delta)
+        if outcome.is_exact:
+            assert outcome.value == sim_func.agg_sim(old, new)
+
+    @given(record_pairs(), spec_keys, policies, deltas)
+    @settings(max_examples=300)
+    def test_pruned_outcomes_are_lossless(
+        self, pair, spec_key, policy, delta
+    ):
+        """A pruned pair could never have matched: its bound dominates
+        the true similarity and sits below δ by more than the margin."""
+        old, new = pair
+        sim_func = build_similarity_function(
+            list(WEIGHT_SPECS[spec_key]), delta, policy
+        )
+        engine = CandidateFilter(sim_func)
+        outcome = engine.evaluate(old, new, delta)
+        if outcome.is_exact:
+            return
+        true_value = sim_func.agg_sim(old, new)
+        assert outcome.kind in (PRUNED_LENGTH, PRUNED_QGRAM, PRUNED_EARLY_EXIT)
+        assert outcome.value < delta - engine.margin
+        assert outcome.value + MARGIN >= true_value
+        assert true_value < delta  # the pair would have been rejected anyway
+
+    @given(record_pairs(), spec_keys, policies)
+    @settings(max_examples=100)
+    def test_delta_zero_never_prunes(self, pair, spec_key, policy):
+        """At δ=0 everything matches, so nothing may be pruned."""
+        old, new = pair
+        sim_func = build_similarity_function(
+            list(WEIGHT_SPECS[spec_key]), 0.0, policy
+        )
+        outcome = CandidateFilter(sim_func).evaluate(old, new, 0.0)
+        assert outcome.kind == KIND_EXACT
+
+    @given(record_pairs(), spec_keys, policies, deltas, st.integers(0, 14))
+    @settings(max_examples=200)
+    def test_filter_subsets_stay_lossless(
+        self, pair, spec_key, policy, delta, mask
+    ):
+        """Every ablation (any subset of the four filters) keeps the
+        exact/pruned dichotomy sound."""
+        old, new = pair
+        sim_func = build_similarity_function(
+            list(WEIGHT_SPECS[spec_key]), delta, policy
+        )
+        config = FilteringConfig(
+            length_filter=bool(mask & 1),
+            qgram_filter=bool(mask & 2),
+            exact_shortcircuit=bool(mask & 4),
+            early_exit=bool(mask & 8),
+        )
+        outcome = CandidateFilter(sim_func, config).evaluate(old, new, delta)
+        true_value = sim_func.agg_sim(old, new)
+        if outcome.is_exact:
+            assert outcome.value == true_value
+        else:
+            assert true_value < delta
+
+
+# -- configuration plumbing --------------------------------------------------
+
+
+class TestFilteringConfig:
+    def test_coerce_accepts_bool_and_strings(self):
+        assert FilteringConfig.coerce(True).enabled
+        assert FilteringConfig.coerce("on").enabled
+        assert not FilteringConfig.coerce(False).enabled
+        assert not FilteringConfig.coerce("off").enabled
+        assert not FilteringConfig.coerce(None).enabled
+        explicit = FilteringConfig(early_exit=False)
+        assert FilteringConfig.coerce(explicit) is explicit
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FilteringConfig.coerce("sometimes")
+        with pytest.raises(ValueError):
+            FilteringConfig.coerce(3)
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            FilteringConfig(margin=-1e-3)
+
+    def test_pickled_engine_keeps_config_drops_memos(self):
+        import pickle
+
+        sim_func = build_similarity_function(
+            list(WEIGHT_SPECS["omega2-qgram"]), 0.7
+        )
+        engine = CandidateFilter(sim_func, FilteringConfig(margin=1e-6))
+        engine._norm_length(0, "warm-up value")
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.config == engine.config
+        assert all(not memo for memo in clone._length_memo)

@@ -18,6 +18,10 @@ from repro.instrumentation import (
     CACHE_EVICTIONS,
     CACHE_HITS,
     CACHE_MISSES,
+    FULL_AGG_SIM_CALLS,
+    PAIRS_PRUNED_EARLY_EXIT,
+    PAIRS_PRUNED_LENGTH,
+    PAIRS_PRUNED_QGRAM,
     PAIRS_SCORED,
     QUEUE_POPS,
     SUBGRAPHS_BUILT,
@@ -81,7 +85,15 @@ class TestInstrumentation:
 
 @pytest.fixture(scope="module")
 def linked():
-    """One seeded serial run with a call-count spy on agg_sim."""
+    """One seeded serial run with a call-count spy on agg_sim.
+
+    Filtering is off: this module proves the *cache* guarantee (each pair
+    computed at most once, misses == computations), which predates the
+    pruning engine and must keep holding without it.  The engine
+    evaluates comparators directly — invisible to an ``agg_sim`` spy and
+    with its own counter semantics — and is covered by
+    :class:`TestFilteringCounters` and ``tests/test_filtering_soundness``.
+    """
     series = generate_pair(seed=7, initial_households=40)
     old, new = series.datasets
     calls = Counter()
@@ -93,7 +105,7 @@ def linked():
 
     SimilarityFunction.agg_sim = spy
     try:
-        result = link_datasets(old, new, LinkageConfig())
+        result = link_datasets(old, new, LinkageConfig(filtering=False))
     finally:
         SimilarityFunction.agg_sim = original
     return result, calls
@@ -146,3 +158,64 @@ class TestPipelineProfile:
     def test_iteration_stats_have_timings(self, linked):
         result, _ = linked
         assert all(stats.seconds >= 0.0 for stats in result.iterations)
+
+
+class TestFilteringCounters:
+    """Counter semantics of the candidate-pruning engine (default-on)."""
+
+    @pytest.fixture(scope="class")
+    def filtered_and_plain(self):
+        series = generate_pair(seed=7, initial_households=40)
+        old, new = series.datasets
+        filtered = link_datasets(old, new, LinkageConfig())
+        plain = link_datasets(old, new, LinkageConfig(filtering=False))
+        return filtered, plain
+
+    def test_full_calls_mirror_pairs_scored(self, filtered_and_plain):
+        """full_agg_sim_calls counts exactly the full Eq. 3 evaluations —
+        equal to pairs_scored with and without filtering."""
+        for result in filtered_and_plain:
+            assert result.profile.value(FULL_AGG_SIM_CALLS) == \
+                result.profile.value(PAIRS_SCORED)
+
+    def test_filtering_reduces_full_evaluations(self, filtered_and_plain):
+        filtered, plain = filtered_and_plain
+        filtered_calls = filtered.profile.value(FULL_AGG_SIM_CALLS)
+        plain_calls = plain.profile.value(FULL_AGG_SIM_CALLS)
+        assert 0 < filtered_calls < plain_calls
+        # The headline promise: at least 2x fewer full evaluations.
+        assert plain_calls >= 2 * filtered_calls
+        # And strictly fewer full evaluations than candidate pairs.
+        assert filtered_calls < filtered.profile.value("candidate_pairs")
+
+    def test_prune_counters_attribute_the_decisions(self, filtered_and_plain):
+        filtered, plain = filtered_and_plain
+        profile = filtered.profile
+        pruned = (
+            profile.value(PAIRS_PRUNED_LENGTH)
+            + profile.value(PAIRS_PRUNED_QGRAM)
+            + profile.value(PAIRS_PRUNED_EARLY_EXIT)
+        )
+        assert pruned > 0
+        # Default ω2 has q-gram and exact attributes only, so the q-gram
+        # count filter and the early exit do the work; the length filter
+        # only engages for edit-distance comparators.
+        assert profile.value(PAIRS_PRUNED_QGRAM) > 0
+        assert profile.value(PAIRS_PRUNED_EARLY_EXIT) > 0
+        assert profile.value(PAIRS_PRUNED_LENGTH) == 0
+        # The unfiltered run records no pruning at all.
+        for name in (PAIRS_PRUNED_LENGTH, PAIRS_PRUNED_QGRAM,
+                     PAIRS_PRUNED_EARLY_EXIT):
+            assert plain.profile.value(name) == 0
+
+    def test_filtering_stage_timer_present(self, filtered_and_plain):
+        filtered, plain = filtered_and_plain
+        assert "filtering" in filtered.profile.stages
+        assert "filtering" not in plain.profile.stages
+
+    def test_mappings_identical_to_unfiltered(self, filtered_and_plain):
+        filtered, plain = filtered_and_plain
+        assert sorted(filtered.record_mapping.pairs()) == \
+            sorted(plain.record_mapping.pairs())
+        assert sorted(filtered.group_mapping.pairs()) == \
+            sorted(plain.group_mapping.pairs())

@@ -283,3 +283,31 @@ class TestPipelineProperties:
         checked_counters = dict(checked.profile.counters)
         checked_counters.pop("invariant_checks", None)
         assert checked_counters == plain_counters
+
+    @given(census_dataset_pairs(min_households=4, max_households=10))
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_filtering_is_lossless_on_generated_towns(self, pair):
+        """Tentpole property: linking any generated town pair with the
+        pruning engine on and off yields pair-identical record and group
+        mappings — while the engine actually avoids full evaluations."""
+        from repro.core.config import LinkageConfig
+        from repro.core.pipeline import link_datasets
+        from repro.instrumentation import FULL_AGG_SIM_CALLS
+
+        old_dataset, new_dataset, _ = pair
+        filtered = link_datasets(
+            old_dataset, new_dataset, LinkageConfig(filtering=True)
+        )
+        plain = link_datasets(
+            old_dataset, new_dataset, LinkageConfig(filtering=False)
+        )
+        assert sorted(filtered.record_mapping.pairs()) == \
+            sorted(plain.record_mapping.pairs())
+        assert sorted(filtered.group_mapping.pairs()) == \
+            sorted(plain.group_mapping.pairs())
+        assert filtered.profile.value(FULL_AGG_SIM_CALLS) <= \
+            plain.profile.value(FULL_AGG_SIM_CALLS)

@@ -14,8 +14,10 @@ from repro.validation.differential import (
     MappingDiff,
     assert_equivalences,
     blocking_cross_covers_standard,
+    blocking_standard_qgram_covers_standard,
     cache_bounded_vs_unbounded,
     compare_results,
+    filtering_on_vs_off,
     run_differential,
     serial_vs_parallel,
 )
@@ -54,11 +56,30 @@ class TestDeclaredEquivalences:
         assert outcome.ok, outcome.report()
         assert outcome.relation == SUPERSET
 
+    def test_blocking_standard_qgram_covers_standard(self, workload):
+        old, new = workload
+        outcome = blocking_standard_qgram_covers_standard(old, new)
+        assert outcome.ok, outcome.report()
+        assert outcome.relation == SUPERSET
+
+    def test_filtering_on_vs_off_serial_and_parallel(self, workload):
+        """The tentpole's acceptance check: pruning on produces mappings
+        byte-identical to pruning off, serially and with 2 workers."""
+        old, new = workload
+        outcomes = filtering_on_vs_off(old, new, workers=(1, 2))
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert outcome.ok, outcome.report()
+            assert outcome.relation == IDENTICAL
+            assert outcome.record_diff.is_identical
+            assert outcome.group_diff.is_identical
+
     def test_assert_equivalences_passes(self, workload):
         old, new = workload
         outcomes = assert_equivalences(old, new, workers=(2,))
         assert all(outcome.ok for outcome in outcomes)
-        assert len(outcomes) == 2  # one worker variant + the cache check
+        # one worker variant + the cache check + two filtering variants
+        assert len(outcomes) == 4
 
 
 class TestFailurePaths:

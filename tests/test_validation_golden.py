@@ -59,6 +59,31 @@ class TestGoldenDocuments:
         for stats in document["result"]["iterations"]:
             assert "seconds" not in stats
 
+    def test_document_excludes_effort_diagnostics(self):
+        """Schema 2: scoring-effort counters are not part of the outcome."""
+        for spec in DEFAULT_SPECS:
+            document = load_golden(golden_path(GOLDEN_DIR, spec))
+            assert document["schema"] == 2
+            for stats in document["result"]["iterations"]:
+                for effort in ("pairs_scored", "cache_hits", "cache_misses"):
+                    assert effort not in stats
+
+    def test_no_filtering_variant_matches_default_outcome(self):
+        """The committed fixtures themselves prove pruning is lossless:
+        seed7 with and without the engine pins the same result."""
+        by_name = {spec.name: spec for spec in DEFAULT_SPECS}
+        default = load_golden(
+            golden_path(GOLDEN_DIR, by_name["seed7-default"])
+        )
+        unfiltered = load_golden(
+            golden_path(GOLDEN_DIR, by_name["seed7-no-filtering"])
+        )
+        assert default["result"] == unfiltered["result"]
+        # Different configs, same outcome — the fingerprints must differ,
+        # or the variant would not be exercising anything.
+        assert (default["config_fingerprint"]
+                != unfiltered["config_fingerprint"])
+
     def test_rerun_is_byte_stable(self):
         """Two in-process replays of one spec serialize identically."""
         spec = DEFAULT_SPECS[0]
