@@ -10,16 +10,28 @@ harness (:mod:`repro.validation.differential`), measures the wall-clock
 overhead of inline invariant validation (``validate=True``), and prints
 the instrumentation profile of the largest serial run.
 
+The group-stage grid (:func:`run_group_stage`) measures the §3.3–§3.4
+engine the same way: inverted-index candidate enumeration vs the
+brute-force |G_i| × |G_{i+1}| scan, and the serial vs parallel subgraph
+construction + scoring fan-out — both judged byte-identical through the
+differential harness.
+
+``--quick`` is the CI smoke entry point; with ``--check-baseline`` the
+run additionally compares its deterministic effort/effectiveness
+counters against the committed ``results/baseline_quick.json`` and fails
+on regressions beyond :data:`BASELINE_TOLERANCE`.
+
 Speedups depend on the machine: on a single-core box the worker pool is
 pure overhead, so the wall-clock-improvement assertion only applies when
 the machine actually has multiple cores.
 """
 
 import dataclasses
+import json
 import os
 import time
 
-from benchlib import BENCH_SEED, once, write_result
+from benchlib import BENCH_SEED, RESULTS_DIR, once, write_result
 
 from repro.core.config import LinkageConfig
 from repro.core.pipeline import link_datasets
@@ -29,15 +41,48 @@ from repro.instrumentation import (
     CACHE_HITS,
     CANDIDATE_PAIRS,
     FULL_AGG_SIM_CALLS,
+    GROUP_PAIRS_CANDIDATES,
+    GROUP_PAIRS_SKIPPED,
     PAIRS_PRUNED_EARLY_EXIT,
     PAIRS_PRUNED_LENGTH,
     PAIRS_PRUNED_QGRAM,
     PAIRS_SCORED,
+    QUEUE_POPS,
+    SUBGRAPHS_BUILT,
 )
 from repro.validation.differential import IDENTICAL, compare_results
 
 SIZES = (50, 100, 200)
 WORKER_COUNTS = (1, 2, 4)
+GROUP_WORKER_COUNTS = (2, 4)
+
+# -- benchmark-regression gate (--check-baseline) ------------------------------
+#
+# The quick smoke run is fully deterministic (fixed seed, serial, no
+# wall-clock numbers), so its counters can be pinned.  The tolerance
+# absorbs legitimate small drift from algorithm tuning; anything beyond
+# it fails CI until the baseline is re-recorded (--record-baseline) with
+# a justification in the commit.
+
+#: Relative tolerance of the counter-regression gate.
+BASELINE_TOLERANCE = 0.10
+#: Work performed — a regression is an *increase* beyond tolerance.
+EFFORT_COUNTERS = (
+    CANDIDATE_PAIRS,
+    PAIRS_SCORED,
+    FULL_AGG_SIM_CALLS,
+    GROUP_PAIRS_CANDIDATES,
+    SUBGRAPHS_BUILT,
+    QUEUE_POPS,
+)
+#: Work avoided — a regression is a *decrease* beyond tolerance.
+EFFECTIVENESS_COUNTERS = (
+    GROUP_PAIRS_SKIPPED,
+    PAIRS_PRUNED_LENGTH,
+    PAIRS_PRUNED_QGRAM,
+    PAIRS_PRUNED_EARLY_EXIT,
+)
+BASELINE_PATH = RESULTS_DIR / "baseline_quick.json"
 
 
 def run_scaling():
@@ -168,6 +213,125 @@ def run_pruning(sizes=SIZES):
     return rows
 
 
+def run_group_stage(sizes=SIZES, workers=GROUP_WORKER_COUNTS):
+    """Group-stage grid: indexed vs brute-force enumeration, serial vs
+    parallel subgraph construction + scoring, per workload size.
+
+    Every variant is judged byte-identical to the serial indexed run
+    through the differential harness (mappings, round structure and
+    scoring effort), so the grid doubles as the group-stage acceptance
+    check while it measures.
+    """
+    rows = []
+    for size in sizes:
+        series = generate_pair(seed=BENCH_SEED, initial_households=size)
+        old, new = series.datasets
+        indexed_config = LinkageConfig(n_workers=1)
+        brute_config = LinkageConfig(n_workers=1, group_pair_indexing=False)
+        start = time.perf_counter()
+        indexed_result = link_datasets(old, new, indexed_config)
+        indexed_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        brute_result = link_datasets(old, new, brute_config)
+        brute_seconds = time.perf_counter() - start
+        outcome = compare_results(
+            f"indexed-vs-brute-force(size={size})",
+            IDENTICAL, indexed_config, brute_config,
+            indexed_result, brute_result,
+            check_diagnostics=True,
+        )
+        assert outcome.ok, outcome.report()
+        for count in workers:
+            parallel_config = dataclasses.replace(
+                indexed_config,
+                n_workers=count,
+                worker_chunk_size=64,
+                group_worker_chunk_size=8,
+            )
+            parallel_result = link_datasets(old, new, parallel_config)
+            outcome = compare_results(
+                f"group-serial-vs-parallel(n_workers={count}, size={size})",
+                IDENTICAL, indexed_config, parallel_config,
+                indexed_result, parallel_result,
+                check_diagnostics=True,
+            )
+            assert outcome.ok, outcome.report()
+        profile = indexed_result.profile
+        candidates = profile.value(GROUP_PAIRS_CANDIDATES)
+        skipped = profile.value(GROUP_PAIRS_SKIPPED)
+        examined_by_brute = candidates + skipped
+        rows.append(
+            (
+                size,
+                examined_by_brute,
+                candidates,
+                skipped,
+                examined_by_brute / candidates if candidates else float("inf"),
+                profile.value(SUBGRAPHS_BUILT),
+                indexed_seconds,
+                brute_seconds,
+            )
+        )
+    return rows
+
+
+def format_group_table(rows):
+    return format_table(
+        ["households", "cross-product", "candidates", "skipped", "reduction",
+         "subgraphs", "indexed s", "brute s"],
+        [
+            [str(size), str(cross), str(cands), str(skipped), f"{ratio:.1f}x",
+             str(built), f"{indexed_s:.2f}", f"{brute_s:.2f}"]
+            for size, cross, cands, skipped, ratio, built,
+            indexed_s, brute_s in rows
+        ],
+        title="Group stage: candidate group pairs, indexed vs brute force",
+    )
+
+
+def quick_counters(profile):
+    """The gated counters of a quick-run profile, as a plain dict."""
+    return {
+        name: profile.value(name)
+        for name in EFFORT_COUNTERS + EFFECTIVENESS_COUNTERS
+    }
+
+
+def check_baseline(counters, baseline):
+    """Regressions of ``counters`` against the committed baseline.
+
+    Returns human-readable failure lines (empty = gate green).  Effort
+    counters regress upward, effectiveness counters regress downward;
+    both get :data:`BASELINE_TOLERANCE` of relative slack.  Counters
+    missing from the baseline fail loudly — re-record instead of
+    silently ungating them.
+    """
+    failures = []
+    for name in EFFORT_COUNTERS:
+        expected = baseline.get(name)
+        if expected is None:
+            failures.append(f"{name}: missing from baseline (re-record)")
+            continue
+        limit = expected * (1.0 + BASELINE_TOLERANCE)
+        if counters[name] > limit:
+            failures.append(
+                f"{name}: effort regressed, {counters[name]} > "
+                f"{expected} +{BASELINE_TOLERANCE:.0%}"
+            )
+    for name in EFFECTIVENESS_COUNTERS:
+        expected = baseline.get(name)
+        if expected is None:
+            failures.append(f"{name}: missing from baseline (re-record)")
+            continue
+        limit = expected * (1.0 - BASELINE_TOLERANCE)
+        if counters[name] < limit:
+            failures.append(
+                f"{name}: effectiveness regressed, {counters[name]} < "
+                f"{expected} -{BASELINE_TOLERANCE:.0%}"
+            )
+    return failures
+
+
 def format_pruning_table(rows):
     return format_table(
         ["households", "candidates", "full off", "full on", "reduction",
@@ -193,6 +357,21 @@ def test_pruning(benchmark):
     assert rows[-1][4] >= 2.0, (
         f"pruning reduction {rows[-1][4]:.2f}x below the 2x target"
     )
+
+
+def test_group_stage(benchmark):
+    rows = once(benchmark, run_group_stage)
+    write_result("group_stage.txt", format_group_table(rows))
+    for row in rows:
+        # The inverted index must skip a real share of the cross product.
+        assert row[3] > 0, "index skipped no group pairs"
+    # Headline acceptance: the index examines >= 2x fewer group pairs
+    # than the brute-force scan at every size.
+    for row in rows:
+        assert row[4] >= 2.0, (
+            f"size {row[0]}: group-pair reduction {row[4]:.2f}x "
+            f"below the 2x target"
+        )
 
 
 def test_scaling(benchmark):
@@ -266,19 +445,48 @@ def test_scaling(benchmark):
         )
 
 
+def run_group_quick():
+    """Group-stage smoke on the smallest workload: one serial indexed
+    run judged byte-identical to brute force, with its gated counters.
+
+    Returns ``(rows, counters)`` — the one-row group table and the
+    deterministic counter dict fed to the baseline gate.
+    """
+    rows = run_group_stage(sizes=SIZES[:1], workers=GROUP_WORKER_COUNTS[:1])
+    size = SIZES[0]
+    series = generate_pair(seed=BENCH_SEED, initial_households=size)
+    old, new = series.datasets
+    result = link_datasets(old, new, LinkageConfig(n_workers=1))
+    return rows, quick_counters(result.profile)
+
+
 def main(argv=None):
     """CI smoke entry point: ``python benchmarks/bench_scaling.py --quick``.
 
-    Runs the pruning comparison on the smallest workload only, asserts
-    the engine actually skipped candidates, and persists the counter
-    table as ``results/pruning_quick.txt`` for the CI artifact upload.
+    Runs the pruning and group-stage comparisons on the smallest
+    workload only, asserts the pruning engine and the group-pair index
+    actually skipped work, and persists the counter tables
+    (``results/pruning_quick.txt``, ``results/group_quick.txt``,
+    ``results/group_quick.json``) for the CI artifact upload.
+    ``--check-baseline`` gates the deterministic counters against the
+    committed ``results/baseline_quick.json``; ``--record-baseline``
+    refreshes that file after an intentional change.
     """
     import argparse
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick", action="store_true",
-        help="pruning-effectiveness smoke run on the smallest size only",
+        help="pruning + group-stage smoke run on the smallest size only",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="fail when quick-run counters regress beyond "
+             f"{BASELINE_TOLERANCE:.0%} of results/baseline_quick.json",
+    )
+    parser.add_argument(
+        "--record-baseline", action="store_true",
+        help="rewrite results/baseline_quick.json from this quick run",
     )
     args = parser.parse_args(argv)
     sizes = SIZES[:1] if args.quick else SIZES
@@ -292,6 +500,47 @@ def main(argv=None):
         )
         print(f"size {size}: {full_on}/{candidates} candidates fully "
               f"evaluated ({ratio:.2f}x fewer than without filtering)")
+
+    group_sizes = SIZES[:1] if args.quick else SIZES
+    if args.quick:
+        group_rows, counters = run_group_quick()
+        write_result("group_quick.txt", format_group_table(group_rows))
+        (RESULTS_DIR / "group_quick.json").write_text(
+            json.dumps(counters, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    else:
+        group_rows = run_group_stage(sizes=group_sizes)
+        write_result("group_stage.txt", format_group_table(group_rows))
+        counters = None
+    for size, cross, cands, skipped, ratio, *_ in group_rows:
+        assert skipped > 0, (
+            f"size {size}: the group-pair index skipped nothing "
+            f"({cands} candidates out of a {cross} cross product)"
+        )
+        print(f"size {size}: {cands}/{cross} group pairs examined "
+              f"({ratio:.1f}x fewer than brute force)")
+
+    if args.record_baseline:
+        if counters is None:
+            _, counters = run_group_quick()
+        BASELINE_PATH.parent.mkdir(exist_ok=True)
+        BASELINE_PATH.write_text(
+            json.dumps(counters, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline recorded: {BASELINE_PATH}")
+    elif args.check_baseline:
+        if counters is None:
+            _, counters = run_group_quick()
+        baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        failures = check_baseline(counters, baseline)
+        if failures:
+            for line in failures:
+                print(f"baseline regression: {line}")
+            return 1
+        print(f"baseline gate green ({len(counters)} counters within "
+              f"{BASELINE_TOLERANCE:.0%} of {BASELINE_PATH.name})")
     return 0
 
 

@@ -84,7 +84,18 @@ class LinkageConfig:
     n_workers / worker_chunk_size:
         Worker processes (and pairs per task) for bulk candidate-pair
         scoring; ``n_workers=1`` is serial, ``0`` uses every core.
-        Output is byte-identical to serial for any worker count.
+        Output is byte-identical to serial for any worker count.  The
+        same setting fans out the group stage (subgraph construction and
+        ``g_sim`` scoring, §3.3–§3.4) in chunks of
+        ``group_worker_chunk_size``.
+    group_pair_indexing:
+        Enumerate candidate group pairs through the inverted
+        record→household index (on by default) instead of the quadratic
+        brute-force scan; same pair set, less work.
+    selection_requeue:
+        Lazy-invalidation conflict policy in group-link selection
+        (Alg. 2): trim + re-score + requeue stale queue entries instead
+        of rejecting them.  Off by default because it changes results.
     max_lazy_cache_entries:
         LRU bound on lazily-added similarity-cache entries (pairs scored
         on demand outside the blocked candidate set).
@@ -136,6 +147,24 @@ class LinkageConfig:
     n_workers: int = 1
     #: Candidate pairs per worker task when ``n_workers != 1``.
     worker_chunk_size: int = 1024
+    #: Enumerate candidate group pairs (§3.3) through the inverted
+    #: record→household index instead of the quadratic cross-product
+    #: scan.  The emitted pair set is identical either way (enforced by
+    #: ``repro.validation.differential.indexed_vs_brute_force``); only
+    #: the enumeration cost changes.  Brute force exists as a reference
+    #: and for the differential harness — leave this on.
+    group_pair_indexing: bool = True
+    #: Group pairs per worker task when the subgraph/scoring stage runs
+    #: under ``n_workers != 1``.  Small grids stay serial: the pool only
+    #: spins up when more than one chunk's worth of group pairs exists.
+    group_worker_chunk_size: int = 32
+    #: Selection conflict policy (§3.4): ``False`` rejects a popped
+    #: subgraph that overlaps previously claimed records (the behaviour
+    #: reproduced since the seed); ``True`` trims the consumed vertices,
+    #: re-scores the remainder lazily at pop time and requeues it, which
+    #: can recover additional links from split households.  Changing this
+    #: changes results — goldens pin both settings separately.
+    selection_requeue: bool = False
     #: Cap on lazily-added entries in the cross-round similarity cache
     #: (pairs scored on demand outside the blocked candidate set; see
     #: repro.core.simcache).  0 disables the cap.
@@ -173,6 +202,8 @@ class LinkageConfig:
             raise ValueError("n_workers must be >= 0 (0 = one per core)")
         if self.worker_chunk_size <= 0:
             raise ValueError("worker_chunk_size must be positive")
+        if self.group_worker_chunk_size <= 0:
+            raise ValueError("group_worker_chunk_size must be positive")
         if self.max_lazy_cache_entries < 0:
             raise ValueError("max_lazy_cache_entries must be >= 0 (0 = off)")
         # Reject malformed filtering settings at construction time.

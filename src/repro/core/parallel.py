@@ -17,14 +17,28 @@ candidate-pruning engine (:mod:`repro.core.filtering`) run *inside* the
 worker chunks: each pair comes back either exactly scored or pruned with
 an upper bound, and — filters being pure per-pair functions too — the
 merged outcome list is byte-identical to a serial filtered run.
+
+:func:`build_subgraphs_chunked` extends the same contract to the group
+stage (§3.3–§3.4): candidate group pairs are chunked, each worker builds
+(and optionally scores) the common subgraphs of its chunk against a
+snapshot of the shared similarity store, and the parent merges chunks in
+order.  Pair similarities computed lazily inside workers are shipped
+back and folded into the shared store with first-seen-wins
+deduplication, so the subgraph list, every score field and the
+``pairs_scored`` tally are byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..instrumentation import (
+    FULL_AGG_SIM_CALLS,
+    PAIRS_SCORED,
+    Instrumentation,
+)
 from ..model.records import PersonRecord
 from ..similarity.vector import SimilarityFunction
 from .filtering import CandidateFilter, PairOutcome, filter_pairs
@@ -183,3 +197,179 @@ def filter_and_score_chunked(
         for pair, outcome in zip(chunk, values):
             merged[pair] = outcome
     return merged
+
+
+# -- group stage (§3.3 subgraph construction + §3.4 scoring) ------------------
+
+#: One unit of group-stage work: (old group id, new group id, anchors).
+GroupTask = Tuple[str, str, List[PairKey]]
+
+
+class GroupStageView:
+    """Minimal picklable stand-in for ``PreMatchResult`` inside workers.
+
+    Provides exactly the surface :func:`repro.core.subgraph.build_subgraph`
+    and :func:`repro.core.scoring.score_subgraph` touch — ``sim_func``,
+    ``labels``, ``pair_sim`` and ``cluster_size`` — without dragging the
+    parent's similarity cache or instrumentation into the worker.
+    Lazy ``pair_sim`` computations land in :attr:`fresh`; the parent
+    merges them back into the shared store (first seen wins), which keeps
+    the cross-worker score state — and the ``pairs_scored`` tally —
+    byte-identical to a serial run, since ``agg_sim`` is a pure function
+    of its two records.
+    """
+
+    def __init__(
+        self,
+        sim_func: SimilarityFunction,
+        old_index: Dict[str, PersonRecord],
+        new_index: Dict[str, PersonRecord],
+        labels: Dict[str, int],
+        clusters: Dict[int, List[str]],
+        base_scores: Dict[PairKey, float],
+    ) -> None:
+        self.sim_func = sim_func
+        self.old_index = old_index
+        self.new_index = new_index
+        self.labels = labels
+        self.clusters = clusters
+        self.base_scores = base_scores
+        self.fresh: Dict[PairKey, float] = {}
+
+    def pair_sim(self, old_id: str, new_id: str) -> float:
+        key = (old_id, new_id)
+        score = self.base_scores.get(key)
+        if score is None:
+            score = self.fresh.get(key)
+        if score is None:
+            score = self.sim_func.agg_sim(
+                self.old_index[old_id], self.new_index[new_id]
+            )
+            self.fresh[key] = score
+        return score
+
+    def cluster_size(self, record_id: str) -> int:
+        return len(self.clusters[self.labels[record_id]])
+
+
+def _init_group_worker(
+    view: GroupStageView,
+    old_households: Dict[str, object],
+    new_households: Dict[str, object],
+    config: object,
+    score: bool,
+) -> None:
+    # Imported here: subgraph/scoring import this module at load time.
+    from .scoring import score_subgraph
+    from .subgraph import build_subgraph
+
+    _WORKER_STATE["view"] = view
+    _WORKER_STATE["old_households"] = old_households
+    _WORKER_STATE["new_households"] = new_households
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["score"] = score
+    _WORKER_STATE["build_subgraph"] = build_subgraph
+    _WORKER_STATE["score_subgraph"] = score_subgraph
+
+
+def _group_chunk(chunk: Sequence[GroupTask]):
+    """Build (and optionally score) one chunk of candidate group pairs.
+
+    Returns ``(subgraphs, fresh_pairs)`` where ``subgraphs`` has one
+    ``Optional[SubgraphMatch]`` per task (order preserved) and
+    ``fresh_pairs`` lists the (pair, score) similarities this chunk had
+    to compute beyond the snapshot the worker was initialised with —
+    sorted, so the parent's merge order is deterministic.
+    """
+    view: GroupStageView = _WORKER_STATE["view"]
+    old_households = _WORKER_STATE["old_households"]
+    new_households = _WORKER_STATE["new_households"]
+    config = _WORKER_STATE["config"]
+    build = _WORKER_STATE["build_subgraph"]
+    score_one = _WORKER_STATE["score_subgraph"]
+    scoring = _WORKER_STATE["score"]
+
+    known_before = set(view.fresh)
+    subgraphs = []
+    for old_group_id, new_group_id, anchors in chunk:
+        subgraph = build(
+            old_households[old_group_id],
+            new_households[new_group_id],
+            view,
+            config,
+            anchors=anchors,
+        )
+        if subgraph is not None and scoring:
+            score_one(subgraph, view, config)
+        subgraphs.append(subgraph)
+    fresh_pairs = sorted(
+        (pair, score)
+        for pair, score in view.fresh.items()
+        if pair not in known_before
+    )
+    return subgraphs, fresh_pairs
+
+
+def _store_snapshot(scores) -> Dict[PairKey, float]:
+    """A plain-dict copy of the shared score store (cache or dict)."""
+    items = scores.items() if hasattr(scores, "items") else []
+    return dict(items)
+
+
+def build_subgraphs_chunked(
+    tasks: Sequence[GroupTask],
+    old_households: Dict[str, object],
+    new_households: Dict[str, object],
+    prematch,
+    config,
+    n_workers: int = 1,
+    chunk_size: int = 32,
+    score: bool = False,
+    instrumentation: Optional[Instrumentation] = None,
+):
+    """Fan the §3.3 subgraph construction (and §3.4 scoring) over workers.
+
+    ``tasks`` must already be in the deterministic (sorted candidate)
+    order; chunks are merged back in that order, so the returned subgraph
+    list is byte-identical to a serial loop.  Worker-computed pair
+    similarities are folded into ``prematch.scores`` with
+    first-seen-wins deduplication and tallied under ``pairs_scored`` /
+    ``full_agg_sim_calls`` — exactly once per pair the serial run would
+    have computed lazily.
+    """
+    workers = resolve_workers(n_workers)
+    view = GroupStageView(
+        sim_func=prematch.sim_func,
+        old_index=prematch.old_index,
+        new_index=prematch.new_index,
+        labels=prematch.labels,
+        clusters=prematch.clusters,
+        base_scores=_store_snapshot(prematch.scores),
+    )
+    chunks = [
+        list(tasks[start : start + chunk_size])
+        for start in range(0, len(tasks), chunk_size)
+    ]
+    context = _pool_context()
+    with context.Pool(
+        processes=min(workers, len(chunks)),
+        initializer=_init_group_worker,
+        initargs=(view, old_households, new_households, config, score),
+    ) as pool:
+        chunk_results = pool.map(_group_chunk, chunks)
+
+    subgraphs = []
+    peek = getattr(prematch.scores, "peek", prematch.scores.get)
+    for chunk_subgraphs, fresh_pairs in chunk_results:
+        subgraphs.extend(
+            subgraph for subgraph in chunk_subgraphs if subgraph is not None
+        )
+        for pair, pair_score in fresh_pairs:
+            # First seen wins: a later chunk recomputing the same pair
+            # (pure function, same value) must not double-count it.
+            if peek(pair) is None:
+                prematch.scores[pair] = pair_score
+                if instrumentation is not None:
+                    instrumentation.count(PAIRS_SCORED)
+                    instrumentation.count(FULL_AGG_SIM_CALLS)
+    return subgraphs

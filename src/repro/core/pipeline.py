@@ -41,7 +41,7 @@ from .remaining import match_remaining
 from .scoring import score_subgraphs
 from .selection import select_group_matches
 from .simcache import SimilarityCache
-from .subgraph import build_all_subgraphs
+from .subgraph import GroupPairIndex, build_all_subgraphs
 
 
 @dataclass
@@ -175,6 +175,12 @@ class IterativeGroupLinkage:
         remaining_new = all_new
         iterations: List[IterationStats] = []
 
+        # The record→household maps behind candidate group-pair
+        # enumeration (§3.3) are δ-independent: build the inverted index
+        # once and reuse it in every round.
+        group_index = GroupPairIndex(enriched_old, enriched_new)
+        group_parallel = config.n_workers != 1
+
         for round_index, delta in enumerate(config.threshold_schedule(), start=1):
             if not remaining_old or not remaining_new:
                 break
@@ -206,12 +212,24 @@ class IterativeGroupLinkage:
                     config,
                     record_mapping=record_mapping,
                     instrumentation=instrumentation,
+                    index=group_index,
+                    n_workers=config.n_workers,
+                    chunk_size=config.group_worker_chunk_size,
+                    # Workers score their own subgraphs (g_sim, Eq. 4-7)
+                    # so the fan-out covers construction and scoring in
+                    # one round trip; the serial scoring stage below then
+                    # re-derives the same numbers from cached pair sims.
+                    score=group_parallel,
                 )
             with round_timer.stage("round"), instrumentation.stage("scoring"):
                 score_subgraphs(subgraphs, prematch, config)
             with round_timer.stage("round"), instrumentation.stage("selection"):
                 selection = select_group_matches(
-                    subgraphs, instrumentation=instrumentation
+                    subgraphs,
+                    instrumentation=instrumentation,
+                    prematch=prematch,
+                    config=config,
+                    requeue_stale=config.selection_requeue,
                 )
 
             if validating:

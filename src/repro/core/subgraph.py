@@ -16,7 +16,13 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..instrumentation import GROUP_PAIRS, SUBGRAPHS_BUILT, Instrumentation
+from ..instrumentation import (
+    GROUP_PAIRS,
+    GROUP_PAIRS_CANDIDATES,
+    GROUP_PAIRS_SKIPPED,
+    SUBGRAPHS_BUILT,
+    Instrumentation,
+)
 from ..model.households import Household
 from ..model.mappings import RecordMapping
 from ..model.records import PersonRecord
@@ -310,6 +316,127 @@ def candidate_group_pairs(
     return sorted(pairs)
 
 
+def brute_force_group_pairs(
+    prematch: PreMatchResult,
+    old_households: Dict[str, Household],
+    new_households: Dict[str, Household],
+) -> List[Tuple[str, str]]:
+    """Reference enumeration of candidate group pairs: the full
+    |G_i| × |G_{i+1}| scan.
+
+    Every group pair is examined and kept exactly when it is connected
+    by at least one initial person link — the same predicate as the
+    indexed path, evaluated the expensive way.  This exists solely as
+    the ground truth that :class:`GroupPairIndex` is pinned against
+    (tests, the differential harness and the CI group smoke run it on
+    small workloads); it is quadratic in the group counts and must never
+    sit on the hot path.
+    """
+    links = prematch.matched_pairs
+    pairs: List[Tuple[str, str]] = []
+    for old_group_id in sorted(old_households):
+        old_members = old_households[old_group_id].members
+        for new_group_id in sorted(new_households):
+            new_members = new_households[new_group_id].members
+            if any(
+                old_id in old_members and new_id in new_members
+                for old_id, new_id in links
+            ):
+                pairs.append((old_group_id, new_group_id))
+    return pairs
+
+
+class GroupPairIndex:
+    """Inverted record → household and label → household index (§3.3).
+
+    Candidate enumeration is the group-side hot path: the naive approach
+    examines every pair of G_i × G_{i+1} households per δ round
+    (:func:`brute_force_group_pairs`).  This index inverts the problem —
+    each household's members are indexed once per linkage run, and each
+    δ round then probes the index once per *initial person link*, so
+    group pairs sharing no link (the overwhelming majority of the cross
+    product) are never touched.  The emitted candidate set is exactly the
+    brute-force set (pinned by ``tests/test_group_stage_properties.py``
+    and ``repro.validation.differential.indexed_vs_brute_force``).
+
+    The index is δ-independent (household membership does not change
+    across rounds), so the pipeline builds it once and reuses it for the
+    whole schedule.  ``groups_by_label`` additionally buckets each
+    round's candidates by the cluster labels connecting them — the
+    inverted cluster-label → household view used by diagnostics.
+    """
+
+    def __init__(
+        self,
+        old_households: Dict[str, Household],
+        new_households: Dict[str, Household],
+    ) -> None:
+        self.old_households = old_households
+        self.new_households = new_households
+        self.old_group_of: Dict[str, str] = {
+            record_id: household.household_id
+            for household in old_households.values()
+            for record_id in household.members
+        }
+        self.new_group_of: Dict[str, str] = {
+            record_id: household.household_id
+            for household in new_households.values()
+            for record_id in household.members
+        }
+
+    @property
+    def cross_product_size(self) -> int:
+        """|G_i| × |G_{i+1}| — what a brute-force scan would examine."""
+        return len(self.old_households) * len(self.new_households)
+
+    def candidate_pairs(self, prematch: PreMatchResult) -> List[Tuple[str, str]]:
+        """This round's candidate group pairs, sorted; set-equal to
+        :func:`brute_force_group_pairs` on the same pre-match result."""
+        return candidate_group_pairs(
+            prematch, self.old_group_of, self.new_group_of
+        )
+
+    def groups_by_label(
+        self, prematch: PreMatchResult
+    ) -> Dict[int, Tuple[Set[str], Set[str]]]:
+        """Cluster label → (old households, new households) over the
+        initial links, the inverted-label view of this round's
+        candidates.  Only labels carried by at least one matched record
+        appear."""
+        buckets: Dict[int, Tuple[Set[str], Set[str]]] = {}
+        for old_id, new_id in prematch.matched_pairs:
+            old_group = self.old_group_of.get(old_id)
+            new_group = self.new_group_of.get(new_id)
+            if old_group is None or new_group is None:
+                continue
+            for record_id, group_id, side in (
+                (old_id, old_group, 0),
+                (new_id, new_group, 1),
+            ):
+                label = prematch.labels.get(record_id)
+                if label is None:
+                    continue
+                bucket = buckets.setdefault(label, (set(), set()))
+                bucket[side].add(group_id)
+        return buckets
+
+
+def _anchors_for_pair(
+    old_household: Household,
+    new_household: Household,
+    record_mapping: Optional["RecordMapping"],
+) -> List[Tuple[str, str]]:
+    """Links from earlier δ rounds falling inside this household pair."""
+    if record_mapping is None:
+        return []
+    anchors: List[Tuple[str, str]] = []
+    for record_id in old_household.member_ids:
+        linked_new = record_mapping.get_new(record_id)
+        if linked_new is not None and linked_new in new_household.members:
+            anchors.append((record_id, linked_new))
+    return anchors
+
+
 def build_all_subgraphs(
     prematch: PreMatchResult,
     old_households: Dict[str, Household],
@@ -317,43 +444,92 @@ def build_all_subgraphs(
     config: LinkageConfig,
     record_mapping: Optional["RecordMapping"] = None,
     instrumentation: Optional[Instrumentation] = None,
+    index: Optional[GroupPairIndex] = None,
+    n_workers: int = 1,
+    chunk_size: int = 32,
+    score: bool = False,
 ) -> List[SubgraphMatch]:
     """``subgroups`` of Alg. 1 (line 7, §3.3): common subgraphs of all
     candidate group pairs.
 
     ``record_mapping`` holds the links accepted in earlier δ rounds;
     links that fall inside a candidate household pair become anchors.
-    ``instrumentation`` (optional) tallies the group pairs considered
-    and the non-empty subgraphs built.
+    ``index`` is a prebuilt :class:`GroupPairIndex`; one is built on the
+    fly when omitted, and the brute-force scan is used instead when
+    ``config.group_pair_indexing`` is off (same candidate set, counted
+    differently).  With ``n_workers != 1`` the per-pair work —
+    ``build_subgraph`` and, when ``score`` is set, Eq. 4–7 scoring — fans
+    out over worker chunks via :mod:`repro.core.parallel`; chunks merge
+    in order, and pair similarities computed inside workers are folded
+    back into the shared score store exactly as a serial run would have
+    recorded them, so the subgraph list, every score field and the
+    ``pairs_scored`` tally are byte-identical to serial.
+
+    ``instrumentation`` (optional) tallies the candidate pairs emitted,
+    the cross-product pairs the index skipped and the non-empty
+    subgraphs built.
     """
-    old_group_of = {
-        record_id: household.household_id
-        for household in old_households.values()
-        for record_id in household.members
-    }
-    new_group_of = {
-        record_id: household.household_id
-        for household in new_households.values()
-        for record_id in household.members
-    }
-    subgraphs: List[SubgraphMatch] = []
-    group_pairs = candidate_group_pairs(prematch, old_group_of, new_group_of)
+    if index is None:
+        index = GroupPairIndex(old_households, new_households)
+    if getattr(config, "group_pair_indexing", True):
+        group_pairs = index.candidate_pairs(prematch)
+        skipped = index.cross_product_size - len(group_pairs)
+    else:
+        group_pairs = brute_force_group_pairs(
+            prematch, old_households, new_households
+        )
+        skipped = 0  # the brute-force scan examined the full cross product
     if instrumentation is not None:
         instrumentation.count(GROUP_PAIRS, len(group_pairs))
-    for old_group_id, new_group_id in group_pairs:
-        old_household = old_households[old_group_id]
-        new_household = new_households[new_group_id]
-        anchors: List[Tuple[str, str]] = []
-        if record_mapping is not None:
-            for record_id in old_household.member_ids:
-                linked_new = record_mapping.get_new(record_id)
-                if linked_new is not None and linked_new in new_household.members:
-                    anchors.append((record_id, linked_new))
-        subgraph = build_subgraph(
-            old_household, new_household, prematch, config, anchors=anchors
+        instrumentation.count(GROUP_PAIRS_CANDIDATES, len(group_pairs))
+        instrumentation.count(GROUP_PAIRS_SKIPPED, skipped)
+
+    tasks = [
+        (
+            old_group_id,
+            new_group_id,
+            _anchors_for_pair(
+                old_households[old_group_id],
+                new_households[new_group_id],
+                record_mapping,
+            ),
         )
-        if subgraph is not None:
-            subgraphs.append(subgraph)
+        for old_group_id, new_group_id in group_pairs
+    ]
+
+    # Imported lazily: scoring and parallel import this module.
+    from .parallel import build_subgraphs_chunked, resolve_workers
+
+    if resolve_workers(n_workers) > 1 and len(tasks) > chunk_size:
+        subgraphs = build_subgraphs_chunked(
+            tasks,
+            old_households,
+            new_households,
+            prematch,
+            config,
+            n_workers=n_workers,
+            chunk_size=chunk_size,
+            score=score,
+            # Lazy pair_sim computations count through the same collector
+            # a serial run would use (PreMatchResult.pair_sim).
+            instrumentation=prematch.instrumentation or instrumentation,
+        )
+    else:
+        if score:
+            from .scoring import score_subgraph
+        subgraphs = []
+        for old_group_id, new_group_id, anchors in tasks:
+            subgraph = build_subgraph(
+                old_households[old_group_id],
+                new_households[new_group_id],
+                prematch,
+                config,
+                anchors=anchors,
+            )
+            if subgraph is not None:
+                if score:
+                    score_subgraph(subgraph, prematch, config)
+                subgraphs.append(subgraph)
     if instrumentation is not None:
         instrumentation.count(SUBGRAPHS_BUILT, len(subgraphs))
     return subgraphs

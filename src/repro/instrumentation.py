@@ -30,8 +30,14 @@ CACHE_MISSES = "cache_misses"  # lookups that required a computation
 CACHE_EVICTIONS = "cache_evictions"  # lazy entries dropped by the LRU cap
 CANDIDATE_PAIRS = "candidate_pairs"  # pairs proposed by blocking
 GROUP_PAIRS = "group_pairs"  # candidate group pairs considered
+GROUP_PAIRS_CANDIDATES = "group_pairs_candidates"  # group pairs emitted for
+# subgraph construction (identical for the indexed and brute-force paths)
+GROUP_PAIRS_SKIPPED = "group_pairs_skipped_by_index"  # cross-product group
+# pairs the inverted candidate index never examined (0 in brute-force mode)
 SUBGRAPHS_BUILT = "subgraphs_built"  # non-empty common subgraphs
 QUEUE_POPS = "queue_pops"  # Alg. 2 priority-queue pops
+SELECTION_REQUEUES = "selection_requeues"  # stale queue entries trimmed and
+# re-inserted by the lazy-invalidation selection engine (§3.4 extension)
 REMAINING_PAIRS = "remaining_pairs"  # age-plausible pairs in the final pass
 INVARIANT_CHECKS = "invariant_checks"  # validation-layer invariants evaluated
 FULL_AGG_SIM_CALLS = "full_agg_sim_calls"  # pairs that got the full Eq. 3 sum

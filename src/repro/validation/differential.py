@@ -12,6 +12,10 @@ that must not change the output:
   similarity upper bound proves they cannot reach the round's δ, so a
   filtered run's mappings are byte-identical to an unfiltered run's
   (:mod:`repro.core.filtering`), serial and parallel alike;
+* ``group_pair_indexing`` — the inverted record→household index emits
+  exactly the candidate group pairs the brute-force |G_i| × |G_{i+1}|
+  scan keeps (:mod:`repro.core.subgraph`), so indexed and brute-force
+  runs are byte-identical down to the scoring effort;
 
 and one is a declared *coverage* knob:
 
@@ -230,7 +234,12 @@ def serial_vs_parallel(
     outcomes = []
     for count in workers:
         variant = dataclasses.replace(
-            config, n_workers=count, worker_chunk_size=64
+            config,
+            n_workers=count,
+            worker_chunk_size=64,
+            # Small enough that the group stage (§3.3–§3.4) genuinely
+            # fans out on test-sized data instead of staying serial.
+            group_worker_chunk_size=4,
         )
         outcomes.append(
             run_differential(
@@ -304,6 +313,32 @@ def filtering_on_vs_off(
     return outcomes
 
 
+def indexed_vs_brute_force(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    config: Optional[LinkageConfig] = None,
+) -> DifferentialOutcome:
+    """Indexed group-pair enumeration equals the brute-force scan.
+
+    The inverted record→household index keeps exactly the group pairs
+    "connected by at least one initial person link" — the same predicate
+    the reference |G_i| × |G_{i+1}| scan evaluates pair by pair — so the
+    subgraphs built, the links selected *and the scoring effort* must all
+    be byte-identical (``check_diagnostics``).  Only the enumeration cost
+    differs, visible in ``group_pairs_skipped_by_index``.
+    """
+    config = config or LinkageConfig()
+    return run_differential(
+        old_dataset,
+        new_dataset,
+        dataclasses.replace(config, group_pair_indexing=True),
+        dataclasses.replace(config, group_pair_indexing=False),
+        relation=IDENTICAL,
+        name="indexed-vs-brute-force-group-pairs",
+        check_diagnostics=True,
+    )
+
+
 def blocking_standard_qgram_covers_standard(
     old_dataset: CensusDataset,
     new_dataset: CensusDataset,
@@ -359,8 +394,9 @@ def assert_equivalences(
 ) -> List[DifferentialOutcome]:
     """Run the declared equivalence suite; raise on any violation.
 
-    Always runs serial-vs-parallel, bounded-vs-unbounded cache, and
-    filtering-on-vs-off (serial and 2 workers).  ``include_blocking``
+    Always runs serial-vs-parallel, bounded-vs-unbounded cache,
+    filtering-on-vs-off (serial and 2 workers) and
+    indexed-vs-brute-force group-pair enumeration.  ``include_blocking``
     adds the quadratic cross-product comparison and the ``standard+qgram``
     coverage check — off by default so the suite stays usable on larger
     workloads.
@@ -370,6 +406,7 @@ def assert_equivalences(
     outcomes.extend(
         filtering_on_vs_off(old_dataset, new_dataset, config, workers=(1, 2))
     )
+    outcomes.append(indexed_vs_brute_force(old_dataset, new_dataset, config))
     if include_blocking:
         outcomes.append(
             blocking_cross_covers_standard(old_dataset, new_dataset, config)

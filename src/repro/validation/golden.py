@@ -90,6 +90,15 @@ DEFAULT_SPECS: Tuple[GoldenSpec, ...] = (
     # the committed proof that filtering is lossless.
     GoldenSpec("seed7-no-filtering", seed=7, households=30,
                config_overrides=(("filtering", False),)),
+    # Lazy-invalidation selection (trim + re-score + requeue stale queue
+    # entries, §3.4) changes results by design; this spec pins exactly
+    # what it produces so drift in the requeue engine is a named diff.
+    # 100 households + singleton subgraphs is the smallest seeded
+    # workload where stale entries genuinely survive trimming and win
+    # after a requeue (the run's mapping differs from the reject policy).
+    GoldenSpec("seed7-requeue", seed=7, households=100,
+               config_overrides=(("selection_requeue", True),
+                                 ("allow_singleton_subgraphs", True))),
     GoldenSpec("seed20170321-default", seed=20170321, households=30),
     GoldenSpec("seed20170321-omega1-center", seed=20170321, households=30,
                config_overrides=_VARIANT),

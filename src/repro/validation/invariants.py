@@ -470,7 +470,13 @@ def validate_selection(
     """Check one δ round's selection before its links are merged.
 
     Three invariants of Alg. 2 / §3.4, re-derived from the accepted
-    subgraphs rather than trusted from the selection loop:
+    subgraphs rather than trusted from the selection loop.  That
+    re-derivation deliberately covers the lazy-requeue policy
+    (``LinkageConfig.selection_requeue``) too: a requeued entry is a
+    *trimmed* subgraph, and whatever the queue ultimately accepted is
+    what gets checked here — so a stale popped entry that somehow
+    re-emitted a link referencing an already-consumed record would fail
+    ``selection-record-disjoint``, whichever engine produced it:
 
     * ``selection-record-disjoint`` — no record is claimed by two
       accepted subgraphs, and none was already linked in a prior round;

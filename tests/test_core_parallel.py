@@ -127,3 +127,78 @@ class TestParallelPipeline:
             LinkageConfig(n_workers=-1)
         with pytest.raises(ValueError):
             LinkageConfig(worker_chunk_size=0)
+        with pytest.raises(ValueError):
+            LinkageConfig(group_worker_chunk_size=0)
+
+
+class TestParallelGroupStage:
+    """The §3.3–§3.4 fan-out: chunked subgraph construction + scoring is
+    byte-identical to the serial loop, including the score store."""
+
+    @pytest.fixture(scope="class")
+    def stage(self, workload):
+        from repro.core.enrichment import complete_groups
+
+        old, new = workload
+        config = LinkageConfig()
+        prematch = prematching(
+            list(old.iter_records()),
+            list(new.iter_records()),
+            config.build_sim_func(),
+            config.build_blocker(),
+        )
+        return prematch, complete_groups(old), complete_groups(new), config
+
+    def _signature(self, subgraphs):
+        return [
+            (s.old_group_id, s.new_group_id, tuple(s.vertices),
+             tuple(s.edges), s.num_anchors, s.g_sim)
+            for s in subgraphs
+        ]
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_chunked_equals_serial(self, stage, workers):
+        from repro.core.scoring import score_subgraphs
+        from repro.core.subgraph import build_all_subgraphs
+
+        prematch, old, new, config = stage
+        serial = build_all_subgraphs(prematch, old, new, config)
+        score_subgraphs(serial, prematch, config)
+        parallel = build_all_subgraphs(
+            prematch, old, new, config,
+            n_workers=workers, chunk_size=4, score=True,
+        )
+        assert self._signature(parallel) == self._signature(serial)
+
+    def test_worker_fresh_scores_folded_back(self, stage):
+        """Pair similarities computed lazily inside workers end up in the
+        shared score store, exactly as a serial run records them."""
+        import copy
+
+        from repro.core.scoring import score_subgraphs
+        from repro.core.subgraph import build_all_subgraphs
+
+        prematch, old, new, config = stage
+        serial_prematch = copy.deepcopy(prematch)
+        parallel_prematch = copy.deepcopy(prematch)
+        serial = build_all_subgraphs(serial_prematch, old, new, config)
+        score_subgraphs(serial, serial_prematch, config)
+        build_all_subgraphs(
+            parallel_prematch, old, new, config,
+            n_workers=2, chunk_size=4, score=True,
+        )
+        assert dict(parallel_prematch.scores.items()) == dict(
+            serial_prematch.scores.items()
+        )
+
+    def test_small_task_list_stays_serial(self, stage):
+        """Fewer tasks than one chunk: no pool, same result."""
+        from repro.core.subgraph import build_all_subgraphs
+
+        prematch, old, new, config = stage
+        serial = build_all_subgraphs(prematch, old, new, config)
+        short_circuit = build_all_subgraphs(
+            prematch, old, new, config,
+            n_workers=4, chunk_size=10_000,
+        )
+        assert self._signature(short_circuit) == self._signature(serial)

@@ -7,9 +7,17 @@ from repro.core.config import LinkageConfig
 from repro.core.enrichment import complete_groups
 from repro.core.prematching import prematching
 from repro.core.subgraph import (
+    GroupPairIndex,
+    brute_force_group_pairs,
     build_all_subgraphs,
     build_subgraph,
     candidate_group_pairs,
+)
+from repro.instrumentation import (
+    GROUP_PAIRS_CANDIDATES,
+    GROUP_PAIRS_SKIPPED,
+    SUBGRAPHS_BUILT,
+    Instrumentation,
 )
 from repro.model.mappings import RecordMapping, household_of_map
 from repro.similarity.vector import build_similarity_function
@@ -169,3 +177,63 @@ class TestCandidateGroupPairs:
             s for s in subgraphs if (s.old_group_id, s.new_group_id) == ("a71", "a81")
         )
         assert target.num_anchors == 1
+
+
+class TestGroupPairIndex:
+    def test_index_matches_brute_force(self, setup):
+        prematch, old, new, _ = setup
+        index = GroupPairIndex(old, new)
+        assert index.candidate_pairs(prematch) == brute_force_group_pairs(
+            prematch, old, new
+        )
+
+    def test_cross_product_size(self, setup):
+        _, old, new, _ = setup
+        index = GroupPairIndex(old, new)
+        assert index.cross_product_size == len(old) * len(new)
+
+    def test_index_counters(self, setup):
+        """The indexed path reports how much of the cross product the
+        inverted index never examined."""
+        prematch, old, new, config = setup
+        collector = Instrumentation()
+        index = GroupPairIndex(old, new)
+        subgraphs = build_all_subgraphs(
+            prematch, old, new, config,
+            instrumentation=collector, index=index,
+        )
+        candidates = collector.value(GROUP_PAIRS_CANDIDATES)
+        assert candidates == len(index.candidate_pairs(prematch))
+        assert (
+            collector.value(GROUP_PAIRS_SKIPPED)
+            == index.cross_product_size - candidates
+        )
+        assert collector.value(SUBGRAPHS_BUILT) == len(subgraphs)
+
+    def test_brute_force_mode_skips_nothing(self, setup):
+        """With group_pair_indexing off the full cross product is
+        examined — the skip counter must stay 0 while the resulting
+        subgraphs are identical to the indexed path."""
+        prematch, old, new, config = setup
+        indexed = build_all_subgraphs(prematch, old, new, config)
+        config.group_pair_indexing = False
+        collector = Instrumentation()
+        brute = build_all_subgraphs(
+            prematch, old, new, config, instrumentation=collector
+        )
+        assert collector.value(GROUP_PAIRS_SKIPPED) == 0
+        assert [
+            (s.old_group_id, s.new_group_id, s.vertices) for s in brute
+        ] == [
+            (s.old_group_id, s.new_group_id, s.vertices) for s in indexed
+        ]
+
+    def test_groups_by_label_buckets(self, setup, census_1871, census_1881):
+        prematch, old, new, _ = setup
+        index = GroupPairIndex(old, new)
+        buckets = index.groups_by_label(prematch)
+        # John Ashworth's label connects a71 to both a81 and the decoy.
+        john_label = prematch.labels["1871_1"]
+        old_groups, new_groups = buckets[john_label]
+        assert "a71" in old_groups
+        assert {"a81", "d81"} <= new_groups

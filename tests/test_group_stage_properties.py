@@ -1,0 +1,216 @@
+"""Property-based tests of the group-matching engine (§3.3–§3.4).
+
+Three contracts of the indexed parallel group stage, each exercised on
+generated towns rather than hand-picked fixtures:
+
+* the inverted record→household index emits exactly the candidate group
+  pairs the brute-force |G_i| × |G_{i+1}| scan keeps;
+* group-link selection is invariant under shuffling of the candidate
+  subgraph order, for both conflict policies (reject and lazy requeue);
+* the selection outcome is independent of the interpreter hash seed —
+  checked for real, in subprocesses launched with different
+  ``PYTHONHASHSEED`` values.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LinkageConfig
+from repro.core.enrichment import complete_groups
+from repro.core.prematching import prematching
+from repro.core.scoring import score_subgraphs
+from repro.core.selection import select_group_matches
+from repro.core.subgraph import (
+    GroupPairIndex,
+    brute_force_group_pairs,
+    build_all_subgraphs,
+)
+
+from tests.strategies import census_dataset_pairs
+
+RELAXED = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _group_stage(pair, config=None):
+    """Run pre-matching + subgraph construction + scoring on a town pair."""
+    old_dataset, new_dataset, _ = pair
+    config = config or LinkageConfig()
+    prematch = prematching(
+        list(old_dataset.iter_records()),
+        list(new_dataset.iter_records()),
+        config.build_sim_func(),
+        config.build_blocker(),
+    )
+    enriched_old = complete_groups(old_dataset)
+    enriched_new = complete_groups(new_dataset)
+    subgraphs = build_all_subgraphs(
+        prematch, enriched_old, enriched_new, config
+    )
+    score_subgraphs(subgraphs, prematch, config)
+    return prematch, enriched_old, enriched_new, subgraphs, config
+
+
+def _selection_signature(selection):
+    """Order-sensitive content signature of a selection outcome."""
+    return (
+        sorted(selection.group_mapping.pairs()),
+        sorted(selection.extract_record_mapping().pairs()),
+        [
+            (s.old_group_id, s.new_group_id, tuple(s.vertices))
+            for s in selection.accepted
+        ],
+    )
+
+
+class TestIndexEqualsBruteForce:
+    @given(census_dataset_pairs(min_households=4, max_households=10))
+    @RELAXED
+    def test_candidate_sets_identical(self, pair):
+        """The inverted index emits exactly the brute-force candidate
+        set — same pairs, same deterministic order."""
+        old_dataset, new_dataset, _ = pair
+        config = LinkageConfig()
+        prematch = prematching(
+            list(old_dataset.iter_records()),
+            list(new_dataset.iter_records()),
+            config.build_sim_func(),
+            config.build_blocker(),
+        )
+        enriched_old = complete_groups(old_dataset)
+        enriched_new = complete_groups(new_dataset)
+        index = GroupPairIndex(enriched_old, enriched_new)
+        indexed = index.candidate_pairs(prematch)
+        brute = brute_force_group_pairs(prematch, enriched_old, enriched_new)
+        assert indexed == brute
+        # The skip count the instrumentation derives is never negative.
+        assert index.cross_product_size >= len(indexed)
+
+    @given(census_dataset_pairs(min_households=4, max_households=10))
+    @RELAXED
+    def test_groups_by_label_covers_candidates(self, pair):
+        """Every candidate pair is witnessed by at least one cluster
+        label bucket of the inverted-label view."""
+        old_dataset, new_dataset, _ = pair
+        config = LinkageConfig()
+        prematch = prematching(
+            list(old_dataset.iter_records()),
+            list(new_dataset.iter_records()),
+            config.build_sim_func(),
+            config.build_blocker(),
+        )
+        enriched_old = complete_groups(old_dataset)
+        enriched_new = complete_groups(new_dataset)
+        index = GroupPairIndex(enriched_old, enriched_new)
+        buckets = index.groups_by_label(prematch)
+        witnessed = {
+            (old_group, new_group)
+            for old_groups, new_groups in buckets.values()
+            for old_group in old_groups
+            for new_group in new_groups
+        }
+        assert set(index.candidate_pairs(prematch)) <= witnessed
+
+
+class TestSelectionShuffleInvariance:
+    @given(
+        census_dataset_pairs(min_households=4, max_households=10),
+        st.randoms(use_true_random=False),
+    )
+    @RELAXED
+    def test_reject_policy_order_independent(self, pair, rng):
+        prematch, _, _, subgraphs, config = _group_stage(pair)
+        baseline = _selection_signature(select_group_matches(subgraphs))
+        shuffled = list(subgraphs)
+        rng.shuffle(shuffled)
+        assert _selection_signature(select_group_matches(shuffled)) == baseline
+
+    @given(
+        census_dataset_pairs(min_households=4, max_households=10),
+        st.randoms(use_true_random=False),
+    )
+    @RELAXED
+    def test_requeue_policy_order_independent(self, pair, rng):
+        prematch, _, _, subgraphs, config = _group_stage(
+            pair, LinkageConfig(allow_singleton_subgraphs=True)
+        )
+        baseline = _selection_signature(
+            select_group_matches(
+                subgraphs, prematch=prematch, config=config, requeue_stale=True
+            )
+        )
+        shuffled = list(subgraphs)
+        rng.shuffle(shuffled)
+        again = _selection_signature(
+            select_group_matches(
+                shuffled, prematch=prematch, config=config, requeue_stale=True
+            )
+        )
+        assert again == baseline
+
+    @given(
+        census_dataset_pairs(min_households=4, max_households=10),
+        st.randoms(use_true_random=False),
+    )
+    @RELAXED
+    def test_requeued_selection_stays_record_disjoint(self, pair, rng):
+        """The lazy-invalidation path never lets a stale entry re-emit a
+        link referencing an already-consumed record — re-derived from
+        the accepted subgraphs, not trusted from the queue loop."""
+        prematch, _, _, subgraphs, config = _group_stage(
+            pair, LinkageConfig(allow_singleton_subgraphs=True)
+        )
+        shuffled = list(subgraphs)
+        rng.shuffle(shuffled)
+        selection = select_group_matches(
+            shuffled, prematch=prematch, config=config, requeue_stale=True
+        )
+        assert selection.disjointness_violations() == []
+
+
+#: Subprocess payload: link a small seeded town and print a content
+#: signature of the result.  Run under different PYTHONHASHSEED values,
+#: the output must be byte-identical — the executable form of the
+#: "hash-seed independent selection" claim.
+_HASHSEED_SCRIPT = """
+import json
+from repro.core.config import LinkageConfig
+from repro.core.pipeline import link_datasets
+from repro.datagen import generate_pair
+
+series = generate_pair(seed=99, initial_households=12)
+old, new = series.datasets
+for requeue in (False, True):
+    config = LinkageConfig(selection_requeue=requeue,
+                           allow_singleton_subgraphs=requeue)
+    result = link_datasets(old, new, config)
+    print(json.dumps({
+        "requeue": requeue,
+        "records": sorted(result.record_mapping.pairs()),
+        "groups": sorted(result.group_mapping.pairs()),
+    }, sort_keys=True))
+"""
+
+
+@pytest.mark.parametrize("other_seed", ["1", "424242"])
+def test_selection_is_hash_seed_independent(other_seed):
+    src_dir = Path(__file__).resolve().parent.parent / "src"
+
+    def run(seed):
+        env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=str(src_dir))
+        return subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SCRIPT],
+            capture_output=True, text=True, env=env, check=True,
+        ).stdout
+
+    assert run("0") == run(other_seed)

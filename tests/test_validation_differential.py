@@ -18,6 +18,7 @@ from repro.validation.differential import (
     cache_bounded_vs_unbounded,
     compare_results,
     filtering_on_vs_off,
+    indexed_vs_brute_force,
     run_differential,
     serial_vs_parallel,
 )
@@ -74,12 +75,24 @@ class TestDeclaredEquivalences:
             assert outcome.record_diff.is_identical
             assert outcome.group_diff.is_identical
 
+    def test_indexed_vs_brute_force_identity(self, workload):
+        """The group-stage acceptance check: inverted-index candidate
+        enumeration matches the |G_i| x |G_{i+1}| reference scan byte for
+        byte, down to the scoring effort."""
+        old, new = workload
+        outcome = indexed_vs_brute_force(old, new)
+        assert outcome.ok, outcome.report()
+        assert outcome.relation == IDENTICAL
+        assert outcome.base_config.group_pair_indexing
+        assert not outcome.variant_config.group_pair_indexing
+
     def test_assert_equivalences_passes(self, workload):
         old, new = workload
         outcomes = assert_equivalences(old, new, workers=(2,))
         assert all(outcome.ok for outcome in outcomes)
         # one worker variant + the cache check + two filtering variants
-        assert len(outcomes) == 4
+        # + the indexed-vs-brute-force group-pair check
+        assert len(outcomes) == 5
 
 
 class TestFailurePaths:
