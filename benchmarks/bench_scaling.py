@@ -29,10 +29,12 @@ the machine actually has multiple cores.
 import dataclasses
 import json
 import os
+import tempfile
 import time
 
 from benchlib import BENCH_SEED, RESULTS_DIR, once, write_result
 
+from repro.checkpoint import ledger_hash
 from repro.core.config import LinkageConfig
 from repro.core.pipeline import link_datasets
 from repro.datagen.generator import generate_pair
@@ -40,6 +42,8 @@ from repro.evaluation.reporting import format_table
 from repro.instrumentation import (
     CACHE_HITS,
     CANDIDATE_PAIRS,
+    CHECKPOINT_BYTES,
+    CHECKPOINT_WRITES,
     FULL_AGG_SIM_CALLS,
     GROUP_PAIRS_CANDIDATES,
     GROUP_PAIRS_SKIPPED,
@@ -275,6 +279,130 @@ def run_group_stage(sizes=SIZES, workers=GROUP_WORKER_COUNTS):
     return rows
 
 
+def run_checkpoint_overhead(sizes=SIZES):
+    """Plain vs per-round-checkpointed serial runs per workload size.
+
+    Checkpointing must be observationally free (identical ledger hash —
+    mappings, per-round statistics *and* effort counters) and cheap.
+    Full-fidelity snapshots (the default: similarity-cache export at
+    every δ round) pay a roughly size-independent serialization cost —
+    one bulk encode of the round-1 cache plus a small per-round delta —
+    so their *relative* overhead is largest on the smallest workloads
+    and shrinks as linkage work (superlinear) outgrows cache size
+    (~linear).  On the largest grid size the run also measures the two
+    documented cheap configurations: a sparser cadence
+    (``checkpoint_every=3``) and mappings-only snapshots
+    (``checkpoint_cache=False``), which meet the <5% PERFORMANCE.md
+    target.  Like the validation-overhead measurement, timed runs of
+    every variant are interleaved and the minima compared, since
+    wall-clock noise between runs easily exceeds the checkpoint cost
+    itself.
+    """
+    rows = []
+    variant_rows = []
+    for size in sizes:
+        series = generate_pair(seed=BENCH_SEED, initial_households=size)
+        old, new = series.datasets
+        config = LinkageConfig(n_workers=1)
+        variants = []
+        if size == sizes[-1]:
+            variants = [
+                ("every 3rd round",
+                 dataclasses.replace(config, checkpoint_every=3)),
+                ("mappings only",
+                 dataclasses.replace(config, checkpoint_cache=False)),
+            ]
+        plain_times = []
+        checkpointed_times = []
+        variant_times = {label: [] for label, _ in variants}
+        plain_result = None
+        checkpointed_result = None
+        variant_results = {}
+        for _ in range(2):
+            start = time.perf_counter()
+            plain_result = link_datasets(old, new, config)
+            plain_times.append(time.perf_counter() - start)
+            with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as tmp:
+                start = time.perf_counter()
+                checkpointed_result = link_datasets(
+                    old, new, config, checkpoint_dir=tmp
+                )
+                checkpointed_times.append(time.perf_counter() - start)
+            for label, variant_config in variants:
+                with tempfile.TemporaryDirectory(
+                    prefix="bench-ckpt-"
+                ) as tmp:
+                    start = time.perf_counter()
+                    variant_results[label] = link_datasets(
+                        old, new, variant_config, checkpoint_dir=tmp
+                    )
+                    variant_times[label].append(
+                        time.perf_counter() - start
+                    )
+        # Checkpointing is meta-work: the decisions-and-effort ledger
+        # must not notice it — in any configuration.
+        assert ledger_hash(plain_result) == ledger_hash(
+            checkpointed_result
+        ), f"size {size}: checkpointing changed the run ledger"
+        for label, result in variant_results.items():
+            assert ledger_hash(plain_result) == ledger_hash(result), (
+                f"size {size}: checkpointing ({label}) changed the run "
+                f"ledger"
+            )
+        plain_best = min(plain_times)
+        checkpointed_best = min(checkpointed_times)
+        profile = checkpointed_result.profile
+        rows.append(
+            (
+                size,
+                plain_best,
+                checkpointed_best,
+                checkpointed_best / plain_best - 1.0,
+                profile.value(CHECKPOINT_WRITES),
+                profile.value(CHECKPOINT_BYTES),
+            )
+        )
+        for label, _ in variants:
+            best = min(variant_times[label])
+            variant_profile = variant_results[label].profile
+            variant_rows.append(
+                (
+                    label,
+                    best,
+                    best / plain_best - 1.0,
+                    variant_profile.value(CHECKPOINT_WRITES),
+                    variant_profile.value(CHECKPOINT_BYTES),
+                )
+            )
+    return rows, variant_rows
+
+
+def format_checkpoint_table(rows):
+    return format_table(
+        ["households", "plain s", "checkpointed s", "overhead", "writes",
+         "bytes"],
+        [
+            [str(size), f"{plain:.2f}", f"{checkpointed:.2f}",
+             f"{overhead * 100:+.1f}%", str(writes), str(total_bytes)]
+            for size, plain, checkpointed, overhead, writes, total_bytes
+            in rows
+        ],
+        title="Checkpoint overhead: per-round snapshots vs plain runs",
+    )
+
+
+def format_checkpoint_variants_table(rows):
+    return format_table(
+        ["configuration", "checkpointed s", "overhead", "writes", "bytes"],
+        [
+            [label, f"{best:.2f}", f"{overhead * 100:+.1f}%",
+             str(writes), str(total_bytes)]
+            for label, best, overhead, writes, total_bytes in rows
+        ],
+        title="Checkpoint overhead variants (largest workload)",
+    )
+
+
 def format_group_table(rows):
     return format_table(
         ["households", "cross-product", "candidates", "skipped", "reduction",
@@ -372,6 +500,38 @@ def test_group_stage(benchmark):
             f"size {row[0]}: group-pair reduction {row[4]:.2f}x "
             f"below the 2x target"
         )
+
+
+def test_checkpoint_overhead(benchmark):
+    rows, variant_rows = once(benchmark, run_checkpoint_overhead)
+    write_result(
+        "checkpoint_overhead.txt",
+        format_checkpoint_table(rows)
+        + "\n"
+        + format_checkpoint_variants_table(variant_rows),
+    )
+    for size, _, _, _, writes, total_bytes in rows:
+        assert writes > 0, f"size {size}: no checkpoints were written"
+        assert total_bytes > 0
+    # Full-fidelity snapshots at every round pay a mostly fixed
+    # serialization cost (dominated by the first cache export), so the
+    # bound on the small benchmark grid is a regression gate, not the
+    # headline number — overhead shrinks as the workload grows.
+    largest_overhead = rows[-1][3]
+    assert largest_overhead < 0.30, (
+        f"full-fidelity checkpoint overhead {largest_overhead * 100:.1f}% "
+        f"exceeds 30% on the largest workload"
+    )
+    variants = {label: row for (label, *row) in variant_rows}
+    # The documented <5% configuration: mappings-only snapshots.  The
+    # asserted bound leaves room for timer noise on loaded CI machines.
+    mappings_overhead = variants["mappings only"][1]
+    assert mappings_overhead < 0.10, (
+        f"mappings-only checkpoint overhead "
+        f"{mappings_overhead * 100:.1f}% exceeds 10%"
+    )
+    # A sparser cadence must actually write fewer snapshots.
+    assert variants["every 3rd round"][2] < rows[-1][4]
 
 
 def test_scaling(benchmark):

@@ -1,0 +1,53 @@
+"""Checkpoint/resume subsystem: durable per-round run state for Alg. 1.
+
+The iterative pipeline's natural round boundaries (each δ of the
+schedule, plus the final ``Sim_func_rem`` pass) become recovery points:
+after every boundary a :class:`RunState` snapshot is atomically
+persisted to a checkpoint directory, and
+``link_datasets(checkpoint_dir=..., resume=True)`` continues an
+interrupted run from the newest loadable snapshot — **deterministically**:
+the resumed run's mappings, per-round ledgers and event counters are
+byte-identical to an uninterrupted run's (proven by
+``tests/test_checkpoint_crash_matrix.py``).
+
+Layout::
+
+    checkpoint/
+      state.py    RunState + canonical serialization, content hash, schema
+      store.py    CheckpointStore: atomic writes, recovery scan, inspection
+      ledger.py   the canonical "resumed == uninterrupted" comparison doc
+      faults.py   crash/fault injection for the test battery
+"""
+
+from .ledger import result_ledger, ledger_hash
+from .state import (
+    PHASE_FINAL,
+    PHASE_ROUND,
+    SCHEMA_VERSION,
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointSchemaError,
+    RunState,
+    content_hash,
+    dataset_fingerprint,
+)
+from .store import CheckpointEntry, CheckpointStore, coerce_store
+
+__all__ = [
+    "PHASE_FINAL",
+    "PHASE_ROUND",
+    "SCHEMA_VERSION",
+    "CheckpointCorrupt",
+    "CheckpointEntry",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "CheckpointSchemaError",
+    "CheckpointStore",
+    "RunState",
+    "coerce_store",
+    "content_hash",
+    "dataset_fingerprint",
+    "ledger_hash",
+    "result_ledger",
+]

@@ -1,0 +1,94 @@
+"""Fault injection for the crash-matrix battery (process-lifetime faults).
+
+The crash-matrix tests (and the resumed golden spec) must *prove* crash
+recovery, not assume it.  Two injection points cover the interesting
+failure classes:
+
+* :class:`CrashingStore` — a :class:`~repro.checkpoint.store.CheckpointStore`
+  that raises :class:`SimulatedCrash` immediately **after** persisting a
+  chosen round's checkpoint: the moral equivalent of ``kill -9`` at a
+  round boundary (the state the next process sees is exactly what was on
+  disk).
+* :func:`failing_os_replace` — substituted for ``os.replace`` inside
+  :func:`repro.ioutil.atomic_write_text` to model a crash **mid-write**,
+  at the worst possible instant: the payload is fully staged but never
+  published.  The atomic-write discipline must then leave the previous
+  checkpoint untouched and no partial file behind.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..instrumentation import Instrumentation
+from .state import PHASE_FINAL, RunState
+from .store import CheckpointStore
+
+
+class SimulatedCrash(RuntimeError):
+    """Stands in for an abrupt process death in fault-injection tests.
+
+    Raised *after* the triggering checkpoint hit the disk, so the
+    on-disk state is indistinguishable from a real kill at that
+    boundary.  Nothing in the pipeline catches it.
+    """
+
+
+def failing_os_replace(src: str, dst: str) -> None:
+    """An ``os.replace`` stand-in that always fails — models a crash (or
+    I/O error) between staging a checkpoint and publishing it."""
+    raise OSError(
+        f"injected failure: os.replace({src!r}, {dst!r}) never happened"
+    )
+
+
+class CrashingStore(CheckpointStore):
+    """A checkpoint store that dies right after a chosen write.
+
+    ``crash_after_round=k`` raises :class:`SimulatedCrash` once the
+    round-``k`` checkpoint is durably on disk; ``crash_after_final``
+    does the same after the run-complete checkpoint.  ``fail_replace_at``
+    instead injects :func:`failing_os_replace` into that round's write —
+    the checkpoint is *not* published and the write's error propagates.
+    """
+
+    def __init__(
+        self,
+        directory,
+        crash_after_round: Optional[int] = None,
+        crash_after_final: bool = False,
+        fail_replace_at: Optional[int] = None,
+    ) -> None:
+        super().__init__(directory)
+        self.crash_after_round = crash_after_round
+        self.crash_after_final = crash_after_final
+        self.fail_replace_at = fail_replace_at
+
+    def write_state(
+        self,
+        state: RunState,
+        instrumentation: Optional[Instrumentation] = None,
+    ):
+        if (
+            self.fail_replace_at is not None
+            and state.phase != PHASE_FINAL
+            and state.round_index == self.fail_replace_at
+        ):
+            self._replace = failing_os_replace
+        try:
+            path = super().write_state(state, instrumentation=instrumentation)
+        finally:
+            self._replace = None
+        if state.phase == PHASE_FINAL:
+            if self.crash_after_final:
+                raise SimulatedCrash(
+                    "simulated kill after the final checkpoint"
+                )
+        elif (
+            self.crash_after_round is not None
+            and state.round_index == self.crash_after_round
+        ):
+            raise SimulatedCrash(
+                f"simulated kill after round {state.round_index}"
+            )
+        return path

@@ -1,0 +1,85 @@
+"""Canonical run ledgers: the document over which resumed == uninterrupted.
+
+The crash-matrix acceptance criterion is *byte identity*, which needs a
+precise statement of which bytes.  :func:`result_ledger` produces it: a
+canonical JSON-safe document of everything a run **decides** —
+
+* the record and group mappings (canonical sorted rows),
+* the link accounting (subgraph vs remaining pass),
+* every per-round :class:`~repro.core.pipeline.IterationStats` ledger
+  *including* the effort diagnostics (``pairs_scored``, ``cache_hits``,
+  ``cache_misses``),
+* the instrumentation event counters.
+
+Excluded, deliberately:
+
+* wall-clock fields (stage timers, per-round ``seconds``) — machine
+  facts, different on every run by definition;
+* the ``checkpoint_*`` counters — the resumed run performs one load the
+  uninterrupted run never did; checkpoint I/O is *meta* to the
+  computation, exactly like wall clock.
+
+Everything else must match hash-for-hash: two runs with equal
+:func:`ledger_hash` made the same decisions *and did the same work* —
+a far stronger claim than mapping equality, and the one the checkpoint
+subsystem guarantees when the similarity cache is exported
+(``LinkageConfig.checkpoint_cache``, the default).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict
+
+from ..instrumentation import (
+    CHECKPOINT_BYTES,
+    CHECKPOINT_LOADS,
+    CHECKPOINT_WRITES,
+)
+
+#: Counters excluded from the ledger (checkpoint I/O is meta-work).
+META_COUNTERS = frozenset({
+    CHECKPOINT_WRITES,
+    CHECKPOINT_LOADS,
+    CHECKPOINT_BYTES,
+})
+
+#: Wall-clock fields stripped from per-round statistics.
+WALL_CLOCK_FIELDS = frozenset({"seconds"})
+
+
+def result_ledger(result) -> Dict[str, object]:
+    """The canonical decisions-and-work document of a LinkageResult."""
+    iterations = []
+    for stats in result.iterations:
+        entry = dataclasses.asdict(stats)
+        for name in WALL_CLOCK_FIELDS:
+            entry.pop(name, None)
+        iterations.append(entry)
+    counters: Dict[str, int] = {}
+    if result.profile is not None:
+        counters = {
+            name: value
+            for name, value in sorted(result.profile.counters.items())
+            if name not in META_COUNTERS
+        }
+    return {
+        "record_mapping": result.record_mapping.as_jsonable(),
+        "group_mapping": result.group_mapping.as_jsonable(),
+        "num_record_links": result.num_record_links,
+        "num_group_links": result.num_group_links,
+        "subgraph_record_links": result.subgraph_record_links,
+        "remaining_record_links": result.remaining_record_links,
+        "iterations": iterations,
+        "counters": counters,
+    }
+
+
+def ledger_hash(result) -> str:
+    """SHA-256 of the canonical compact JSON of :func:`result_ledger`."""
+    canonical = json.dumps(
+        result_ledger(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

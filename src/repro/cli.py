@@ -57,6 +57,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_link(args: argparse.Namespace) -> int:
     old_dataset = model_io.read_dataset(args.old)
     new_dataset = model_io.read_dataset(args.new)
+    if args.resume and not args.checkpoint_dir:
+        print("link: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     config = LinkageConfig(
         delta_high=args.delta_high,
         delta_low=args.delta_low,
@@ -66,8 +69,15 @@ def _cmd_link(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         validate=args.validate,
         filtering=not args.no_filtering,
+        checkpoint_every=args.checkpoint_every,
     )
-    result = link_datasets(old_dataset, new_dataset, config)
+    result = link_datasets(
+        old_dataset,
+        new_dataset,
+        config,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     print(
         f"{result.num_record_links} record links, "
         f"{result.num_group_links} group links "
@@ -118,6 +128,36 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
           analysis.preserve_interval_table())
     share = analysis.largest_component_share()
     print(f"Largest connected component: {share * 100:.1f}% of households")
+    return 0
+
+
+def _cmd_checkpoints(args: argparse.Namespace) -> int:
+    from .checkpoint import CheckpointStore
+
+    store = CheckpointStore(args.dir)
+    rows = store.describe()
+    if not rows:
+        print(f"no checkpoints in {args.dir}")
+        return 0
+    header = (
+        f"{'file':<18} {'status':<8} {'phase':<6} {'round':>5} "
+        f"{'delta':>5} {'done':>4} {'records':>7} {'groups':>6} "
+        f"{'cache':>5}  config/data"
+    )
+    print(header)
+    for row in rows:
+        if row["status"] != "ok":
+            print(f"{row['file']:<18} {row['status']}")
+            continue
+        delta = "-" if row["delta"] is None else f"{row['delta']:.2f}"
+        print(
+            f"{row['file']:<18} {row['status']:<8} {row['phase']:<6} "
+            f"{row['round']:>5d} {delta:>5} "
+            f"{'yes' if row['rounds_finished'] else 'no':>4} "
+            f"{row['record_links']:>7d} {row['group_links']:>6d} "
+            f"{'yes' if row['has_cache'] else 'no':>5}  "
+            f"{row['config_fingerprint']}/{row['data_fingerprint']}"
+        )
     return 0
 
 
@@ -197,7 +237,32 @@ def build_parser() -> argparse.ArgumentParser:
         "(repro.core.filtering); mappings are identical either way, "
         "pruning only avoids full similarity computations",
     )
+    link.add_argument(
+        "--checkpoint-dir",
+        help="persist a resumable run-state snapshot here after every "
+        "checkpointed δ round and after the final pass",
+    )
+    link.add_argument(
+        "--resume", action="store_true",
+        help="continue from the newest loadable checkpoint in "
+        "--checkpoint-dir; the resumed result is byte-identical to an "
+        "uninterrupted run",
+    )
+    link.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="write a checkpoint every N-th round (default 1; stopping "
+        "rounds and the final pass are always checkpointed)",
+    )
     link.set_defaults(func=_cmd_link)
+
+    checkpoints = commands.add_parser(
+        "checkpoints",
+        help="inspect the snapshots in a checkpoint directory",
+    )
+    checkpoints.add_argument(
+        "dir", help="checkpoint directory written by link --checkpoint-dir"
+    )
+    checkpoints.set_defaults(func=_cmd_checkpoints)
 
     evaluate = commands.add_parser(
         "evaluate", help="score a predicted mapping against a reference"

@@ -8,8 +8,11 @@ configuration.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..blocking.pairs import Blocker, UnionBlocker
 from ..blocking.qgram_index import QGramIndexBlocker
@@ -186,6 +189,18 @@ class LinkageConfig:
     #: ``repro.validation.differential.filtering_on_vs_off``); only the
     #: amount of computation changes.
     filtering: object = True
+    #: Checkpoint cadence when the run persists state (a ``checkpoint_dir``
+    #: was passed to ``link_datasets``): write a recovery snapshot after
+    #: every Nth δ round.  1 (the default) checkpoints every round
+    #: boundary; the terminal round and the final remaining-pass state
+    #: are always persisted regardless of cadence.
+    checkpoint_every: int = 1
+    #: Include the full cross-round similarity-cache export in each
+    #: checkpoint.  With it (the default) a resumed run re-does *no*
+    #: similarity work and its effort counters are byte-identical to an
+    #: uninterrupted run's; without it resume still yields identical
+    #: mappings but re-scores pairs the interrupted run had cached.
+    checkpoint_cache: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0 or not 0.0 <= self.beta <= 1.0:
@@ -206,6 +221,8 @@ class LinkageConfig:
             raise ValueError("group_worker_chunk_size must be positive")
         if self.max_lazy_cache_entries < 0:
             raise ValueError("max_lazy_cache_entries must be >= 0 (0 = off)")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         # Reject malformed filtering settings at construction time.
         FilteringConfig.coerce(self.filtering)
 
@@ -213,6 +230,29 @@ class LinkageConfig:
     def uniqueness_weight(self) -> float:
         """Weight of the uniqueness score in ``g_sim``: 1 - α - β."""
         return max(0.0, 1.0 - self.alpha - self.beta)
+
+    def as_jsonable(self) -> Dict[str, object]:
+        """A JSON-safe snapshot of every config field.
+
+        Custom blocker instances are represented by their ``repr`` —
+        good enough for fingerprinting, which only needs *stable
+        distinctness*, not round-tripping.
+        """
+        snapshot = dataclasses.asdict(self)
+        if not isinstance(snapshot["blocking"], str):
+            snapshot["blocking"] = repr(snapshot["blocking"])
+        return snapshot
+
+    def fingerprint(self) -> str:
+        """Short stable hash of the full configuration.
+
+        Golden fixtures pin it per spec, and the checkpoint subsystem
+        refuses to resume a run under a different fingerprint — run
+        state is only meaningful under the exact configuration that
+        produced it.
+        """
+        canonical = json.dumps(self.as_jsonable(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     def build_sim_func(self, threshold: Optional[float] = None) -> SimilarityFunction:
         """``Sim_func`` (Eq. 3) with the configured weights ω (Table 2);

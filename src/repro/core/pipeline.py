@@ -17,9 +17,21 @@ collector times every stage (see ``result.profile``).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple, Union
 
+from ..checkpoint import (
+    PHASE_FINAL,
+    PHASE_ROUND,
+    CheckpointMismatch,
+    CheckpointStore,
+    RunState,
+    coerce_store,
+    dataset_fingerprint,
+)
+from ..checkpoint.ledger import META_COUNTERS
 from ..instrumentation import (
     CACHE_EVICTIONS,
     CACHE_HITS,
@@ -124,9 +136,24 @@ class IterativeGroupLinkage:
     # -- main entry point -----------------------------------------------------
 
     def link(
-        self, old_dataset: CensusDataset, new_dataset: CensusDataset
+        self,
+        old_dataset: CensusDataset,
+        new_dataset: CensusDataset,
+        checkpoint_dir: Optional[Union[str, Path, CheckpointStore]] = None,
+        resume: bool = False,
     ) -> LinkageResult:
-        """Run Algorithm 1 on two successive census datasets."""
+        """Run Algorithm 1 on two successive census datasets.
+
+        With ``checkpoint_dir`` set, a :class:`RunState` snapshot is
+        atomically persisted after every ``config.checkpoint_every``-th
+        δ round (always after a stopping round) and once more after the
+        final remaining pass.  With ``resume=True`` the run continues
+        from the newest loadable snapshot in that directory — producing
+        byte-identical mappings, per-round ledgers and event counters to
+        an uninterrupted run (``repro.checkpoint.ledger_hash``).  A
+        checkpoint recorded under a different configuration or different
+        input data is rejected with :class:`CheckpointMismatch`.
+        """
         config = self.config
         blocker = config.build_blocker()
         instrumentation = Instrumentation()
@@ -134,6 +161,40 @@ class IterativeGroupLinkage:
         provenance: Optional[Dict[Tuple[str, str], LinkOrigin]] = (
             {} if validating else None
         )
+
+        store = coerce_store(checkpoint_dir)
+        config_fp = config.fingerprint() if store is not None else ""
+        data_fp = (
+            dataset_fingerprint(old_dataset, new_dataset)
+            if store is not None
+            else ""
+        )
+        resumed: Optional[RunState] = None
+        if resume:
+            if store is None:
+                raise ValueError(
+                    "resume=True requires a checkpoint directory"
+                )
+            resumed = store.load_latest(instrumentation=instrumentation)
+        if resumed is not None:
+            if resumed.config_fingerprint != config_fp:
+                raise CheckpointMismatch(
+                    f"checkpoint was recorded under configuration "
+                    f"{resumed.config_fingerprint}, current configuration "
+                    f"is {config_fp}"
+                )
+            if resumed.data_fingerprint != data_fp:
+                raise CheckpointMismatch(
+                    f"checkpoint was recorded for input data "
+                    f"{resumed.data_fingerprint}, current input data is "
+                    f"{data_fp}"
+                )
+            if resumed.phase == PHASE_FINAL:
+                # The run already completed (and, when configured, was
+                # validated — the final snapshot is written only after
+                # validation passes): reconstruct the result outright.
+                return _reconstruct_final(resumed, instrumentation)
+
         if validating:
             # Imported lazily: core must stay importable without the
             # validation package, and the checks cost nothing when off.
@@ -162,6 +223,11 @@ class IterativeGroupLinkage:
         cache = SimilarityCache(
             max_lazy_entries=config.max_lazy_cache_entries or None
         )
+        if store is not None and config.checkpoint_cache:
+            # Journalled exports: rows are serialized as they are pinned
+            # or bounded, so per-round checkpoints don't rebuild the
+            # whole cache document.
+            cache.enable_export_journal()
         # One pruning engine for the whole schedule: it is δ-agnostic
         # (δ is an argument of each evaluation) and its per-string
         # length statistics warm up across rounds.  ``None`` = off.
@@ -174,6 +240,47 @@ class IterativeGroupLinkage:
         remaining_old = all_old
         remaining_new = all_new
         iterations: List[IterationStats] = []
+        resumed_round = 0
+        rounds_finished = False
+        if resumed is not None:
+            # Restore everything the interrupted run had decided at the
+            # boundary.  The frontier is recomputed by filtering the full
+            # record lists against the restored mapping — identical to
+            # the incremental filtering of the original rounds, since
+            # both preserve dataset iteration order.
+            record_mapping.update(
+                RecordMapping(tuple(pair) for pair in resumed.record_pairs)
+            )
+            group_mapping.update(
+                GroupMapping(tuple(pair) for pair in resumed.group_pairs)
+            )
+            iterations = [
+                IterationStats(**stats) for stats in resumed.iterations
+            ]
+            if provenance is not None and resumed.provenance is not None:
+                provenance.update(_provenance_from_rows(resumed.provenance))
+            for name, value in resumed.counters.items():
+                # checkpoint_* counters stay per-process: they meter this
+                # run's own I/O, not the interrupted run's.
+                if name not in META_COUNTERS:
+                    instrumentation.set_counter(name, value)
+            if resumed.cache is not None:
+                cache = SimilarityCache.from_export(
+                    resumed.cache,
+                    max_lazy_entries=config.max_lazy_cache_entries or None,
+                )
+            resumed_round = resumed.round_index
+            rounds_finished = resumed.rounds_finished
+            remaining_old = [
+                record
+                for record in all_old
+                if not record_mapping.contains_old(record.record_id)
+            ]
+            remaining_new = [
+                record
+                for record in all_new
+                if not record_mapping.contains_new(record.record_id)
+            ]
 
         # The record→household maps behind candidate group-pair
         # enumeration (§3.3) are δ-independent: build the inverted index
@@ -181,7 +288,12 @@ class IterativeGroupLinkage:
         group_index = GroupPairIndex(enriched_old, enriched_new)
         group_parallel = config.n_workers != 1
 
-        for round_index, delta in enumerate(config.threshold_schedule(), start=1):
+        schedule = list(config.threshold_schedule())
+        for round_index, delta in enumerate(schedule, start=1):
+            if round_index <= resumed_round:
+                continue  # already completed before the interruption
+            if rounds_finished:
+                break  # the interrupted run had already stopped the loop
             if not remaining_old or not remaining_new:
                 break
             round_start_scored = instrumentation.value(PAIRS_SCORED)
@@ -278,7 +390,32 @@ class IterativeGroupLinkage:
                     seconds=round_timer.seconds("round"),
                 )
             )
-            if not selection.group_mapping and config.stop_on_empty_round:
+            stopping = bool(
+                not selection.group_mapping and config.stop_on_empty_round
+            )
+            if store is not None and (
+                stopping or round_index % config.checkpoint_every == 0
+            ):
+                store.write_state(
+                    _capture_state(
+                        phase=PHASE_ROUND,
+                        round_index=round_index,
+                        delta=delta,
+                        schedule=schedule,
+                        rounds_finished=stopping,
+                        record_mapping=record_mapping,
+                        group_mapping=group_mapping,
+                        iterations=iterations,
+                        provenance=provenance,
+                        instrumentation=instrumentation,
+                        cache=cache,
+                        config=config,
+                        config_fingerprint=config_fp,
+                        data_fingerprint=data_fp,
+                    ),
+                    instrumentation=instrumentation,
+                )
+            if stopping:
                 break  # Alg. 1 line 16: stop when a round finds nothing
 
         subgraph_links = len(record_mapping)
@@ -349,13 +486,153 @@ class IterativeGroupLinkage:
                     config,
                     instrumentation=instrumentation,
                 ).raise_if_failed()
+        if store is not None:
+            # Written only after validation passed, so a final snapshot
+            # certifies a complete validated run; resuming from it is a
+            # pure reconstruction (see _reconstruct_final).
+            store.write_state(
+                _capture_state(
+                    phase=PHASE_FINAL,
+                    round_index=(
+                        iterations[-1].iteration if iterations else 0
+                    ),
+                    delta=iterations[-1].delta if iterations else None,
+                    schedule=schedule,
+                    rounds_finished=True,
+                    record_mapping=record_mapping,
+                    group_mapping=group_mapping,
+                    iterations=iterations,
+                    provenance=provenance,
+                    instrumentation=instrumentation,
+                    cache=cache,
+                    config=config,
+                    config_fingerprint=config_fp,
+                    data_fingerprint=data_fp,
+                    subgraph_record_links=subgraph_links,
+                    remaining_record_links=len(remaining_mapping),
+                ),
+                instrumentation=instrumentation,
+            )
         return result
+
+
+def _provenance_rows(
+    provenance: Optional[Dict[Tuple[str, str], LinkOrigin]],
+) -> Optional[List[List[object]]]:
+    """Provenance table as canonical sorted JSON-safe rows."""
+    if provenance is None:
+        return None
+    return [
+        [old_id, new_id, origin.source, origin.round, origin.threshold]
+        for (old_id, new_id), origin in sorted(provenance.items())
+    ]
+
+
+def _provenance_from_rows(
+    rows: List[List[object]],
+) -> Dict[Tuple[str, str], LinkOrigin]:
+    """Inverse of :func:`_provenance_rows`."""
+    return {
+        (old_id, new_id): LinkOrigin(source, round_index, threshold)
+        for old_id, new_id, source, round_index, threshold in rows
+    }
+
+
+def _capture_state(
+    *,
+    phase: str,
+    round_index: int,
+    delta: Optional[float],
+    schedule: List[float],
+    rounds_finished: bool,
+    record_mapping: RecordMapping,
+    group_mapping: GroupMapping,
+    iterations: List[IterationStats],
+    provenance: Optional[Dict[Tuple[str, str], LinkOrigin]],
+    instrumentation: Instrumentation,
+    cache: Optional[SimilarityCache],
+    config: LinkageConfig,
+    config_fingerprint: str,
+    data_fingerprint: str,
+    subgraph_record_links: Optional[int] = None,
+    remaining_record_links: Optional[int] = None,
+) -> RunState:
+    """Snapshot the pipeline's decided state at a round boundary.
+
+    Everything is captured in canonical form (sorted mapping rows,
+    plain-dict iteration ledgers, sorted provenance rows) so the
+    checkpoint bytes are deterministic for a given run prefix.
+    """
+    return RunState(
+        round_index=round_index,
+        phase=phase,
+        delta=delta,
+        schedule=tuple(schedule),
+        rounds_finished=rounds_finished,
+        record_pairs=record_mapping.as_jsonable(),
+        group_pairs=group_mapping.as_jsonable(),
+        iterations=[dataclasses.asdict(stats) for stats in iterations],
+        provenance=_provenance_rows(provenance),
+        counters=dict(instrumentation.counters),
+        cache=(
+            cache.export_state()
+            if cache is not None and config.checkpoint_cache
+            else None
+        ),
+        config_fingerprint=config_fingerprint,
+        data_fingerprint=data_fingerprint,
+        subgraph_record_links=subgraph_record_links,
+        remaining_record_links=remaining_record_links,
+    )
+
+
+def _reconstruct_final(
+    state: RunState, instrumentation: Instrumentation
+) -> LinkageResult:
+    """Rebuild a completed run's :class:`LinkageResult` from its final
+    checkpoint without recomputing anything.
+
+    Counters are restored wholesale (minus the per-process
+    ``checkpoint_*`` meta counters), so the reconstructed result's
+    ledger hashes equal to the uninterrupted run's.
+    """
+    for name, value in state.counters.items():
+        if name not in META_COUNTERS:
+            instrumentation.set_counter(name, value)
+    provenance = (
+        None
+        if state.provenance is None
+        else _provenance_from_rows(state.provenance)
+    )
+    return LinkageResult(
+        record_mapping=RecordMapping(
+            tuple(pair) for pair in state.record_pairs
+        ),
+        group_mapping=GroupMapping(
+            tuple(pair) for pair in state.group_pairs
+        ),
+        iterations=[IterationStats(**stats) for stats in state.iterations],
+        remaining_record_links=state.remaining_record_links or 0,
+        subgraph_record_links=state.subgraph_record_links or 0,
+        profile=instrumentation,
+        provenance=provenance,
+    )
+
 
 def link_datasets(
     old_dataset: CensusDataset,
     new_dataset: CensusDataset,
     config: Optional[LinkageConfig] = None,
+    checkpoint_dir: Optional[Union[str, Path, CheckpointStore]] = None,
+    resume: bool = False,
 ) -> LinkageResult:
     """Convenience wrapper: run Algorithm 1 on two datasets with the
-    given (or default) configuration."""
-    return IterativeGroupLinkage(config).link(old_dataset, new_dataset)
+    given (or default) configuration, optionally checkpointing each
+    round boundary to ``checkpoint_dir`` and resuming from the newest
+    snapshot there (``resume=True``)."""
+    return IterativeGroupLinkage(config).link(
+        old_dataset,
+        new_dataset,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )

@@ -29,14 +29,68 @@ A bound is superseded the moment the pair's exact score is pinned.
 
 from __future__ import annotations
 
+import base64
+import json
+import zlib
 from collections import OrderedDict
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: (old record id, new record id) — the cache key.
 PairKey = Tuple[str, str]
 
 #: Default cap on lazily-added entries (~a few MiB of floats and keys).
 DEFAULT_MAX_LAZY_ENTRIES = 200_000
+
+
+#: zlib level for journal parts: the rows are extremely redundant
+#: (shared record-id prefixes, repeated filter names), so the fastest
+#: level already shrinks them ~8×.
+_PART_COMPRESSION_LEVEL = 1
+
+
+def compress_rows(rows: Sequence[Sequence[object]]) -> str:
+    """One self-contained journal part: compact JSON rows → zlib → base64."""
+    body = json.dumps(rows, separators=(",", ":"))
+    return base64.b64encode(
+        zlib.compress(body.encode("ascii"), _PART_COMPRESSION_LEVEL)
+    ).decode("ascii")
+
+
+def decompress_rows(parts: Sequence[str]) -> List[list]:
+    """All rows of a sequence of journal parts, in order."""
+    rows: List[list] = []
+    for part in parts:
+        decoded = zlib.decompress(base64.b64decode(part)).decode("ascii")
+        rows.extend(json.loads(decoded))
+    return rows
+
+
+class _RowJournal:
+    """Incrementally serialized append-only rows (checkpoint export).
+
+    Appends are plain tuple pushes — nothing on the scoring hot path
+    pays for serialization.  :meth:`parts` encodes only the rows added
+    since the previous call (one :func:`compress_rows` batch) and keeps
+    the already-encoded parts, so exporting an N-entry journal every
+    round costs O(new rows), not O(N).  A journal restored from a
+    checkpoint carries the original parts verbatim, which keeps
+    checkpoints written after a resume byte-compatible with the ones an
+    uninterrupted run would have written.
+    """
+
+    def __init__(self, parts: Optional[Sequence[str]] = None) -> None:
+        self._parts: List[str] = list(parts or ())
+        self._pending: List[tuple] = []
+
+    def append(self, row: tuple) -> None:
+        self._pending.append(row)
+
+    def parts(self) -> List[str]:
+        """All rows as encoded parts (see :func:`compress_rows`)."""
+        if self._pending:
+            self._parts.append(compress_rows(self._pending))
+            self._pending.clear()
+        return list(self._parts)
 
 
 class SimilarityCache:
@@ -65,6 +119,12 @@ class SimilarityCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Export journals (checkpointing): rows collected as entries
+        # arrive so export_state() never rebuilds the (large,
+        # append-mostly) pinned and bounds sections.  Off by default —
+        # non-checkpointed runs pay nothing on the hot path.
+        self._journal_pinned: Optional[_RowJournal] = None
+        self._journal_bounds: Optional[_RowJournal] = None
 
     # -- lookups -------------------------------------------------------------
 
@@ -117,6 +177,8 @@ class SimilarityCache:
         self._lazy.pop(key, None)
         self._bounds.pop(key, None)
         self._pinned[key] = score
+        if self._journal_pinned is not None:
+            self._journal_pinned.append((key[0], key[1], score))
 
     def __setitem__(self, key: PairKey, score: float) -> None:
         """Store a lazy entry, evicting the least recently used beyond
@@ -144,10 +206,112 @@ class SimilarityCache:
         if key in self._pinned:
             return
         self._bounds[key] = (bound, origin)
+        if self._journal_bounds is not None:
+            self._journal_bounds.append((key[0], key[1], bound, origin))
 
     @property
     def num_bounds(self) -> int:
         return len(self._bounds)
+
+    # -- checkpoint export / import -------------------------------------------
+
+    def enable_export_journal(self) -> None:
+        """Start journalling entries for cheap :meth:`export_state` calls.
+
+        Pinned entries and pruning bounds are append-mostly (a pin is
+        never removed; a bound only dies when its pair is pinned, which
+        the import replay reproduces), so once journalling is on, every
+        export serializes only the rows added since the previous export
+        — O(new entries) per checkpoint instead of O(cache) rebuilds.
+        Idempotent; captures any entries inserted before the call.
+        """
+        if self._journal_pinned is None:
+            self._journal_pinned = _RowJournal()
+            for (old_id, new_id), score in self._pinned.items():
+                self._journal_pinned.append((old_id, new_id, score))
+        if self._journal_bounds is None:
+            self._journal_bounds = _RowJournal()
+            for (old_id, new_id), (bound, origin) in self._bounds.items():
+                self._journal_bounds.append((old_id, new_id, bound, origin))
+
+    def export_state(self) -> Dict[str, object]:
+        """The complete cache as a JSON-safe document (checkpointing).
+
+        Each entry section is a list of :func:`compress_rows` parts —
+        rows are ``[old_id, new_id, score]`` for pinned and lazy
+        entries, ``[old_id, new_id, bound, origin]`` for pruning bounds
+        — kept as pre-encoded text so a round-boundary checkpoint write
+        neither re-walks nor re-compresses the hundreds of thousands of
+        entries it already exported last round.  Lazy rows are in LRU
+        order (least recently used first), so a restored cache evicts
+        in exactly the order the original would have.  Pinned and
+        bounds sections replay the journal: a later duplicate row
+        supersedes an earlier one, and a bound row whose pair was later
+        pinned is dropped on import, mirroring :meth:`pin`.  The
+        hit/miss/eviction tallies ride along so a resumed run's
+        counters continue where the interrupted run stopped.
+        """
+        if self._journal_pinned is not None and self._journal_bounds is not None:
+            pinned_parts = self._journal_pinned.parts()
+            bounds_parts = self._journal_bounds.parts()
+        else:
+            pinned_rows = [
+                [old_id, new_id, score]
+                for (old_id, new_id), score in self._pinned.items()
+            ]
+            bounds_rows = [
+                [old_id, new_id, bound, origin]
+                for (old_id, new_id), (bound, origin) in self._bounds.items()
+            ]
+            pinned_parts = [compress_rows(pinned_rows)] if pinned_rows else []
+            bounds_parts = [compress_rows(bounds_rows)] if bounds_rows else []
+        lazy_rows = [
+            [old_id, new_id, score]
+            for (old_id, new_id), score in self._lazy.items()
+        ]
+        return {
+            "pinned": pinned_parts,
+            "lazy": [compress_rows(lazy_rows)] if lazy_rows else [],
+            "bounds": bounds_parts,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    @classmethod
+    def from_export(
+        cls,
+        document: Dict[str, object],
+        max_lazy_entries: Optional[int] = DEFAULT_MAX_LAZY_ENTRIES,
+    ) -> "SimilarityCache":
+        """Rebuild a cache from :meth:`export_state` output.
+
+        The restored cache is observationally identical to the exported
+        one: same entries, same LRU order, same bounds, same tallies —
+        so a resumed pipeline run replays the exact hit/miss/eviction
+        sequence an uninterrupted run would have produced.  Bound rows
+        are replayed *before* pinned rows, and each pin evicts its
+        pair's bound, exactly as the live :meth:`pin` path does.  The
+        journals are re-armed from the parsed blobs, so checkpoints
+        written after a resume stay byte-compatible with the ones an
+        uninterrupted run would have written.
+        """
+        cache = cls(max_lazy_entries=max_lazy_entries)
+        pinned_parts = document["pinned"]
+        bounds_parts = document["bounds"]
+        for old_id, new_id, bound, origin in decompress_rows(bounds_parts):
+            cache._bounds[(old_id, new_id)] = (bound, origin)
+        for old_id, new_id, score in decompress_rows(pinned_parts):
+            cache._pinned[(old_id, new_id)] = score
+            cache._bounds.pop((old_id, new_id), None)
+        for old_id, new_id, score in decompress_rows(document["lazy"]):
+            cache._lazy[(old_id, new_id)] = score
+        cache.hits = document["hits"]
+        cache.misses = document["misses"]
+        cache.evictions = document["evictions"]
+        cache._journal_pinned = _RowJournal(pinned_parts)
+        cache._journal_bounds = _RowJournal(bounds_parts)
+        return cache
 
     # -- introspection -------------------------------------------------------
 

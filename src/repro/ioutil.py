@@ -1,0 +1,79 @@
+"""Atomic file writes shared by durable on-disk artifacts.
+
+Checkpoints (:mod:`repro.checkpoint`) and golden fixtures
+(:mod:`repro.validation.golden`) both need the same guarantee: a reader
+never observes a half-written file.  :func:`atomic_write_text` provides
+it the classic POSIX way — write the full payload to a unique temporary
+file in the *same directory*, flush and fsync it, then publish with
+``os.replace`` (atomic on POSIX and Windows for same-filesystem paths).
+
+A crash or injected fault at any point leaves either the old file or
+the new file, never a mixture; the temporary file is removed on any
+failure, so aborted writes leave no partial artifacts behind.  The
+``replace`` parameter exists for fault injection: tests pass a failing
+substitute (see :func:`repro.checkpoint.faults.failing_os_replace`) to
+prove the mid-write-crash behaviour instead of assuming it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Suffix of in-flight temporary files (never valid artifacts).
+TEMP_SUFFIX = ".tmp"
+
+
+def is_temp_artifact(path: PathLike) -> bool:
+    """True for the temporary files :func:`atomic_write_text` publishes
+    from — directory scanners must skip (or sweep) these, never parse
+    them."""
+    name = Path(path).name
+    return name.startswith(".") and name.endswith(TEMP_SUFFIX)
+
+
+def atomic_write_text(
+    path: PathLike,
+    text: str,
+    encoding: str = "utf-8",
+    replace: Optional[Callable[[str, str], None]] = None,
+    fsync: bool = True,
+) -> Path:
+    """Write ``text`` to ``path`` atomically (write-then-``os.replace``).
+
+    The payload first goes to a fresh temporary file next to ``path``
+    (same directory, therefore same filesystem), is flushed and — by
+    default — fsynced, and only then renamed over the target.  On any
+    failure the temporary file is unlinked and the original ``path`` is
+    left untouched.
+
+    ``replace`` substitutes ``os.replace`` for fault-injection tests;
+    ``fsync=False`` skips the durability sync (useful in benchmarks
+    where only atomicity matters).  Returns ``path`` as a :class:`Path`.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    replace_func = os.replace if replace is None else replace
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=str(target.parent),
+        prefix=f".{target.name}.",
+        suffix=TEMP_SUFFIX,
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        replace_func(temp_name, str(target))
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return target

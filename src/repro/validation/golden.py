@@ -22,9 +22,8 @@ tier-1 replay test (``tests/test_validation_golden.py``, refreshable via
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
 import json
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -33,6 +32,7 @@ from ..core.config import OMEGA1, LinkageConfig
 from ..core.pipeline import LinkageResult, link_datasets
 from ..datagen.generator import generate_pair
 from ..evaluation.metrics import evaluate_mapping
+from ..ioutil import atomic_write_text
 
 PathLike = Union[str, Path]
 
@@ -52,12 +52,22 @@ DEFAULT_GOLDEN_DIR = Path("tests") / "goldens"
 
 @dataclass(frozen=True)
 class GoldenSpec:
-    """One pinned run: a datagen seed, workload size and config overrides."""
+    """One pinned run: a datagen seed, workload size and config overrides.
+
+    ``resume_at_round`` (optional) turns the spec into a *resumed* run:
+    the pipeline is killed right after checkpointing that δ round (via
+    the crash-injection store of :mod:`repro.checkpoint.faults`) and
+    then resumed from the checkpoint directory.  Such a spec pins the
+    checkpoint subsystem's core guarantee — its fixture must be
+    result-identical to the uninterrupted spec with the same seed,
+    workload and configuration.
+    """
 
     name: str
     seed: int
     households: int
     config_overrides: Tuple[Tuple[str, object], ...] = ()
+    resume_at_round: Optional[int] = None
 
     def build_config(self) -> LinkageConfig:
         overrides = dict(self.config_overrides)
@@ -102,6 +112,13 @@ DEFAULT_SPECS: Tuple[GoldenSpec, ...] = (
     GoldenSpec("seed20170321-default", seed=20170321, households=30),
     GoldenSpec("seed20170321-omega1-center", seed=20170321, households=30,
                config_overrides=_VARIANT),
+    # Same workload and configuration as seed7-default, but the run is
+    # killed after checkpointing round 2 and resumed: the committed
+    # proof that resume is deterministic.  The "result" section (and
+    # the config fingerprint) must stay identical to seed7-default's —
+    # tests/test_validation_golden.py asserts the cross-fixture hash.
+    GoldenSpec("seed7-resumed-round2", seed=7, households=30,
+               resume_at_round=2),
 )
 
 
@@ -126,16 +143,17 @@ def canonical_json(document: Mapping) -> str:
 
 def config_jsonable(config: LinkageConfig) -> Dict[str, object]:
     """A JSON-safe snapshot of every config field (for fingerprinting)."""
-    snapshot = dataclasses.asdict(config)
-    if not isinstance(snapshot["blocking"], str):
-        snapshot["blocking"] = repr(snapshot["blocking"])
-    return snapshot
+    return config.as_jsonable()
 
 
 def config_fingerprint(config: LinkageConfig) -> str:
-    """Short stable hash of the full configuration."""
-    digest = hashlib.sha256(canonical_json(config_jsonable(config)).encode())
-    return digest.hexdigest()[:16]
+    """Short stable hash of the full configuration.
+
+    Delegates to :meth:`LinkageConfig.fingerprint` — goldens and the
+    checkpoint subsystem must agree on what "the same configuration"
+    means, so there is exactly one fingerprint definition.
+    """
+    return config.fingerprint()
 
 
 def result_jsonable(
@@ -183,12 +201,41 @@ def result_jsonable(
 # -- record / check / diff ---------------------------------------------------
 
 
+def _run_resumed(
+    old_dataset, new_dataset, config: LinkageConfig, crash_after_round: int
+) -> LinkageResult:
+    """Run, crash right after checkpointing ``crash_after_round``, resume."""
+    from ..checkpoint.faults import CrashingStore, SimulatedCrash
+
+    with tempfile.TemporaryDirectory(prefix="golden-ckpt-") as tmp:
+        store = CrashingStore(tmp, crash_after_round=crash_after_round)
+        try:
+            link_datasets(
+                old_dataset, new_dataset, config, checkpoint_dir=store
+            )
+        except SimulatedCrash:
+            pass
+        else:
+            raise RuntimeError(
+                f"golden resume spec never reached round "
+                f"{crash_after_round}; nothing was interrupted"
+            )
+        return link_datasets(
+            old_dataset, new_dataset, config, checkpoint_dir=tmp, resume=True
+        )
+
+
 def run_golden(spec: GoldenSpec) -> Dict[str, object]:
     """Execute a spec's seeded run and build its golden document."""
     series = spec.generate()
     old_dataset, new_dataset = series.datasets
     config = spec.build_config()
-    result = link_datasets(old_dataset, new_dataset, config)
+    if spec.resume_at_round is not None:
+        result = _run_resumed(
+            old_dataset, new_dataset, config, spec.resume_at_round
+        )
+    else:
+        result = link_datasets(old_dataset, new_dataset, config)
     reference = series.ground_truth.record_mapping(
         old_dataset.year, new_dataset.year
     )
@@ -198,6 +245,7 @@ def run_golden(spec: GoldenSpec) -> Dict[str, object]:
         "seed": spec.seed,
         "households": spec.households,
         "config_overrides": [list(item) for item in spec.config_overrides],
+        "resume_at_round": spec.resume_at_round,
         "config_fingerprint": config_fingerprint(config),
         "result": result_jsonable(result, reference=reference),
     }
@@ -208,11 +256,15 @@ def golden_path(directory: PathLike, spec: GoldenSpec) -> Path:
 
 
 def record_golden(spec: GoldenSpec, directory: PathLike) -> Path:
-    """Run the spec and (over)write its committed fixture."""
-    path = golden_path(directory, spec)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(canonical_json(run_golden(spec)), encoding="utf-8")
-    return path
+    """Run the spec and (over)write its committed fixture.
+
+    Written through the shared :func:`repro.ioutil.atomic_write_text`
+    helper (same discipline as checkpoints): an interrupted recording
+    never leaves a truncated fixture behind.
+    """
+    return atomic_write_text(
+        golden_path(directory, spec), canonical_json(run_golden(spec))
+    )
 
 
 def load_golden(path: PathLike) -> Dict[str, object]:

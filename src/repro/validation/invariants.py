@@ -363,6 +363,59 @@ def _check_iteration_accounting(ctx: ValidationContext) -> List[Violation]:
 
 
 @invariant(
+    "checkpoint-chain-consistent",
+    "The per-round ledgers form a consistent chain: rounds are numbered "
+    "consecutively from 1 and each round's remaining frontier shrinks by "
+    "exactly the records it linked.  A resumed run restores rounds 1..k "
+    "from a checkpoint, so a restore that dropped, duplicated or "
+    "mis-stitched a round breaks this chain.",
+)
+def _check_checkpoint_chain(ctx: ValidationContext) -> List[Violation]:
+    violations: List[Violation] = []
+    bad_numbering = [
+        f"position {position}: iteration {stats.iteration}"
+        for position, stats in enumerate(ctx.result.iterations, start=1)
+        if stats.iteration != position
+    ]
+    if bad_numbering:
+        violations.append(
+            Violation(
+                "checkpoint-chain-consistent",
+                "iterations are not numbered consecutively from 1",
+                _truncate(bad_numbering),
+            )
+        )
+    remaining_old = len(ctx.old_records)
+    remaining_new = len(ctx.new_records)
+    broken: List[str] = []
+    for stats in ctx.result.iterations:
+        remaining_old -= stats.new_record_links
+        remaining_new -= stats.new_record_links
+        if (
+            stats.remaining_old != remaining_old
+            or stats.remaining_new != remaining_new
+        ):
+            broken.append(
+                f"round {stats.iteration}: recorded "
+                f"{stats.remaining_old}/{stats.remaining_new} remaining, "
+                f"chain implies {remaining_old}/{remaining_new}"
+            )
+            # Re-anchor on the recorded values so one broken round is
+            # reported once, not echoed by every later round.
+            remaining_old = stats.remaining_old
+            remaining_new = stats.remaining_new
+    if broken:
+        violations.append(
+            Violation(
+                "checkpoint-chain-consistent",
+                "round frontier does not shrink by exactly the links found",
+                _truncate(broken),
+            )
+        )
+    return violations
+
+
+@invariant(
     "link-scores-reach-threshold",
     "Every linked pair scores at least the threshold of the pass that "
     "accepted it: the round's δ for subgraph links (when the direct-pair "

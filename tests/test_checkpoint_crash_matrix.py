@@ -1,0 +1,265 @@
+"""Crash matrix: kill the pipeline at every boundary, resume, compare.
+
+The checkpoint subsystem's contract is *byte identity*: a run killed
+after any round boundary (or after the final pass, or mid-write) and
+then resumed must produce exactly the result an uninterrupted run
+produces — same mappings, same per-round ledgers, same effort and event
+counters (``repro.checkpoint.ledger_hash``).  This battery proves the
+contract at **every** kill point, serial and with 2 workers, instead of
+sampling one.
+"""
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointMismatch,
+    CheckpointStore,
+    ledger_hash,
+    result_ledger,
+)
+from repro.checkpoint.faults import CrashingStore, SimulatedCrash
+from repro.core.config import LinkageConfig
+from repro.core.pipeline import link_datasets
+from repro.datagen import generate_pair
+from repro.instrumentation import CHECKPOINT_LOADS, CHECKPOINT_WRITES
+
+SEED = 7
+HOUSEHOLDS = 24
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    series = generate_pair(seed=SEED, initial_households=HOUSEHOLDS)
+    return series.datasets
+
+
+def make_config(workers: int = 1, **overrides) -> LinkageConfig:
+    return LinkageConfig(validate=True, n_workers=workers, **overrides)
+
+
+@pytest.fixture(scope="module")
+def baselines(datasets):
+    """Uninterrupted reference runs per worker count."""
+    old, new = datasets
+    return {
+        workers: link_datasets(old, new, make_config(workers))
+        for workers in (1, 2)
+    }
+
+
+def crash_then_resume(datasets, config, tmp_path, **crash_kwargs):
+    """Run until the injected kill, then resume from the directory."""
+    old, new = datasets
+    store = CrashingStore(tmp_path, **crash_kwargs)
+    with pytest.raises(SimulatedCrash):
+        link_datasets(old, new, config, checkpoint_dir=store)
+    return link_datasets(
+        old, new, config, checkpoint_dir=tmp_path, resume=True
+    )
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_every_round_boundary_resumes_byte_identical(
+        self, datasets, baselines, tmp_path, workers
+    ):
+        """The tentpole guarantee, at every δ-round kill point."""
+        baseline = baselines[workers]
+        expected = ledger_hash(baseline)
+        rounds = len(baseline.iterations)
+        assert rounds >= 2, "workload too small to exercise the matrix"
+        for kill_after in range(1, rounds + 1):
+            directory = tmp_path / f"w{workers}-k{kill_after}"
+            resumed = crash_then_resume(
+                datasets,
+                make_config(workers),
+                directory,
+                crash_after_round=kill_after,
+            )
+            assert ledger_hash(resumed) == expected, (
+                f"resume after round {kill_after} (workers={workers}) "
+                f"diverged:\n{result_ledger(resumed)}"
+            )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_crash_after_final_checkpoint_reconstructs(
+        self, datasets, baselines, tmp_path, workers
+    ):
+        """A kill after the run-complete snapshot: resume rebuilds the
+        result outright, without recomputing, and still hash-matches."""
+        resumed = crash_then_resume(
+            datasets,
+            make_config(workers),
+            tmp_path,
+            crash_after_final=True,
+        )
+        assert ledger_hash(resumed) == ledger_hash(baselines[workers])
+        # Reconstruction performs exactly one load and zero new writes.
+        assert resumed.profile.value(CHECKPOINT_LOADS) == 1
+        assert resumed.profile.value(CHECKPOINT_WRITES) == 0
+
+    def test_mid_write_kill_leaves_prior_round_loadable(
+        self, datasets, baselines, tmp_path
+    ):
+        """The worst instant: payload staged, never published.  The
+        previous round must remain the loadable tip — no corrupt file,
+        no temp residue — and resume from it must still be identical."""
+        old, new = datasets
+        store = CrashingStore(tmp_path, fail_replace_at=2)
+        with pytest.raises(OSError, match="injected failure"):
+            link_datasets(old, new, make_config(), checkpoint_dir=store)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["round_0001.json"]
+
+        recovery = CheckpointStore(tmp_path)
+        state = recovery.load_latest()
+        assert state is not None and state.round_index == 1
+        assert recovery.skipped == []
+
+        resumed = link_datasets(
+            old, new, make_config(), checkpoint_dir=tmp_path, resume=True
+        )
+        assert ledger_hash(resumed) == ledger_hash(baselines[1])
+
+    def test_resumed_run_loads_exactly_once(self, datasets, tmp_path):
+        resumed = crash_then_resume(
+            datasets, make_config(), tmp_path, crash_after_round=1
+        )
+        assert resumed.profile.value(CHECKPOINT_LOADS) == 1
+
+
+class TestResumedRunsValidate:
+    def test_resumed_result_passes_full_registry(
+        self, datasets, tmp_path
+    ):
+        """Resumed results satisfy every registered invariant — including
+        the chain-consistency check over the restored rounds."""
+        from repro.validation.invariants import validate_result
+
+        resumed = crash_then_resume(
+            datasets, make_config(), tmp_path, crash_after_round=2
+        )
+        old, new = datasets
+        report = validate_result(resumed, old, new, make_config())
+        assert report.ok, report.summary()
+        assert "checkpoint-chain-consistent" in report.checked
+
+    def test_stitched_iteration_chain_is_detectable(
+        self, datasets, tmp_path
+    ):
+        """The chain invariant actually bites: corrupting a restored
+        round's frontier accounting is flagged."""
+        from repro.validation.invariants import validate_result
+
+        resumed = crash_then_resume(
+            datasets, make_config(), tmp_path, crash_after_round=1
+        )
+        resumed.iterations[0].remaining_old += 1
+        old, new = datasets
+        report = validate_result(resumed, old, new, make_config())
+        assert "checkpoint-chain-consistent" in report.violated_invariants()
+
+
+class TestCadenceAndOptions:
+    def test_checkpoint_every_skips_intermediate_rounds(
+        self, datasets, baselines, tmp_path
+    ):
+        old, new = datasets
+        config = make_config(checkpoint_every=2)
+        link_datasets(old, new, config, checkpoint_dir=tmp_path)
+        store = CheckpointStore(tmp_path)
+        round_indices = [
+            entry.round_index
+            for entry in store.entries()
+            if entry.kind == "round"
+        ]
+        assert round_indices, "no round checkpoints written"
+        final_round = len(baselines[1].iterations)
+        for index in round_indices:
+            assert index % 2 == 0 or index == final_round, (
+                f"round {index} checkpointed despite checkpoint_every=2"
+            )
+        assert store.entries()[-1].kind == "final"
+
+    def test_resume_from_sparse_cadence_is_identical(
+        self, datasets, baselines, tmp_path
+    ):
+        """Killed between checkpoints: resume replays the uncheckpointed
+        rounds and still converges byte-identically."""
+        config = make_config(checkpoint_every=2)
+        resumed = crash_then_resume(
+            datasets, config, tmp_path, crash_after_round=2
+        )
+        # checkpoint_every is part of the config fingerprint, so compare
+        # against a fresh uninterrupted run under the same config.
+        old, new = datasets
+        baseline = link_datasets(old, new, make_config(checkpoint_every=2))
+        assert ledger_hash(resumed) == ledger_hash(baseline)
+
+    def test_without_cache_export_mappings_still_identical(
+        self, datasets, baselines, tmp_path
+    ):
+        """checkpoint_cache=False trades effort-counter identity for
+        smaller snapshots; the decided mappings must not change."""
+        config = make_config(checkpoint_cache=False)
+        resumed = crash_then_resume(
+            datasets, config, tmp_path, crash_after_round=2
+        )
+        baseline = baselines[1]
+        assert (
+            resumed.record_mapping.as_jsonable()
+            == baseline.record_mapping.as_jsonable()
+        )
+        assert (
+            resumed.group_mapping.as_jsonable()
+            == baseline.group_mapping.as_jsonable()
+        )
+
+    def test_resume_on_empty_directory_runs_fresh(
+        self, datasets, baselines, tmp_path
+    ):
+        """resume=True with no checkpoint yet is resume-on-start: the
+        run starts from scratch and checkpoints normally."""
+        old, new = datasets
+        result = link_datasets(
+            old, new, make_config(), checkpoint_dir=tmp_path, resume=True
+        )
+        assert ledger_hash(result) == ledger_hash(baselines[1])
+        assert (tmp_path / "final.json").exists()
+
+    def test_resume_without_directory_rejected(self, datasets):
+        old, new = datasets
+        with pytest.raises(ValueError, match="checkpoint directory"):
+            link_datasets(old, new, make_config(), resume=True)
+
+
+class TestMismatchGuards:
+    def test_config_change_rejected(self, datasets, tmp_path):
+        old, new = datasets
+        store = CrashingStore(tmp_path, crash_after_round=1)
+        with pytest.raises(SimulatedCrash):
+            link_datasets(old, new, make_config(), checkpoint_dir=store)
+        with pytest.raises(CheckpointMismatch, match="configuration"):
+            link_datasets(
+                old,
+                new,
+                make_config(delta_low=0.55),
+                checkpoint_dir=tmp_path,
+                resume=True,
+            )
+
+    def test_data_change_rejected(self, datasets, tmp_path):
+        old, new = datasets
+        store = CrashingStore(tmp_path, crash_after_round=1)
+        with pytest.raises(SimulatedCrash):
+            link_datasets(old, new, make_config(), checkpoint_dir=store)
+        other = generate_pair(seed=11, initial_households=HOUSEHOLDS)
+        other_old, other_new = other.datasets
+        with pytest.raises(CheckpointMismatch, match="input data"):
+            link_datasets(
+                other_old,
+                other_new,
+                make_config(),
+                checkpoint_dir=tmp_path,
+                resume=True,
+            )

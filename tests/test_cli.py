@@ -52,6 +52,68 @@ class TestLink:
         assert len(groups) > 0
 
 
+class TestLinkCheckpoints:
+    def test_checkpoint_then_resume(self, data_dir, capsys):
+        ckpt = data_dir / "ckpt"
+        argv = [
+            "link",
+            str(data_dir / "census_1871.csv"),
+            str(data_dir / "census_1881.csv"),
+            "--checkpoint-dir", str(ckpt),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert (ckpt / "final.json").exists()
+        assert any(
+            path.name.startswith("round_") for path in ckpt.iterdir()
+        )
+        # Resume from the completed run: same link counts, no recompute.
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out.splitlines()[0] == first.splitlines()[0]
+
+    def test_resume_requires_checkpoint_dir(self, data_dir, capsys):
+        code = main([
+            "link",
+            str(data_dir / "census_1871.csv"),
+            str(data_dir / "census_1881.csv"),
+            "--resume",
+        ])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoints_inspection(self, data_dir, capsys):
+        ckpt = data_dir / "ckpt2"
+        main([
+            "link",
+            str(data_dir / "census_1871.csv"),
+            str(data_dir / "census_1881.csv"),
+            "--checkpoint-dir", str(ckpt),
+            "--checkpoint-every", "2",
+        ])
+        capsys.readouterr()
+        assert main(["checkpoints", str(ckpt)]) == 0
+        output = capsys.readouterr().out
+        assert "final.json" in output
+        assert "phase" in output  # header line
+
+    def test_checkpoints_empty_directory(self, tmp_path, capsys):
+        assert main(["checkpoints", str(tmp_path)]) == 0
+        assert "no checkpoints" in capsys.readouterr().out
+
+    def test_checkpoints_reports_corrupt_file(self, data_dir, capsys):
+        ckpt = data_dir / "ckpt3"
+        main([
+            "link",
+            str(data_dir / "census_1871.csv"),
+            str(data_dir / "census_1881.csv"),
+            "--checkpoint-dir", str(ckpt),
+        ])
+        capsys.readouterr()
+        (ckpt / "final.json").write_text("garbage", encoding="utf-8")
+        assert main(["checkpoints", str(ckpt)]) == 0
+        assert "CORRUPT" in capsys.readouterr().out
+
+
 class TestEvaluate:
     def test_evaluate_prints_quality(self, data_dir, capsys):
         records_path = data_dir / "pred_records.csv"

@@ -1,0 +1,78 @@
+"""The shared atomic-write helper: atomicity, cleanup, temp hygiene."""
+
+import os
+
+import pytest
+
+from repro.checkpoint.faults import failing_os_replace
+from repro.ioutil import TEMP_SUFFIX, atomic_write_text, is_temp_artifact
+
+
+class TestAtomicWriteText:
+    def test_writes_content_and_returns_path(self, tmp_path):
+        target = tmp_path / "out.json"
+        returned = atomic_write_text(target, "payload\n")
+        assert returned == target
+        assert target.read_text(encoding="utf-8") == "payload\n"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.json"
+        atomic_write_text(target, "x")
+        assert target.read_text(encoding="utf-8") == "x"
+
+    def test_overwrites_existing_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old", encoding="utf-8")
+        atomic_write_text(target, "new")
+        assert target.read_text(encoding="utf-8") == "new"
+
+    def test_leaves_no_temporaries_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "out.json", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_fsync_false_still_writes(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "x", fsync=False)
+        assert target.read_text(encoding="utf-8") == "x"
+
+
+class TestPartialWriteCleanup:
+    """A failure between staging and publishing must leave the directory
+    exactly as it was: old content intact, no temp residue."""
+
+    def test_failed_replace_preserves_old_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old", encoding="utf-8")
+        with pytest.raises(OSError, match="injected failure"):
+            atomic_write_text(target, "new", replace=failing_os_replace)
+        assert target.read_text(encoding="utf-8") == "old"
+
+    def test_failed_replace_leaves_no_temp_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        with pytest.raises(OSError):
+            atomic_write_text(target, "new", replace=failing_os_replace)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_write_unlinks_temp(self, tmp_path, monkeypatch):
+        # Fail during the write itself (disk full, encoding error, ...):
+        # the temp file must still be swept.
+        def exploding_fsync(fd):
+            raise OSError("injected fsync failure")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="fsync"):
+            atomic_write_text(tmp_path / "out.json", "x")
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestIsTempArtifact:
+    def test_inflight_names_are_temp(self, tmp_path):
+        assert is_temp_artifact(f".out.json.abc123{TEMP_SUFFIX}")
+        assert is_temp_artifact(tmp_path / ".round_0001.json.x.tmp")
+
+    def test_published_names_are_not_temp(self):
+        assert not is_temp_artifact("round_0001.json")
+        assert not is_temp_artifact("final.json")
+        # Only the dot-prefixed *and* .tmp-suffixed combination is ours.
+        assert not is_temp_artifact(".hidden")
+        assert not is_temp_artifact("plain.tmp")

@@ -84,6 +84,24 @@ class TestGoldenDocuments:
         assert (default["config_fingerprint"]
                 != unfiltered["config_fingerprint"])
 
+    def test_resumed_variant_matches_default_outcome(self):
+        """The committed fixtures themselves prove resume is
+        deterministic: seed7 killed after round 2 and resumed pins the
+        exact result (and config fingerprint) of the uninterrupted run."""
+        by_name = {spec.name: spec for spec in DEFAULT_SPECS}
+        default = load_golden(
+            golden_path(GOLDEN_DIR, by_name["seed7-default"])
+        )
+        resumed = load_golden(
+            golden_path(GOLDEN_DIR, by_name["seed7-resumed-round2"])
+        )
+        assert resumed["result"] == default["result"]
+        # Identical configuration — checkpointing is a runtime argument,
+        # not a behaviour change, so the fingerprints must coincide.
+        assert (resumed["config_fingerprint"]
+                == default["config_fingerprint"])
+        assert resumed["resume_at_round"] == 2
+
     def test_rerun_is_byte_stable(self):
         """Two in-process replays of one spec serialize identically."""
         spec = DEFAULT_SPECS[0]
