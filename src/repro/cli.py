@@ -69,6 +69,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         validate=args.validate,
         filtering=not args.no_filtering,
+        scoring_backend=args.scoring_backend,
         checkpoint_every=args.checkpoint_every,
     )
     result = link_datasets(
@@ -236,6 +237,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the lossless candidate-pruning engine "
         "(repro.core.filtering); mappings are identical either way, "
         "pruning only avoids full similarity computations",
+    )
+    link.add_argument(
+        "--scoring-backend", choices=("vectorized", "python"),
+        default="vectorized",
+        help="bulk pair-scoring backend: 'vectorized' batches candidate "
+        "chunks through the numpy kernel (repro.core.kernel; silently "
+        "falls back to 'python' without numpy), 'python' forces the "
+        "per-pair reference path; outcomes are bit-identical either way",
     )
     link.add_argument(
         "--checkpoint-dir",

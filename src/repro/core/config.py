@@ -189,6 +189,18 @@ class LinkageConfig:
     #: ``repro.validation.differential.filtering_on_vs_off``); only the
     #: amount of computation changes.
     filtering: object = True
+    #: Batch scoring backend for the §3.2 hot path (see
+    #: repro.core.kernel and docs/KERNEL.md).  ``"vectorized"`` (the
+    #: default) encodes attribute columns once per run and scores whole
+    #: candidate chunks with numpy set-intersection/length arithmetic,
+    #: falling back to the per-pair path silently when numpy is not
+    #: installed; ``"python"`` forces the per-pair reference
+    #: implementation.  Outcomes — scores, pruning bounds and kinds,
+    #: and therefore all mappings, counters and goldens — are
+    #: bit-identical either way (enforced by
+    #: ``repro.validation.differential.vectorized_vs_python``); only the
+    #: cost per scored pair changes (≥10x, see PERFORMANCE.md).
+    scoring_backend: str = "vectorized"
     #: Checkpoint cadence when the run persists state (a ``checkpoint_dir``
     #: was passed to ``link_datasets``): write a recovery snapshot after
     #: every Nth δ round.  1 (the default) checkpoints every round
@@ -223,6 +235,11 @@ class LinkageConfig:
             raise ValueError("max_lazy_cache_entries must be >= 0 (0 = off)")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.scoring_backend not in ("python", "vectorized"):
+            raise ValueError(
+                f"scoring_backend must be 'python' or 'vectorized', "
+                f"got {self.scoring_backend!r}"
+            )
         # Reject malformed filtering settings at construction time.
         FilteringConfig.coerce(self.filtering)
 
@@ -279,6 +296,36 @@ class LinkageConfig:
         if not config.enabled:
             return None
         return CandidateFilter(sim_func, config)
+
+    def build_scoring_kernel(
+        self,
+        sim_func: SimilarityFunction,
+        old_records,
+        new_records,
+        candidate_filter: Optional[CandidateFilter] = None,
+    ):
+        """The batch scoring kernel (:mod:`repro.core.kernel`) for
+        ``sim_func`` over both record lists, or ``None`` when the
+        ``scoring_backend`` is ``"python"`` or numpy is unavailable —
+        callers treat ``None`` as "use the per-pair reference path".
+        When a ``candidate_filter`` is given the kernel replays its
+        exact :class:`~repro.core.filtering.FilteringConfig`."""
+        if self.scoring_backend != "vectorized":
+            return None
+        # Imported lazily: the kernel package probes for numpy, and the
+        # python backend must not pay for (or depend on) that probe.
+        from .kernel import build_scoring_kernel
+
+        return build_scoring_kernel(
+            sim_func,
+            old_records,
+            new_records,
+            filtering=(
+                candidate_filter.config
+                if candidate_filter is not None
+                else None
+            ),
+        )
 
     def build_blocker(self) -> Blocker:
         """The configured candidate-pair generator (a documented

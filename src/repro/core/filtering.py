@@ -58,20 +58,36 @@ PRUNED_LENGTH = "length"
 PRUNED_QGRAM = "qgram"
 PRUNED_EARLY_EXIT = "early_exit"
 
-#: Comparator classification tags (module-internal).
-_CMP_EXACT = "exact"
-_CMP_LENGTH = "length"
-_CMP_QGRAM2 = "qgram2"
-_CMP_QGRAM3 = "qgram3"
-_CMP_OPAQUE = "opaque"  # no cheap bound; contributes full weight
+#: Comparator classification tags.  Shared with the vectorized batch
+#: kernel (:mod:`repro.core.kernel`), which must bucket comparators the
+#: same way to reproduce this engine's staging decisions exactly.
+CMP_EXACT = "exact"
+CMP_LENGTH = "length"
+CMP_QGRAM2 = "qgram2"
+CMP_QGRAM3 = "qgram3"
+CMP_OPAQUE = "opaque"  # no cheap bound; contributes full weight
 
 _COMPARATOR_TAGS = {
-    exact_similarity: _CMP_EXACT,
-    levenshtein_similarity: _CMP_LENGTH,
-    damerau_similarity: _CMP_LENGTH,
-    bigram_similarity: _CMP_QGRAM2,
-    trigram_similarity: _CMP_QGRAM3,
+    exact_similarity: CMP_EXACT,
+    levenshtein_similarity: CMP_LENGTH,
+    damerau_similarity: CMP_LENGTH,
+    bigram_similarity: CMP_QGRAM2,
+    trigram_similarity: CMP_QGRAM3,
 }
+
+# Backwards-compatible private aliases (pre-kernel internal names).
+_CMP_EXACT = CMP_EXACT
+_CMP_LENGTH = CMP_LENGTH
+_CMP_QGRAM2 = CMP_QGRAM2
+_CMP_QGRAM3 = CMP_QGRAM3
+_CMP_OPAQUE = CMP_OPAQUE
+
+
+def comparator_tag(comparator) -> str:
+    """Classify a comparator for bound derivation: one of the ``CMP_*``
+    tags.  Unknown callables are :data:`CMP_OPAQUE` — no cheap bound
+    exists, so filters must assume the full weight can be contributed."""
+    return _COMPARATOR_TAGS.get(comparator, CMP_OPAQUE)
 
 
 class PairOutcome(NamedTuple):
@@ -334,6 +350,12 @@ class CandidateFilter:
         replays :meth:`SimilarityFunction.agg_sim`'s accumulation
         order exactly, so surviving pairs score bit-identically to an
         unfiltered run.
+
+        This method is the scalar reference for
+        :meth:`repro.core.kernel.BatchScoringKernel.evaluate_chunk`,
+        which replays the same stages as boolean masks over whole
+        chunks and is held to bit-identical ``(value, kind)`` outcomes
+        (see docs/KERNEL.md).
         """
         config = self.config
         sim_func = self.sim_func

@@ -18,6 +18,13 @@ worker chunks: each pair comes back either exactly scored or pruned with
 an upper bound, and — filters being pure per-pair functions too — the
 merged outcome list is byte-identical to a serial filtered run.
 
+Both pair-level entry points optionally take a batch scoring ``kernel``
+(:mod:`repro.core.kernel`): encoded column tables are built once by the
+pipeline and shipped to the pool through the initializer (inherited
+copy-on-write under ``fork``), and each worker then resolves its chunks
+with one vectorized call instead of a per-pair loop — same chunks, same
+merge order, bit-identical outcomes.
+
 :func:`build_subgraphs_chunked` extends the same contract to the group
 stage (§3.3–§3.4): candidate group pairs are chunked, each worker builds
 (and optionally scores) the common subgraphs of its chunk against a
@@ -80,6 +87,25 @@ def _score_chunk(chunk: Sequence[PairKey]) -> List[float]:
     ]
 
 
+def _init_kernel_score_worker(kernel) -> None:
+    _WORKER_STATE["kernel"] = kernel
+
+
+def _kernel_score_chunk(chunk: Sequence[PairKey]) -> List[float]:
+    return _WORKER_STATE["kernel"].agg_sim_chunk(chunk)
+
+
+def _init_kernel_filter_worker(kernel, delta: float) -> None:
+    _WORKER_STATE["kernel"] = kernel
+    _WORKER_STATE["delta"] = delta
+
+
+def _kernel_filter_chunk(chunk: Sequence[PairKey]) -> List[PairOutcome]:
+    return _WORKER_STATE["kernel"].evaluate_chunk(
+        chunk, _WORKER_STATE["delta"]
+    )
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     """``fork`` where available (cheap, shares indexes copy-on-write),
     ``spawn`` otherwise — all scored state here is picklable either way."""
@@ -94,6 +120,7 @@ def score_pairs_chunked(
     sim_func: SimilarityFunction,
     n_workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    kernel=None,
 ) -> Dict[PairKey, float]:
     """``agg_sim`` (Eq. 3) for every pair, serial or parallel.
 
@@ -102,10 +129,19 @@ def score_pairs_chunked(
     Falls back to the serial loop when ``n_workers`` resolves to 1 or the
     workload is smaller than a single chunk (a pool would only add
     start-up latency).
+
+    With a ``kernel`` (:class:`repro.core.kernel.BatchScoringKernel`,
+    built over supersets of both record lists) each chunk is scored in
+    one batch call instead of per-pair Python; the kernel ships to
+    workers through the pool initializer exactly like the indexes, and
+    its scores are bit-identical to ``agg_sim``, so the contract above
+    is unchanged.
     """
     ordered = sorted(pairs)
     workers = resolve_workers(n_workers)
     if workers <= 1 or len(ordered) <= chunk_size:
+        if kernel is not None:
+            return dict(zip(ordered, kernel.agg_sim_chunk(ordered)))
         return {
             (old_id, new_id): sim_func.agg_sim(
                 old_index[old_id], new_index[new_id]
@@ -118,12 +154,20 @@ def score_pairs_chunked(
         for start in range(0, len(ordered), chunk_size)
     ]
     context = _pool_context()
-    with context.Pool(
-        processes=min(workers, len(chunks)),
-        initializer=_init_worker,
-        initargs=(sim_func, old_index, new_index),
-    ) as pool:
-        chunk_scores = pool.map(_score_chunk, chunks)
+    if kernel is not None:
+        with context.Pool(
+            processes=min(workers, len(chunks)),
+            initializer=_init_kernel_score_worker,
+            initargs=(kernel,),
+        ) as pool:
+            chunk_scores = pool.map(_kernel_score_chunk, chunks)
+    else:
+        with context.Pool(
+            processes=min(workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=(sim_func, old_index, new_index),
+        ) as pool:
+            chunk_scores = pool.map(_score_chunk, chunks)
 
     scores: Dict[PairKey, float] = {}
     for chunk, values in zip(chunks, chunk_scores):
@@ -162,6 +206,7 @@ def filter_and_score_chunked(
     delta: float,
     n_workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    kernel=None,
 ) -> Dict[PairKey, PairOutcome]:
     """Run the pruning engine over every pair, serial or parallel.
 
@@ -171,10 +216,17 @@ def filter_and_score_chunked(
     filter that rejected it.  Same determinism contract as
     :func:`score_pairs_chunked`: sorted pairs, fixed chunks, chunk-order
     merge — the worker count never changes a single outcome.
+
+    With a ``kernel`` the staged filters run as chunk-wide masks
+    (:meth:`repro.core.kernel.BatchScoringKernel.evaluate_chunk`) —
+    same outcomes, kinds and bound values bit for bit, so downstream
+    cache bounds and prune counters cannot tell the backends apart.
     """
     ordered = sorted(pairs)
     workers = resolve_workers(n_workers)
     if workers <= 1 or len(ordered) <= chunk_size:
+        if kernel is not None:
+            return dict(zip(ordered, kernel.evaluate_chunk(ordered, delta)))
         outcomes = filter_pairs(
             ordered, old_index, new_index, candidate_filter, delta
         )
@@ -185,6 +237,18 @@ def filter_and_score_chunked(
         for start in range(0, len(ordered), chunk_size)
     ]
     context = _pool_context()
+    if kernel is not None:
+        with context.Pool(
+            processes=min(workers, len(chunks)),
+            initializer=_init_kernel_filter_worker,
+            initargs=(kernel, delta),
+        ) as pool:
+            chunk_outcomes = pool.map(_kernel_filter_chunk, chunks)
+        merged: Dict[PairKey, PairOutcome] = {}
+        for chunk, values in zip(chunks, chunk_outcomes):
+            for pair, outcome in zip(chunk, values):
+                merged[pair] = outcome
+        return merged
     with context.Pool(
         processes=min(workers, len(chunks)),
         initializer=_init_filter_worker,

@@ -234,6 +234,19 @@ class IterativeGroupLinkage:
         candidate_filter = config.build_candidate_filter(
             config.build_sim_func()
         )
+        # One batch scoring kernel for the whole schedule (``None`` =
+        # python backend or no numpy): attribute columns of *all*
+        # records are encoded once here, so every round's shrinking
+        # frontier just gathers rows from the same tables, and worker
+        # pools inherit the encoding through their initializer.  The
+        # kernel replays the pruning engine's exact FilteringConfig.
+        with instrumentation.stage("kernel_encoding"):
+            kernel = config.build_scoring_kernel(
+                config.build_sim_func(),
+                all_old,
+                all_new,
+                candidate_filter=candidate_filter,
+            )
 
         record_mapping = RecordMapping()
         group_mapping = GroupMapping()
@@ -314,6 +327,7 @@ class IterativeGroupLinkage:
                     chunk_size=config.worker_chunk_size,
                     instrumentation=instrumentation,
                     candidate_filter=candidate_filter,
+                    kernel=kernel,
                 )
 
             with round_timer.stage("round"), instrumentation.stage("subgraphs"):
@@ -435,6 +449,20 @@ class IterativeGroupLinkage:
             if config.remaining_weights is None
             else config.build_candidate_filter(sim_func_rem)
         )
+        # So does the kernel: its encoded weights/comparators must match
+        # the similarity function it scores for, so custom remaining
+        # weights get a private kernel (encoded over just the leftover
+        # records — the only ones this pass can pair).
+        if config.remaining_weights is None:
+            remaining_kernel = kernel
+        else:
+            with instrumentation.stage("kernel_encoding"):
+                remaining_kernel = config.build_scoring_kernel(
+                    sim_func_rem,
+                    remaining_old,
+                    remaining_new,
+                    candidate_filter=remaining_filter,
+                )
         with instrumentation.stage("remaining"):
             remaining_mapping = match_remaining(
                 remaining_old,
@@ -449,6 +477,7 @@ class IterativeGroupLinkage:
                 chunk_size=config.worker_chunk_size,
                 instrumentation=instrumentation,
                 candidate_filter=remaining_filter,
+                kernel=remaining_kernel,
             )
         record_mapping.update(remaining_mapping)
         group_mapping.update(

@@ -25,6 +25,8 @@ from ..blocking.pairs import Blocker
 from ..instrumentation import (
     CANDIDATE_PAIRS,
     FULL_AGG_SIM_CALLS,
+    KERNEL_BATCHES,
+    KERNEL_PAIRS,
     PAIRS_PRUNED_EARLY_EXIT,
     PAIRS_PRUNED_LENGTH,
     PAIRS_PRUNED_QGRAM,
@@ -135,6 +137,7 @@ def prematching(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     instrumentation: Optional[Instrumentation] = None,
     candidate_filter: Optional[CandidateFilter] = None,
+    kernel=None,
 ) -> PreMatchResult:
     """Cluster records of two datasets by attribute similarity (§3.2).
 
@@ -157,6 +160,12 @@ def prematching(
     score store is a :class:`~repro.core.simcache.SimilarityCache` they
     are remembered across rounds and only re-examined once the schedule's
     δ drops past them.
+
+    ``kernel`` (a :class:`repro.core.kernel.BatchScoringKernel` whose
+    encoding covers both record lists, or ``None``) routes the bulk
+    scoring — filtered or plain — through the vectorized backend; every
+    outcome, and hence every cluster, score and counter below, is
+    bit-identical to the per-pair path.
     """
     old_index = {record.record_id: record for record in old_records}
     new_index = {record.record_id: record for record in new_records}
@@ -188,6 +197,7 @@ def prematching(
             exact_scores = _filtered_bulk_scores(
                 candidate_pairs, scores, old_index, new_index, sim_func,
                 candidate_filter, n_workers, chunk_size, instrumentation,
+                kernel=kernel,
             )
         # A pruned pair's similarity is provably below δ, so restricting
         # the threshold test to exactly-scored pairs loses nothing.
@@ -208,7 +218,7 @@ def prematching(
         if unscored:
             fresh = score_pairs_chunked(
                 unscored, old_index, new_index, sim_func,
-                n_workers=n_workers, chunk_size=chunk_size,
+                n_workers=n_workers, chunk_size=chunk_size, kernel=kernel,
             )
             if isinstance(scores, SimilarityCache):
                 # Candidate-pair scores are re-tested every round: pin them.
@@ -219,6 +229,9 @@ def prematching(
             if instrumentation is not None:
                 instrumentation.count(PAIRS_SCORED, len(fresh))
                 instrumentation.count(FULL_AGG_SIM_CALLS, len(fresh))
+                if kernel is not None:
+                    instrumentation.count(KERNEL_BATCHES)
+                    instrumentation.count(KERNEL_PAIRS, len(fresh))
         matched = sorted(
             pair
             for pair in candidate_pairs
@@ -262,6 +275,7 @@ def _filtered_bulk_scores(
     n_workers: int,
     chunk_size: int,
     instrumentation: Optional[Instrumentation],
+    kernel=None,
 ) -> Dict[Tuple[str, str], float]:
     """Resolve every candidate pair against this round's δ through the
     pruning engine; return the exactly-known scores.
@@ -302,8 +316,11 @@ def _filtered_bulk_scores(
     if to_evaluate:
         outcomes = filter_and_score_chunked(
             to_evaluate, old_index, new_index, candidate_filter, delta,
-            n_workers=n_workers, chunk_size=chunk_size,
+            n_workers=n_workers, chunk_size=chunk_size, kernel=kernel,
         )
+        if instrumentation is not None and kernel is not None:
+            instrumentation.count(KERNEL_BATCHES)
+            instrumentation.count(KERNEL_PAIRS, len(to_evaluate))
         fresh = 0
         for pair, outcome in outcomes.items():
             if outcome.is_exact:

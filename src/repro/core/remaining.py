@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..blocking.pairs import Blocker
 from ..instrumentation import (
     FULL_AGG_SIM_CALLS,
+    KERNEL_BATCHES,
+    KERNEL_PAIRS,
     PAIRS_SCORED,
     REMAINING_PAIRS,
     Instrumentation,
@@ -47,6 +49,7 @@ def match_remaining(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     instrumentation: Optional[Instrumentation] = None,
     candidate_filter: Optional[CandidateFilter] = None,
+    kernel=None,
 ) -> RecordMapping:
     """Greedy 1:1 matching of leftover records (Alg. 1, lines 17–19).
 
@@ -68,6 +71,11 @@ def match_remaining(
     beats every competing candidate of *both* endpoints by the margin:
     frequent names (several age-compatible "Mary Ashworth"s) produce
     near-tied candidates, and guessing among them costs precision.
+
+    ``kernel`` follows the same sharing rule as ``cached_scores``: pass
+    the run's batch scoring kernel only when it was built for a
+    similarity function with these weights and missing policy (the
+    pipeline builds a private kernel for custom remaining weights).
     """
     old_index = {record.record_id: record for record in old_records}
     new_index = {record.record_id: record for record in new_records}
@@ -96,13 +104,14 @@ def match_remaining(
         exact_scores = _filtered_bulk_scores(
             set(plausible), scores, old_index, new_index, sim_func_rem,
             candidate_filter, n_workers, chunk_size, instrumentation,
+            kernel=kernel,
         )
     else:
         unscored = [pair for pair in plausible if scores.get(pair) is None]
         if unscored:
             fresh = score_pairs_chunked(
                 unscored, old_index, new_index, sim_func_rem,
-                n_workers=n_workers, chunk_size=chunk_size,
+                n_workers=n_workers, chunk_size=chunk_size, kernel=kernel,
             )
             if isinstance(scores, SimilarityCache):
                 for pair, score in fresh.items():
@@ -112,6 +121,9 @@ def match_remaining(
             if instrumentation is not None:
                 instrumentation.count(PAIRS_SCORED, len(fresh))
                 instrumentation.count(FULL_AGG_SIM_CALLS, len(fresh))
+                if kernel is not None:
+                    instrumentation.count(KERNEL_BATCHES)
+                    instrumentation.count(KERNEL_PAIRS, len(fresh))
         exact_scores = {pair: scores[pair] for pair in plausible}
 
     scored: List[Tuple[float, str, str]] = []

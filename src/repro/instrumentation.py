@@ -44,6 +44,10 @@ FULL_AGG_SIM_CALLS = "full_agg_sim_calls"  # pairs that got the full Eq. 3 sum
 PAIRS_PRUNED_LENGTH = "pairs_pruned_length"  # rejected by the length filter
 PAIRS_PRUNED_QGRAM = "pairs_pruned_qgram"  # rejected by the q-gram count filter
 PAIRS_PRUNED_EARLY_EXIT = "pairs_pruned_early_exit"  # abandoned mid-sum
+KERNEL_BATCHES = "kernel_batches"  # bulk scoring calls answered by the
+# vectorized batch kernel (repro.core.kernel) instead of per-pair Python
+KERNEL_PAIRS = "kernel_pairs"  # pairs resolved (scored or pruned) by the
+# vectorized kernel; 0 under scoring_backend="python" or without numpy
 CHECKPOINT_WRITES = "checkpoint_writes"  # run-state snapshots persisted
 CHECKPOINT_LOADS = "checkpoint_loads"  # run-state snapshots restored on resume
 CHECKPOINT_BYTES = "checkpoint_bytes_written"  # serialized checkpoint bytes

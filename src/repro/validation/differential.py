@@ -16,6 +16,11 @@ that must not change the output:
   exactly the candidate group pairs the brute-force |G_i| × |G_{i+1}|
   scan keeps (:mod:`repro.core.subgraph`), so indexed and brute-force
   runs are byte-identical down to the scoring effort;
+* ``scoring_backend`` — the vectorized batch kernel
+  (:mod:`repro.core.kernel`) replays the reference comparators'
+  float operations in the same order on whole candidate chunks, so
+  ``vectorized`` runs are bit-identical to ``python`` runs, serial and
+  parallel alike, down to the scoring effort (see ``docs/KERNEL.md``);
 
 and one is a declared *coverage* knob:
 
@@ -339,6 +344,54 @@ def indexed_vs_brute_force(
     )
 
 
+def vectorized_vs_python(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    config: Optional[LinkageConfig] = None,
+    workers: Sequence[int] = (1, 2),
+) -> List[DifferentialOutcome]:
+    """The batch scoring kernel equals the per-pair reference backend.
+
+    The ``python`` serial run is the base; each variant scores with the
+    vectorized kernel at one worker count.  ``check_diagnostics`` is on:
+    the kernel replays the reference float-operation order exactly
+    (``docs/KERNEL.md``), so the δ rounds, the mappings *and* the scoring
+    effort must all be byte-identical — the kernel only changes how many
+    Python-level calls that effort costs (``kernel_batches`` /
+    ``kernel_pairs`` count the batched share).
+
+    Skipped gracefully when numpy is absent: ``build_scoring_kernel``
+    then returns ``None`` and both configs take the same per-pair path,
+    so the comparison would be vacuous rather than wrong — we still run
+    it, proving the fallback is lossless too.
+    """
+    config = config or LinkageConfig()
+    base_config = dataclasses.replace(
+        config, scoring_backend="python", n_workers=1
+    )
+    base_result = link_datasets(old_dataset, new_dataset, base_config)
+    outcomes = []
+    for count in workers:
+        variant = dataclasses.replace(
+            config, scoring_backend="vectorized", n_workers=count
+        )
+        if count > 1:
+            variant = dataclasses.replace(variant, worker_chunk_size=64)
+        outcomes.append(
+            run_differential(
+                old_dataset,
+                new_dataset,
+                base_config,
+                variant,
+                relation=IDENTICAL,
+                name=f"vectorized-vs-python(n_workers={count})",
+                check_diagnostics=True,
+                base_result=base_result,
+            )
+        )
+    return outcomes
+
+
 def blocking_standard_qgram_covers_standard(
     old_dataset: CensusDataset,
     new_dataset: CensusDataset,
@@ -395,8 +448,9 @@ def assert_equivalences(
     """Run the declared equivalence suite; raise on any violation.
 
     Always runs serial-vs-parallel, bounded-vs-unbounded cache,
-    filtering-on-vs-off (serial and 2 workers) and
-    indexed-vs-brute-force group-pair enumeration.  ``include_blocking``
+    filtering-on-vs-off (serial and 2 workers), vectorized-vs-python
+    scoring (serial and 2 workers) and indexed-vs-brute-force group-pair
+    enumeration.  ``include_blocking``
     adds the quadratic cross-product comparison and the ``standard+qgram``
     coverage check — off by default so the suite stays usable on larger
     workloads.
@@ -405,6 +459,9 @@ def assert_equivalences(
     outcomes.append(cache_bounded_vs_unbounded(old_dataset, new_dataset, config))
     outcomes.extend(
         filtering_on_vs_off(old_dataset, new_dataset, config, workers=(1, 2))
+    )
+    outcomes.extend(
+        vectorized_vs_python(old_dataset, new_dataset, config, workers=(1, 2))
     )
     outcomes.append(indexed_vs_brute_force(old_dataset, new_dataset, config))
     if include_blocking:

@@ -93,6 +93,11 @@ def linked():
     evaluates comparators directly — invisible to an ``agg_sim`` spy and
     with its own counter semantics — and is covered by
     :class:`TestFilteringCounters` and ``tests/test_filtering_soundness``.
+    The scoring backend is pinned to ``python`` for the same reason: the
+    batch kernel (:mod:`repro.core.kernel`) scores whole chunks without
+    ever calling ``agg_sim``, so the spy premise only holds on the
+    per-pair reference path (kernel equivalence is proven separately in
+    ``tests/test_kernel.py``).
     """
     series = generate_pair(seed=7, initial_households=40)
     old, new = series.datasets
@@ -105,7 +110,10 @@ def linked():
 
     SimilarityFunction.agg_sim = spy
     try:
-        result = link_datasets(old, new, LinkageConfig(filtering=False))
+        result = link_datasets(
+            old, new,
+            LinkageConfig(filtering=False, scoring_backend="python"),
+        )
     finally:
         SimilarityFunction.agg_sim = original
     return result, calls

@@ -1,0 +1,374 @@
+"""Bit-identity battery for the vectorized batch scoring kernel.
+
+The kernel (:mod:`repro.core.kernel`) may replace the per-pair reference
+path only because its outcomes are *bit-identical* — same float64 bits,
+same pruning kinds, same effort accounting.  This module proves that
+claim from the bottom up:
+
+* the columnar encoding preserves every per-string fact the reference
+  comparators derive (q-gram multisets via occurrence expansion,
+  normalised lengths, exact-match keys, missing flags);
+* ``agg_sim_chunk`` equals :meth:`SimilarityFunction.agg_sim` bit for
+  bit, for every missing policy;
+* ``evaluate_chunk`` equals :meth:`CandidateFilter.evaluate` bit for
+  bit — value *and* pruning kind — for every filter-stage subset and δ;
+* the no-numpy fallback degrades to the reference path losslessly;
+* the kernel pickles (it is shipped to worker pools via initializer).
+
+These properties gate the tentpole: if any fails, the vectorized
+backend is not a drop-in replacement and must not ship as the default.
+"""
+
+import pickle
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LinkageConfig
+from repro.core.filtering import (
+    CMP_EXACT,
+    CMP_QGRAM2,
+    CandidateFilter,
+    FilteringConfig,
+    normalised_length,
+    qgram_count,
+)
+from repro.core.kernel import (
+    BACKEND_PYTHON,
+    BACKEND_VECTORIZED,
+    SCORING_BACKENDS,
+    BatchScoringKernel,
+    ColumnEncoder,
+    build_scoring_kernel,
+    encode_columns,
+    kernel_available,
+)
+from repro.core.pipeline import link_datasets
+from repro.datagen import generate_pair
+from repro.instrumentation import KERNEL_BATCHES, KERNEL_PAIRS
+from repro.similarity.qgram import qgrams
+from repro.similarity.vector import (
+    MISSING_IGNORE,
+    MISSING_NEUTRAL,
+    MISSING_ZERO,
+    _is_missing,
+    build_similarity_function,
+)
+from tests.strategies import names, person_records
+
+#: Weight specs exercising every comparator class the kernel encodes:
+#: pure q-gram+exact, a length-boundable scalar mix, and an opaque
+#: comparator with no cheap bound (mirrors test_filtering_soundness).
+WEIGHT_SPECS = {
+    "omega2-qgram": (
+        ("first_name", "qgram", 0.4),
+        ("sex", "exact", 0.2),
+        ("surname", "qgram", 0.2),
+        ("address", "qgram", 0.1),
+        ("occupation", "qgram", 0.1),
+    ),
+    "levenshtein-mix": (
+        ("first_name", "levenshtein", 0.3),
+        ("surname", "levenshtein", 0.3),
+        ("sex", "exact", 0.2),
+        ("address", "qgram", 0.2),
+    ),
+    "trigram-opaque-mix": (
+        ("first_name", "trigram", 0.4),
+        ("surname", "jaro_winkler", 0.4),
+        ("sex", "exact", 0.2),
+    ),
+}
+
+deltas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+policies = st.sampled_from((MISSING_ZERO, MISSING_NEUTRAL, MISSING_IGNORE))
+spec_keys = st.sampled_from(sorted(WEIGHT_SPECS))
+
+#: The encoder/kernel batteries need the real vectorized backend; the
+#: no-numpy CI lane runs only the plumbing + fallback tests below.
+needs_numpy = pytest.mark.skipif(
+    not kernel_available(),
+    reason="numpy unavailable: vectorized backend cannot run",
+)
+
+
+@st.composite
+def record_chunks(draw, max_old=4, max_new=4):
+    """Two small record lists with unique ids — one candidate chunk."""
+    old = [
+        draw(person_records(record_id=f"o{i}", household_id="h1"))
+        for i in range(draw(st.integers(1, max_old)))
+    ]
+    new = [
+        draw(person_records(record_id=f"n{i}", household_id="h2"))
+        for i in range(draw(st.integers(1, max_new)))
+    ]
+    return old, new
+
+
+def cross_pairs(old, new):
+    return [(o.record_id, n.record_id) for o in old for n in new]
+
+
+# -- encoder: every per-string fact survives the packing ---------------------
+
+
+@needs_numpy
+class TestColumnEncoder:
+    @given(st.lists(person_records(), min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_qgram_tokens_roundtrip_the_multiset(self, records):
+        """Occurrence expansion is lossless: each distinct value's token
+        array has exactly one token per padded q-gram occurrence, sorted
+        and duplicate-free — multiset overlap becomes set intersection."""
+        encoder = ColumnEncoder("first_name", CMP_QGRAM2)
+        column = encoder.encode(records)
+        for record in records:
+            value = record.first_name
+            if _is_missing(value):
+                continue
+            code = None
+            for candidate, stored in enumerate(column.values):
+                if stored == value:
+                    code = candidate
+                    break
+            assert code is not None
+            tokens = column.tok_flat[
+                column.tok_off[code]:column.tok_off[code + 1]
+            ]
+            grams = qgrams(value, 2, padded=True)
+            assert len(tokens) == len(grams)
+            assert len(set(tokens.tolist())) == len(tokens)  # true set
+            assert sorted(tokens.tolist()) == tokens.tolist()
+            assert column.gram_count[code] == len(grams)
+            assert column.gram_count[code] == qgram_count(str(value), 2, True)
+            assert column.norm_len[code] == normalised_length(str(value))
+
+    @given(names, names)
+    @settings(max_examples=200)
+    def test_token_intersection_equals_multiset_overlap(self, left, right):
+        """The premise of chunked Dice: |tokens(a) ∩ tokens(b)| equals
+        the Counter Σ min overlap the reference q-gram comparator uses."""
+        encoder = ColumnEncoder("first_name", CMP_QGRAM2)
+        left_tokens = set(encoder._tokens_of(left))
+        right_tokens = set(encoder._tokens_of(right))
+        reference = sum(
+            (Counter(qgrams(left, 2, padded=True))
+             & Counter(qgrams(right, 2, padded=True))).values()
+        )
+        assert len(left_tokens & right_tokens) == reference
+
+    @given(st.lists(names, min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_exact_codes_agree_iff_normalised_equal(self, values):
+        records = [
+            person_record_with(first_name=value, record_id=f"r{i}")
+            for i, value in enumerate(values)
+        ]
+        encoder = ColumnEncoder("first_name", CMP_EXACT)
+        column = encoder.encode(records)
+        for i, left in enumerate(records):
+            for j, right in enumerate(records):
+                if column.missing[i] or column.missing[j]:
+                    continue
+                same_code = (
+                    column.eq_codes[column.codes[i]]
+                    == column.eq_codes[column.codes[j]]
+                )
+                same_norm = (
+                    " ".join(str(left.first_name).lower().split())
+                    == " ".join(str(right.first_name).lower().split())
+                )
+                assert same_code == same_norm
+
+    @given(st.lists(person_records(), min_size=1, max_size=6))
+    @settings(max_examples=50)
+    def test_missing_flags_match_reference_predicate(self, records):
+        column = ColumnEncoder("occupation", CMP_QGRAM2).encode(records)
+        for row, record in enumerate(records):
+            assert bool(column.missing[row]) == _is_missing(record.occupation)
+            if column.missing[row]:
+                assert column.codes[row] == 0  # parked on the dummy
+
+    def test_vocabularies_shared_across_datasets(self):
+        old = [person_record_with(first_name="mary", record_id="o0")]
+        new = [person_record_with(first_name="mary", record_id="n0")]
+        sim_func = build_similarity_function(
+            [("first_name", "qgram", 1.0)], 0.7
+        )
+        old_cols, new_cols, token_space = encode_columns(sim_func, old, new)
+        old_tokens = old_cols[0].tok_flat.tolist()
+        new_tokens = new_cols[0].tok_flat.tolist()
+        assert old_tokens == new_tokens  # same value -> same token ids
+        assert token_space[0] == len(set(old_tokens))
+
+
+def person_record_with(**overrides):
+    from repro.model.records import PersonRecord
+
+    defaults = dict(
+        record_id="r0", household_id="h0", first_name="john",
+        surname="smith", sex="m", age=30, occupation=None, address=None,
+        role="head",
+    )
+    defaults.update(overrides)
+    return PersonRecord(**defaults)
+
+
+# -- chunk scoring: bit-identical to the reference path ----------------------
+
+
+@needs_numpy
+class TestChunkBitIdentity:
+    @given(record_chunks(), spec_keys, policies)
+    @settings(max_examples=150, deadline=None)
+    def test_agg_sim_chunk_bit_identical(self, chunk, spec_key, policy):
+        old, new = chunk
+        sim_func = build_similarity_function(
+            list(WEIGHT_SPECS[spec_key]), 0.7, policy
+        )
+        kernel = BatchScoringKernel(sim_func, old, new)
+        pairs = cross_pairs(old, new)
+        batch = kernel.agg_sim_chunk(pairs)
+        old_index = {r.record_id: r for r in old}
+        new_index = {r.record_id: r for r in new}
+        for (old_id, new_id), got in zip(pairs, batch):
+            want = sim_func.agg_sim(old_index[old_id], new_index[new_id])
+            assert got == want, (old_id, new_id, got, want)
+
+    @given(record_chunks(), spec_keys, policies, deltas, st.integers(0, 14))
+    @settings(max_examples=150, deadline=None)
+    def test_evaluate_chunk_bit_identical(
+        self, chunk, spec_key, policy, delta, mask
+    ):
+        """Value AND pruning kind match CandidateFilter.evaluate for
+        every subset of the four filter stages — the masked-pruning
+        pipeline is a faithful translation, not an approximation."""
+        old, new = chunk
+        sim_func = build_similarity_function(
+            list(WEIGHT_SPECS[spec_key]), delta, policy
+        )
+        config = FilteringConfig(
+            length_filter=bool(mask & 1),
+            qgram_filter=bool(mask & 2),
+            exact_shortcircuit=bool(mask & 4),
+            early_exit=bool(mask & 8),
+        )
+        engine = CandidateFilter(sim_func, config)
+        kernel = BatchScoringKernel(sim_func, old, new, filtering=config)
+        pairs = cross_pairs(old, new)
+        batch = kernel.evaluate_chunk(pairs, delta)
+        old_index = {r.record_id: r for r in old}
+        new_index = {r.record_id: r for r in new}
+        for (old_id, new_id), got in zip(pairs, batch):
+            want = engine.evaluate(old_index[old_id], new_index[new_id], delta)
+            assert got.value == want.value, (old_id, new_id, got, want)
+            assert got.kind == want.kind, (old_id, new_id, got, want)
+
+    def test_chunk_results_are_plain_floats(self):
+        """Workers pickle results back; numpy scalars must not leak."""
+        old = [person_record_with(record_id="o0")]
+        new = [person_record_with(record_id="n0")]
+        sim_func = build_similarity_function(
+            list(WEIGHT_SPECS["omega2-qgram"]), 0.7
+        )
+        kernel = BatchScoringKernel(sim_func, old, new)
+        scores = kernel.agg_sim_chunk([("o0", "n0")])
+        assert type(scores[0]) is float
+        outcomes = kernel.evaluate_chunk([("o0", "n0")], 0.7)
+        assert type(outcomes[0].value) is float
+        assert isinstance(outcomes[0].kind, str)
+
+    def test_kernel_pickles_for_worker_shipping(self):
+        series = generate_pair(seed=7, initial_households=5)
+        old, new = series.datasets
+        old_records = list(old.records.values())
+        new_records = list(new.records.values())
+        sim_func = build_similarity_function(
+            list(WEIGHT_SPECS["omega2-qgram"]), 0.7
+        )
+        kernel = BatchScoringKernel(
+            sim_func, old_records, new_records, filtering=FilteringConfig()
+        )
+        clone = pickle.loads(pickle.dumps(kernel))
+        pairs = cross_pairs(old_records[:4], new_records[:4])
+        assert clone.agg_sim_chunk(pairs) == kernel.agg_sim_chunk(pairs)
+        assert (
+            clone.evaluate_chunk(pairs, 0.7) == kernel.evaluate_chunk(pairs, 0.7)
+        )
+
+
+# -- configuration plumbing and the no-numpy fallback ------------------------
+
+
+class TestBackendPlumbing:
+    def test_backend_constants_cover_config_choices(self):
+        assert SCORING_BACKENDS == (BACKEND_PYTHON, BACKEND_VECTORIZED)
+        assert LinkageConfig().scoring_backend == BACKEND_VECTORIZED
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="scoring_backend"):
+            LinkageConfig(scoring_backend="fortran")
+
+    def test_python_backend_builds_no_kernel(self):
+        config = LinkageConfig(scoring_backend="python")
+        sim_func = config.build_sim_func()
+        assert config.build_scoring_kernel(sim_func, [], []) is None
+
+    @needs_numpy
+    def test_vectorized_backend_builds_kernel(self):
+        config = LinkageConfig(scoring_backend="vectorized")
+        sim_func = config.build_sim_func()
+        kernel = config.build_scoring_kernel(sim_func, [], [])
+        assert isinstance(kernel, BatchScoringKernel)
+
+    def test_no_numpy_falls_back_to_reference_path(self, monkeypatch):
+        """Without numpy, scoring_backend='vectorized' silently takes the
+        per-pair path: build returns None, the pipeline still links, and
+        the result matches the explicit python backend exactly."""
+        import repro.core.kernel as kernel_mod
+
+        monkeypatch.setattr(kernel_mod, "HAVE_NUMPY", False)
+        assert not kernel_mod.kernel_available()
+        assert build_scoring_kernel(None, [], []) is None
+
+        series = generate_pair(seed=7, initial_households=10)
+        old, new = series.datasets
+        fallback = link_datasets(
+            old, new, LinkageConfig(scoring_backend="vectorized")
+        )
+        monkeypatch.undo()
+        reference = link_datasets(
+            old, new, LinkageConfig(scoring_backend="python")
+        )
+        assert sorted(fallback.record_mapping.pairs()) == sorted(
+            reference.record_mapping.pairs()
+        )
+        assert sorted(fallback.group_mapping.pairs()) == sorted(
+            reference.group_mapping.pairs()
+        )
+        assert fallback.profile.value(KERNEL_BATCHES) == 0
+        assert fallback.profile.value(KERNEL_PAIRS) == 0
+
+    @needs_numpy
+    def test_kernel_counters_track_batched_share(self):
+        """The vectorized run reports how much scoring the kernel
+        absorbed; the python run reports none."""
+        series = generate_pair(seed=7, initial_households=10)
+        old, new = series.datasets
+        vectorized = link_datasets(
+            old, new, LinkageConfig(scoring_backend="vectorized")
+        )
+        python = link_datasets(
+            old, new, LinkageConfig(scoring_backend="python")
+        )
+        assert vectorized.profile.value(KERNEL_BATCHES) > 0
+        assert vectorized.profile.value(KERNEL_PAIRS) > 0
+        assert python.profile.value(KERNEL_BATCHES) == 0
+        assert python.profile.value(KERNEL_PAIRS) == 0
+        # The kernel changes effort accounting not at all: both backends
+        # scored the same pairs.
+        assert vectorized.profile.value("pairs_scored") == \
+            python.profile.value("pairs_scored")

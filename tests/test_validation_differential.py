@@ -21,6 +21,7 @@ from repro.validation.differential import (
     indexed_vs_brute_force,
     run_differential,
     serial_vs_parallel,
+    vectorized_vs_python,
 )
 
 
@@ -86,13 +87,28 @@ class TestDeclaredEquivalences:
         assert outcome.base_config.group_pair_indexing
         assert not outcome.variant_config.group_pair_indexing
 
+    def test_vectorized_vs_python_serial_and_parallel(self, workload):
+        """PR 6 acceptance check: the batch scoring kernel yields
+        mappings, round structure and scoring effort byte-identical to
+        the per-pair reference backend, serially and with 2 workers."""
+        old, new = workload
+        outcomes = vectorized_vs_python(old, new, workers=(1, 2))
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert outcome.ok, outcome.report()
+            assert outcome.relation == IDENTICAL
+            assert outcome.base_config.scoring_backend == "python"
+            assert outcome.variant_config.scoring_backend == "vectorized"
+            assert not outcome.notes  # diagnostics (effort) matched too
+
     def test_assert_equivalences_passes(self, workload):
         old, new = workload
         outcomes = assert_equivalences(old, new, workers=(2,))
         assert all(outcome.ok for outcome in outcomes)
         # one worker variant + the cache check + two filtering variants
-        # + the indexed-vs-brute-force group-pair check
-        assert len(outcomes) == 5
+        # + two scoring-backend variants + the indexed-vs-brute-force
+        # group-pair check
+        assert len(outcomes) == 7
 
 
 class TestFailurePaths:
