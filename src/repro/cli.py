@@ -21,6 +21,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .core.backends import available_backends
 from .core.config import LinkageConfig
 from .core.pipeline import link_datasets
 from .datagen.generator import GeneratorConfig, generate_series
@@ -70,6 +71,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
         validate=args.validate,
         filtering=not args.no_filtering,
         scoring_backend=args.scoring_backend,
+        group_backend=args.group_backend,
         checkpoint_every=args.checkpoint_every,
     )
     result = link_datasets(
@@ -245,6 +247,15 @@ def build_parser() -> argparse.ArgumentParser:
         "chunks through the numpy kernel (repro.core.kernel; silently "
         "falls back to 'python' without numpy), 'python' forces the "
         "per-pair reference path; outcomes are bit-identical either way",
+    )
+    link.add_argument(
+        "--group-backend", choices=available_backends(), default="default",
+        help="group-matching backend for the §3.3–§3.4 slot "
+        "(repro.core.backends): 'default' is the paper's common-subgraph "
+        "engine, 'rgl' the two-stage CORE-refinement matcher (Robust "
+        "Group Linkage), 'hausdorff' the min-max set-distance household "
+        "matcher; backends produce different results by design — see the "
+        "scenario matrix in EXPERIMENTS.md",
     )
     link.add_argument(
         "--checkpoint-dir",

@@ -201,6 +201,18 @@ class LinkageConfig:
     #: ``repro.validation.differential.vectorized_vs_python``); only the
     #: cost per scored pair changes (≥10x, see PERFORMANCE.md).
     scoring_backend: str = "vectorized"
+    #: Group-matching backend for the §3.3–§3.4 slot of Alg. 1 (see
+    #: repro.core.backends).  ``"default"`` is the paper's engine
+    #: (common subgraphs + g_sim + Alg. 2 selection) and replays all
+    #: pre-protocol results byte-identically (enforced by
+    #: ``repro.validation.differential.backend_default_vs_protocol``);
+    #: ``"rgl"`` is the two-stage CORE-refinement matcher (Robust Group
+    #: Linkage, Li et al.); ``"hausdorff"`` is the min-max set-distance
+    #: household matcher (Menezes et al.).  Changing the backend changes
+    #: results — goldens pin each backend separately, and the scenario
+    #: matrix (benchmarks/bench_scenarios.py) compares their P/R/F under
+    #: adversarial populations.
+    group_backend: str = "default"
     #: Checkpoint cadence when the run persists state (a ``checkpoint_dir``
     #: was passed to ``link_datasets``): write a recovery snapshot after
     #: every Nth δ round.  1 (the default) checkpoints every round
@@ -239,6 +251,17 @@ class LinkageConfig:
             raise ValueError(
                 f"scoring_backend must be 'python' or 'vectorized', "
                 f"got {self.scoring_backend!r}"
+            )
+        # Imported lazily: the backend registry imports subgraph/selection,
+        # which import this module — by construction time the cycle has
+        # resolved, at module-load time it has not.
+        from .backends import available_backends
+
+        if self.group_backend not in available_backends():
+            raise ValueError(
+                f"group_backend must be one of "
+                f"{', '.join(available_backends())}, "
+                f"got {self.group_backend!r}"
             )
         # Reject malformed filtering settings at construction time.
         FilteringConfig.coerce(self.filtering)

@@ -46,14 +46,13 @@ from ..model.mappings import (
     household_of_map,
     induced_group_mapping,
 )
+from .backends import GroupRoundContext, get_backend
 from .config import LinkageConfig
 from .enrichment import complete_groups
 from .prematching import prematching
 from .remaining import match_remaining
-from .scoring import score_subgraphs
-from .selection import select_group_matches
 from .simcache import SimilarityCache
-from .subgraph import GroupPairIndex, build_all_subgraphs
+from .subgraph import GroupPairIndex
 
 
 @dataclass
@@ -299,7 +298,12 @@ class IterativeGroupLinkage:
         # enumeration (§3.3) are δ-independent: build the inverted index
         # once and reuse it in every round.
         group_index = GroupPairIndex(enriched_old, enriched_new)
-        group_parallel = config.n_workers != 1
+        # The group-matching slot (§3.3–§3.4) is pluggable: the paper's
+        # subgraph engine is the "default" registered backend, selected
+        # like any alternative via config.group_backend (see
+        # repro.core.backends).  Everything around the slot — prematching,
+        # validation, link merging, stats, checkpoints — is shared.
+        backend = get_backend(config.group_backend)
 
         schedule = list(config.threshold_schedule())
         for round_index, delta in enumerate(schedule, start=1):
@@ -330,33 +334,22 @@ class IterativeGroupLinkage:
                     kernel=kernel,
                 )
 
-            with round_timer.stage("round"), instrumentation.stage("subgraphs"):
-                subgraphs = build_all_subgraphs(
-                    prematch,
-                    enriched_old,
-                    enriched_new,
-                    config,
-                    record_mapping=record_mapping,
-                    instrumentation=instrumentation,
-                    index=group_index,
-                    n_workers=config.n_workers,
-                    chunk_size=config.group_worker_chunk_size,
-                    # Workers score their own subgraphs (g_sim, Eq. 4-7)
-                    # so the fan-out covers construction and scoring in
-                    # one round trip; the serial scoring stage below then
-                    # re-derives the same numbers from cached pair sims.
-                    score=group_parallel,
-                )
-            with round_timer.stage("round"), instrumentation.stage("scoring"):
-                score_subgraphs(subgraphs, prematch, config)
-            with round_timer.stage("round"), instrumentation.stage("selection"):
-                selection = select_group_matches(
-                    subgraphs,
-                    instrumentation=instrumentation,
+            outcome = backend.match_round(
+                GroupRoundContext(
                     prematch=prematch,
+                    old_households=enriched_old,
+                    new_households=enriched_new,
                     config=config,
-                    requeue_stale=config.selection_requeue,
+                    record_mapping=record_mapping,
+                    group_index=group_index,
+                    delta=delta,
+                    round_index=round_index,
+                    kernel=kernel,
+                    instrumentation=instrumentation,
+                    round_timer=round_timer,
                 )
+            )
+            selection = outcome.selection
 
             if validating:
                 # Check the round's selection against the Alg. 2 contracts
@@ -392,7 +385,7 @@ class IterativeGroupLinkage:
                 IterationStats(
                     iteration=round_index,
                     delta=delta,
-                    candidate_subgraphs=len(subgraphs),
+                    candidate_subgraphs=outcome.candidate_units,
                     accepted_group_links=len(selection.group_mapping),
                     new_record_links=len(partial_records),
                     remaining_old=len(remaining_old),

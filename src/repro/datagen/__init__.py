@@ -24,8 +24,26 @@ from .names import (
     zipf_weights,
 )
 from .population import PopulationSimulator, SimulationParams
+from .scenarios import (
+    ADVERSARIAL_SCENARIOS,
+    SCENARIOS,
+    Distortions,
+    Scenario,
+    generate_scenario_pair,
+    get_scenario,
+    measure_distortions,
+    scenario_names,
+)
 
 __all__ = [
+    "ADVERSARIAL_SCENARIOS",
+    "SCENARIOS",
+    "Distortions",
+    "Scenario",
+    "generate_scenario_pair",
+    "get_scenario",
+    "measure_distortions",
+    "scenario_names",
     "SPELLING_VARIANTS",
     "CorruptionParams",
     "RecordCorruptor",

@@ -80,6 +80,15 @@ class SimulationParams:
     occupation_change_rate: float = 0.28
     #: Probability a new (initial or immigrant) household employs servants.
     servant_rate: float = 0.07
+    #: Bootstrap household-kind mix: probability that a fresh (initial or
+    #: immigrant) household is a full family, and that it is a widowed
+    #: family; the remainder are single-person households.  The defaults
+    #: reproduce the historical ``kind < 0.76 / kind < 0.91`` split.
+    family_household_rate: float = 0.76
+    widowed_household_rate: float = 0.15
+    #: Upper bound on children born into a bootstrap family (the actual
+    #: count also scales with the head's age).
+    max_bootstrap_children: int = 8
     #: Age at which children start appearing with an occupation of their own.
     working_age: int = 13
     #: Zipf exponents of the name pools; larger values concentrate the
@@ -137,9 +146,11 @@ class PopulationSimulator:
         rng = self.rng
         address = self.names.address()
         kind = rng.random()
-        if kind < 0.76:
+        family_cut = self.params.family_household_rate
+        widowed_cut = family_cut + self.params.widowed_household_rate
+        if kind < family_cut:
             household = self._create_family(year, address)
-        elif kind < 0.91:
+        elif kind < widowed_cut:
             household = self._create_widowed_family(year, address)
         else:
             household = self._create_single_household(year, address)
@@ -179,7 +190,9 @@ class PopulationSimulator:
         self.world.move_person(wife.entity_id, household.entity_id)
 
         head_age = head.age_in(year)
-        max_children = max(1, min(8, (head_age - 18) // 3))
+        max_children = max(
+            1, min(self.params.max_bootstrap_children, (head_age - 18) // 3)
+        )
         for _ in range(rng.randint(1, max_children)):
             self._birth(head, wife, year - rng.randint(0, 17), household)
         # Occasionally an elderly parent lives in.

@@ -392,6 +392,130 @@ def vectorized_vs_python(
     return outcomes
 
 
+class _PreRefactorReferenceBackend:
+    """The group stage exactly as the pipeline inlined it before the
+    :class:`~repro.core.backends.GroupMatcherBackend` protocol existed.
+
+    This is a frozen verbatim copy of the pre-refactor per-round block —
+    ``build_all_subgraphs`` → ``score_subgraphs`` →
+    ``select_group_matches`` with the original argument set, stage names
+    and parallel fan-out — kept *here*, outside ``repro.core.backends``,
+    so that a future edit to the default backend cannot silently edit
+    its own reference.  :func:`backend_default_vs_protocol` runs it
+    against the registered default backend and requires byte-identical
+    mappings and effort counters, serial and parallel.
+    """
+
+    name = "prerefactor-reference"
+
+    def __init__(self) -> None:
+        from ..core.backends import BackendCapabilities
+
+        self.capabilities = BackendCapabilities(
+            summary="frozen pre-protocol copy of the paper's group stage "
+            "(differential reference only)",
+        )
+
+    def match_round(self, ctx):
+        from ..core.backends import RoundOutcome
+        from ..core.scoring import score_subgraphs
+        from ..core.selection import select_group_matches
+        from ..core.subgraph import build_all_subgraphs
+
+        config = ctx.config
+        group_parallel = config.n_workers != 1
+        with ctx.stage("subgraphs"):
+            subgraphs = build_all_subgraphs(
+                ctx.prematch,
+                ctx.old_households,
+                ctx.new_households,
+                config,
+                record_mapping=ctx.record_mapping,
+                instrumentation=ctx.instrumentation,
+                index=ctx.group_index,
+                n_workers=config.n_workers,
+                chunk_size=config.group_worker_chunk_size,
+                score=group_parallel,
+            )
+        with ctx.stage("scoring"):
+            score_subgraphs(subgraphs, ctx.prematch, config)
+        with ctx.stage("selection"):
+            selection = select_group_matches(
+                subgraphs,
+                instrumentation=ctx.instrumentation,
+                prematch=ctx.prematch,
+                config=config,
+                requeue_stale=config.selection_requeue,
+            )
+        return RoundOutcome(selection=selection, candidate_units=len(subgraphs))
+
+
+def _ensure_reference_backend() -> str:
+    """Register the frozen reference backend (idempotent); returns its name."""
+    from ..core.backends import _REGISTRY, register_backend
+
+    if _PreRefactorReferenceBackend.name not in _REGISTRY:
+        register_backend(_PreRefactorReferenceBackend())
+    return _PreRefactorReferenceBackend.name
+
+
+def backend_default_vs_protocol(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    config: Optional[LinkageConfig] = None,
+    workers: Sequence[int] = (1, 2),
+) -> List[DifferentialOutcome]:
+    """The refactored default backend is byte-identical to the
+    pre-refactor engine — mappings *and* counters, serial and parallel.
+
+    The base runs the group stage through the registered ``default``
+    backend (the post-protocol code path); each variant runs the frozen
+    pre-refactor copy above at one worker count.  ``check_diagnostics``
+    is on: the protocol introduced only a dispatch seam, so δ rounds,
+    mappings and scoring effort must all match exactly.
+    """
+    config = config or LinkageConfig()
+    reference = _ensure_reference_backend()
+    base_config = dataclasses.replace(
+        config, group_backend="default", n_workers=1
+    )
+    base_result = link_datasets(old_dataset, new_dataset, base_config)
+    outcomes = []
+    for count in workers:
+        variant = dataclasses.replace(
+            config, group_backend=reference, n_workers=count
+        )
+        if count > 1:
+            variant = dataclasses.replace(
+                variant, worker_chunk_size=64, group_worker_chunk_size=4
+            )
+        base = base_config
+        use_base_result = base_result
+        if count > 1:
+            # Parallel-vs-parallel: re-run the default backend at the
+            # same worker count so the only difference is the dispatch.
+            base = dataclasses.replace(
+                base_config,
+                n_workers=count,
+                worker_chunk_size=64,
+                group_worker_chunk_size=4,
+            )
+            use_base_result = None
+        outcomes.append(
+            run_differential(
+                old_dataset,
+                new_dataset,
+                base,
+                variant,
+                relation=IDENTICAL,
+                name=f"backend-default-vs-protocol(n_workers={count})",
+                check_diagnostics=True,
+                base_result=use_base_result,
+            )
+        )
+    return outcomes
+
+
 def blocking_standard_qgram_covers_standard(
     old_dataset: CensusDataset,
     new_dataset: CensusDataset,
@@ -464,6 +588,11 @@ def assert_equivalences(
         vectorized_vs_python(old_dataset, new_dataset, config, workers=(1, 2))
     )
     outcomes.append(indexed_vs_brute_force(old_dataset, new_dataset, config))
+    outcomes.extend(
+        backend_default_vs_protocol(
+            old_dataset, new_dataset, config, workers=(1, 2)
+        )
+    )
     if include_blocking:
         outcomes.append(
             blocking_cross_covers_standard(old_dataset, new_dataset, config)

@@ -119,6 +119,15 @@ DEFAULT_SPECS: Tuple[GoldenSpec, ...] = (
     # tests/test_validation_golden.py asserts the cross-fixture hash.
     GoldenSpec("seed7-resumed-round2", seed=7, households=30,
                resume_at_round=2),
+    # Alternative group-matching backends (repro.core.backends) produce
+    # different results by design; these specs pin each backend's full
+    # outcome on the seed7-default workload so drift in either engine is
+    # a named, reviewable diff — refreshable via --update-goldens like
+    # every other fixture.
+    GoldenSpec("seed7-rgl", seed=7, households=30,
+               config_overrides=(("group_backend", "rgl"),)),
+    GoldenSpec("seed7-hausdorff", seed=7, households=30,
+               config_overrides=(("group_backend", "hausdorff"),)),
 )
 
 

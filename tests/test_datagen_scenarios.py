@@ -1,0 +1,213 @@
+"""Scenario registry and distortion-measurement tests (PR 7).
+
+Two layers of guarantees about :mod:`repro.datagen.scenarios`:
+
+* the **registry machinery is inert**: the ``baseline`` scenario
+  reproduces :func:`generate_pair` byte for byte, proving that
+  parametrising the bootstrap knobs (family/widowed household rates,
+  bootstrap-children cap) preserved the seeded RNG sequence exactly;
+* each **adversarial scenario produces its advertised distortion**,
+  asserted with fixed seeds: tripled corruption raises the missing-cell
+  rate, heavy migration raises the between-snapshot departure fraction,
+  extreme name skew raises the surname Gini, and sparse households
+  shrink the mean household size — each relative to the baseline
+  measurement of the *same* seed, plus pinned absolute values for the
+  fully deterministic generator.
+"""
+
+import pytest
+
+from repro.datagen import (
+    ADVERSARIAL_SCENARIOS,
+    SCENARIOS,
+    Scenario,
+    generate_pair,
+    generate_scenario_pair,
+    get_scenario,
+    measure_distortions,
+    scenario_names,
+)
+from repro.datagen.scenarios import MISSING_CELL_ATTRIBUTES, _gini
+
+SEED = 7
+HOUSEHOLDS = 60
+
+
+@pytest.fixture(scope="module")
+def distortions():
+    """Measured distortions of every scenario at the fixed test seed."""
+    return {
+        name: measure_distortions(
+            generate_scenario_pair(
+                name, seed=SEED, initial_households=HOUSEHOLDS
+            )
+        )
+        for name in scenario_names()
+    }
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        assert set(ADVERSARIAL_SCENARIOS) == {
+            "high_noise",
+            "migration_heavy",
+            "surname_skew_extreme",
+            "sparse_households",
+        }
+        assert set(scenario_names()) == set(ADVERSARIAL_SCENARIOS) | {
+            "baseline"
+        }
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+            assert scenario.description
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_scenarios_are_declarative_and_hashable(self):
+        """Recipes stay serialisable metadata: hashable, with override
+        keys that are real SimulationParams fields."""
+        for scenario in SCENARIOS.values():
+            hash(scenario)
+            params = scenario.simulation_params()
+            for key, value in scenario.simulation_overrides:
+                assert getattr(params, key) == value
+
+    def test_baseline_recipe_is_empty(self):
+        baseline = get_scenario("baseline")
+        assert baseline.simulation_overrides == ()
+        assert baseline.corruption_scale == 1.0
+
+
+class TestBaselineIsByteIdentical:
+    def test_baseline_matches_generate_pair(self):
+        """The load-bearing RNG-preservation proof: routing the default
+        recipe through the scenario machinery (including the newly
+        parametrised bootstrap knobs) changes not a single record."""
+        plain = generate_pair(seed=SEED, initial_households=HOUSEHOLDS)
+        scenario = generate_scenario_pair(
+            "baseline", seed=SEED, initial_households=HOUSEHOLDS
+        )
+        assert [d.year for d in plain.datasets] == [
+            d.year for d in scenario.datasets
+        ]
+        for plain_ds, scenario_ds in zip(plain.datasets, scenario.datasets):
+            assert plain_ds.records == scenario_ds.records
+            assert plain_ds.household_ids == scenario_ds.household_ids
+        assert (
+            plain.ground_truth.record_mapping(1871, 1881).pairs()
+            == scenario.ground_truth.record_mapping(1871, 1881).pairs()
+        )
+
+
+class TestAdvertisedDistortions:
+    """Each scenario moves its advertised metric, fixed seed, with
+    margin; the untargeted metrics stay close to baseline."""
+
+    def test_high_noise_raises_missing_cells(self, distortions):
+        base = distortions["baseline"]
+        noisy = distortions["high_noise"]
+        assert noisy.missing_cell_rate > base.missing_cell_rate * 1.5
+        # Demographics untouched: corruption draws from its own stream.
+        assert noisy.migration_fraction == base.migration_fraction
+        assert noisy.mean_household_size == base.mean_household_size
+
+    def test_migration_heavy_raises_departures(self, distortions):
+        base = distortions["baseline"]
+        mobile = distortions["migration_heavy"]
+        assert mobile.migration_fraction > base.migration_fraction + 0.08
+        # The bootstrap population itself is unchanged (same first
+        # snapshot, the overrides only bite during the decade step).
+        assert mobile.mean_household_size == base.mean_household_size
+        assert mobile.surname_gini == base.surname_gini
+
+    def test_surname_skew_raises_gini(self, distortions):
+        base = distortions["baseline"]
+        skewed = distortions["surname_skew_extreme"]
+        assert skewed.surname_gini > base.surname_gini + 0.15
+        assert skewed.migration_fraction == base.migration_fraction
+
+    def test_sparse_households_shrink(self, distortions):
+        base = distortions["baseline"]
+        sparse = distortions["sparse_households"]
+        assert sparse.mean_household_size < base.mean_household_size - 1.0
+        assert sparse.mean_household_size < 3.5
+
+    def test_pinned_values(self, distortions):
+        """The generator is fully deterministic, so the measured
+        distortions at the fixed seed can be pinned outright (update
+        alongside any intentional generator change)."""
+        pins = {
+            "baseline": (0.0496, 0.2445, 0.5960, 4.57),
+            "high_noise": (0.0848, 0.2445, 0.6044, 4.57),
+            "migration_heavy": (0.0511, 0.3723, 0.5960, 4.57),
+            "surname_skew_extreme": (0.0545, 0.2445, 0.8194, 4.57),
+            "sparse_households": (0.0383, 0.2793, 0.5526, 2.98),
+        }
+        for name, (missing, migration, gini, size) in pins.items():
+            measured = distortions[name]
+            assert measured.missing_cell_rate == pytest.approx(
+                missing, abs=5e-4
+            ), name
+            assert measured.migration_fraction == pytest.approx(
+                migration, abs=5e-4
+            ), name
+            assert measured.surname_gini == pytest.approx(
+                gini, abs=5e-4
+            ), name
+            assert measured.mean_household_size == pytest.approx(
+                size, abs=5e-3
+            ), name
+
+
+class TestMeasurement:
+    def test_gini_uniform_is_zero(self):
+        assert _gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_gini_concentration_increases(self):
+        assert _gini([1, 1, 1, 97]) > _gini([10, 20, 30, 40]) > _gini([25, 25, 25, 25])
+
+    def test_gini_degenerate_inputs(self):
+        assert _gini([]) == 0.0
+        assert _gini([0, 0]) == 0.0
+
+    def test_distortions_as_dict_round_trips(self, distortions):
+        stats = distortions["baseline"].as_dict()
+        assert set(stats) == {
+            "missing_cell_rate",
+            "migration_fraction",
+            "surname_gini",
+            "mean_household_size",
+        }
+        assert all(isinstance(value, float) for value in stats.values())
+
+    def test_missing_cells_cover_the_corruptible_attributes(self):
+        assert set(MISSING_CELL_ATTRIBUTES) == {
+            "first_name", "surname", "sex", "age", "occupation", "address",
+        }
+
+    def test_measure_requires_two_snapshots(self):
+        series = generate_pair(seed=SEED, initial_households=5)
+        series.datasets = series.datasets[:1]
+        with pytest.raises(ValueError, match="two snapshots"):
+            measure_distortions(series)
+
+    def test_scenario_generator_config_threads_through(self):
+        config = get_scenario("sparse_households").generator_config(
+            seed=3, initial_households=10, start_year=1901
+        )
+        assert config.seed == 3
+        assert config.initial_households == 10
+        assert config.start_year == 1901
+        assert config.num_snapshots == 2
+        assert config.simulation.family_household_rate == 0.30
+        assert config.simulation.max_bootstrap_children == 2
+
+    def test_scenario_is_a_plain_dataclass(self):
+        clone = Scenario(
+            name="x", description="y",
+            simulation_overrides=(("fertility_mean", 1.5),),
+        )
+        assert clone.simulation_params().fertility_mean == 1.5
+        assert clone.corruption_params().missing_rates["surname"] == 0.010

@@ -13,6 +13,7 @@ from repro.validation.differential import (
     EquivalenceViolation,
     MappingDiff,
     assert_equivalences,
+    backend_default_vs_protocol,
     blocking_cross_covers_standard,
     blocking_standard_qgram_covers_standard,
     cache_bounded_vs_unbounded,
@@ -101,14 +102,32 @@ class TestDeclaredEquivalences:
             assert outcome.variant_config.scoring_backend == "vectorized"
             assert not outcome.notes  # diagnostics (effort) matched too
 
+    def test_backend_default_vs_protocol_serial_and_parallel(self, workload):
+        """PR 7 acceptance check: the group stage routed through the
+        GroupMatcherBackend protocol is byte-identical — mappings, round
+        structure and scoring effort — to the frozen pre-refactor
+        engine, serially and with 2 workers."""
+        old, new = workload
+        outcomes = backend_default_vs_protocol(old, new, workers=(1, 2))
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert outcome.ok, outcome.report()
+            assert outcome.relation == IDENTICAL
+            assert outcome.base_config.group_backend == "default"
+            assert (
+                outcome.variant_config.group_backend
+                == "prerefactor-reference"
+            )
+            assert not outcome.notes  # diagnostics (effort) matched too
+
     def test_assert_equivalences_passes(self, workload):
         old, new = workload
         outcomes = assert_equivalences(old, new, workers=(2,))
         assert all(outcome.ok for outcome in outcomes)
         # one worker variant + the cache check + two filtering variants
         # + two scoring-backend variants + the indexed-vs-brute-force
-        # group-pair check
-        assert len(outcomes) == 7
+        # group-pair check + two backend-protocol variants
+        assert len(outcomes) == 9
 
 
 class TestFailurePaths:
