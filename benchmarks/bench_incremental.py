@@ -1,0 +1,182 @@
+"""Incremental re-linkage — warm series-state arrivals vs from-scratch.
+
+The practical question behind the series-state subsystem
+(:mod:`repro.checkpoint.series`): when a rolling census series is
+re-analysed because a snapshot arrived (or one was revised, or nothing
+changed at all), how much wall clock and scoring work does the warm
+store save over re-linking the whole series — while pinning, for every
+single arrival, the exact decisions of a from-scratch analysis?
+
+Each grid row plays one arrival against a warm store and reports
+
+* from-scratch vs incremental wall clock (and the speedup),
+* the series counters — pairs reused vs re-linked, dirty vs total
+  blocking keys, cache entries seeded, record pairs re-scored —
+
+and asserts the analysis ledger hash (decisions only, see
+:func:`repro.checkpoint.analysis_ledger`) matches the scratch run.
+The **no-op** row is the acceptance gate: an unchanged series must
+re-score exactly zero record pairs.
+
+``--quick`` is the CI smoke entry point; it writes
+``results/incremental_quick.{txt,json}`` for the artifact upload.
+"""
+
+import json
+import time
+
+from benchlib import BENCH_SEED, RESULTS_DIR, write_result
+
+from repro.checkpoint import analysis_ledger_hash
+from repro.core.config import LinkageConfig
+from repro.datagen import revise_middle_record
+from repro.datagen.generator import GeneratorConfig, generate_series
+from repro.evaluation.reporting import format_table
+from repro.evolution.analysis import analyse_series
+from repro.instrumentation import (
+    PAIRS_RESCORED,
+    SERIES_KEYS_DIRTY,
+    SERIES_KEYS_TOTAL,
+    SERIES_PAIRS_RELINKED,
+    SERIES_PAIRS_REUSED,
+    SERIES_SEED_ENTRIES,
+)
+
+#: (snapshots, initial households) per mode.
+QUICK_GRID = (3, 60)
+FULL_GRID = (4, 100)
+
+COUNTER_NAMES = (
+    SERIES_PAIRS_REUSED,
+    SERIES_PAIRS_RELINKED,
+    SERIES_KEYS_DIRTY,
+    SERIES_KEYS_TOTAL,
+    SERIES_SEED_ENTRIES,
+    PAIRS_RESCORED,
+)
+
+
+def timed_scratch(datasets, config):
+    start = time.perf_counter()
+    analysis = analyse_series(datasets, config=config)
+    return analysis_ledger_hash(analysis), time.perf_counter() - start
+
+
+def timed_incremental(store, datasets, config):
+    start = time.perf_counter()
+    analysis = analyse_series(datasets, config=config, series_state=store)
+    seconds = time.perf_counter() - start
+    counters = {
+        name: analysis.profile.value(name) for name in COUNTER_NAMES
+    }
+    return analysis_ledger_hash(analysis), seconds, counters
+
+
+def run_arrivals(num_snapshots, households, store_dir):
+    """Play the arrival sequence against one warm store directory.
+
+    Returns (table rows, counters-by-scenario) — and raises if any
+    arrival's ledger hash diverges from its from-scratch twin.
+    """
+    config = LinkageConfig()
+    series = generate_series(GeneratorConfig(
+        seed=BENCH_SEED,
+        num_snapshots=num_snapshots,
+        initial_households=households,
+    )).datasets
+    revised = list(series)
+    revised[len(revised) // 2] = revise_middle_record(
+        series[len(series) // 2]
+    )
+
+    rows = []
+    counters_by_scenario = {}
+
+    def play(scenario, datasets, warm_first=None):
+        if warm_first is not None:
+            analyse_series(
+                warm_first, config=config, series_state=store_dir
+            )
+        scratch_hash, scratch_s = timed_scratch(datasets, config)
+        warm_hash, warm_s, counters = timed_incremental(
+            store_dir, datasets, config
+        )
+        assert warm_hash == scratch_hash, (
+            f"{scenario}: incremental decisions diverged from scratch"
+        )
+        counters_by_scenario[scenario] = counters
+        rows.append((
+            scenario,
+            f"{scratch_s:.2f}",
+            f"{warm_s:.2f}",
+            f"{scratch_s / warm_s:.1f}x" if warm_s > 0 else "-",
+            counters[SERIES_PAIRS_REUSED],
+            counters[SERIES_PAIRS_RELINKED],
+            f"{counters[SERIES_KEYS_DIRTY]}/{counters[SERIES_KEYS_TOTAL]}",
+            counters[PAIRS_RESCORED],
+        ))
+        return counters
+
+    # Cold: the store is empty, every pair is linked and persisted.
+    play("cold", series)
+    # No-op: nothing changed — the acceptance gate.
+    noop = play("no-op", series)
+    assert noop[PAIRS_RESCORED] == 0, (
+        f"no-op re-run re-scored {noop[PAIRS_RESCORED]} record pairs; "
+        f"an unchanged series must re-score zero"
+    )
+    assert noop[SERIES_PAIRS_RELINKED] == 0
+    # Append: the store only knows the prefix; one pair arrives.
+    import shutil
+
+    shutil.rmtree(store_dir)
+    play("append", series, warm_first=series[:-1])
+    # Revise: one record edited mid-series against the fully warm store.
+    play("revise", revised)
+    return rows, counters_by_scenario
+
+
+def main(argv=None):
+    import argparse
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: small 3-snapshot grid, writes "
+             "results/incremental_quick.{txt,json}",
+    )
+    args = parser.parse_args(argv)
+    num_snapshots, households = QUICK_GRID if args.quick else FULL_GRID
+
+    with tempfile.TemporaryDirectory(prefix="bench-incremental-") as tmp:
+        rows, counters = run_arrivals(num_snapshots, households, tmp)
+
+    table = format_table(
+        ("arrival", "scratch_s", "incremental_s", "speedup",
+         "pairs_reused", "pairs_relinked", "keys_dirty", "pairs_rescored"),
+        rows,
+        title=(
+            f"Incremental re-linkage vs from-scratch "
+            f"({num_snapshots} snapshots, {households} households, "
+            f"seed {BENCH_SEED}; every arrival ledger-hash-identical "
+            f"to scratch)"
+        ),
+    )
+    suffix = "quick" if args.quick else "full"
+    write_result(f"incremental_{suffix}.txt", table)
+    (RESULTS_DIR / f"incremental_{suffix}.json").write_text(
+        json.dumps(counters, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    for scenario, values in sorted(counters.items()):
+        print(f"{scenario}: reused={values[SERIES_PAIRS_REUSED]} "
+              f"relinked={values[SERIES_PAIRS_RELINKED]} "
+              f"rescored={values[PAIRS_RESCORED]}")
+    print("all arrivals decision-identical to from-scratch; "
+          "no-op re-scored 0 pairs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,10 +16,16 @@ Layout::
       state.py    RunState + canonical serialization, content hash, schema
       store.py    CheckpointStore: atomic writes, recovery scan, inspection
       ledger.py   the canonical "resumed == uninterrupted" comparison doc
+      series.py   SeriesState: settled pair linkage for incremental re-runs
       faults.py   crash/fault injection for the test battery
 """
 
-from .ledger import result_ledger, ledger_hash
+from .ledger import (
+    analysis_ledger,
+    analysis_ledger_hash,
+    ledger_hash,
+    result_ledger,
+)
 from .state import (
     PHASE_FINAL,
     PHASE_ROUND,
@@ -34,20 +40,40 @@ from .state import (
 )
 from .store import CheckpointEntry, CheckpointStore, coerce_store
 
+# .series is imported last: it pulls in repro.blocking, and it must be
+# fully loaded before repro.core.pipeline (which imports this package,
+# then repro.checkpoint.series) finishes importing.
+from .series import (
+    SERIES_SCHEMA_VERSION,
+    CacheSeed,
+    PairState,
+    SeriesStore,
+    coerce_series_store,
+    snapshot_fingerprint,
+)
+
 __all__ = [
     "PHASE_FINAL",
     "PHASE_ROUND",
     "SCHEMA_VERSION",
+    "SERIES_SCHEMA_VERSION",
+    "CacheSeed",
     "CheckpointCorrupt",
     "CheckpointEntry",
     "CheckpointError",
     "CheckpointMismatch",
     "CheckpointSchemaError",
     "CheckpointStore",
+    "PairState",
     "RunState",
+    "SeriesStore",
+    "analysis_ledger",
+    "analysis_ledger_hash",
+    "coerce_series_store",
     "coerce_store",
     "content_hash",
     "dataset_fingerprint",
     "ledger_hash",
     "result_ledger",
+    "snapshot_fingerprint",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..instrumentation import Instrumentation
+from .series import PairState, SeriesStore
 from .state import PHASE_FINAL, RunState
 from .store import CheckpointStore
 
@@ -90,5 +91,50 @@ class CrashingStore(CheckpointStore):
         ):
             raise SimulatedCrash(
                 f"simulated kill after round {state.round_index}"
+            )
+        return path
+
+
+class CrashingSeriesStore(SeriesStore):
+    """A series-state store that dies around a chosen pair write.
+
+    ``crash_after_writes=n`` raises :class:`SimulatedCrash` once the
+    ``n``-th pair state is durably on disk — a kill mid-incremental-
+    update, after some pairs were re-linked and persisted but before
+    the series run finished.  ``fail_replace_at=n`` instead injects
+    :func:`failing_os_replace` into the ``n``-th write, so that pair's
+    state is staged but never published (the previous file, if any,
+    survives untouched).
+    """
+
+    def __init__(
+        self,
+        directory,
+        crash_after_writes: Optional[int] = None,
+        fail_replace_at: Optional[int] = None,
+    ) -> None:
+        super().__init__(directory)
+        self.crash_after_writes = crash_after_writes
+        self.fail_replace_at = fail_replace_at
+        self.writes = 0
+
+    def write_pair(
+        self,
+        state: PairState,
+        instrumentation: Optional[Instrumentation] = None,
+    ):
+        self.writes += 1
+        if self.writes == self.fail_replace_at:
+            self._replace = failing_os_replace
+        try:
+            path = super().write_pair(state, instrumentation=instrumentation)
+        finally:
+            self._replace = None
+        if (
+            self.crash_after_writes is not None
+            and self.writes >= self.crash_after_writes
+        ):
+            raise SimulatedCrash(
+                f"simulated kill after series pair write {self.writes}"
             )
         return path

@@ -83,3 +83,73 @@ def ledger_hash(result) -> str:
         result_ledger(result), sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def analysis_ledger(analysis) -> Dict[str, object]:
+    """The canonical **decisions-only** document of an EvolutionAnalysis.
+
+    :func:`result_ledger` deliberately covers effort (per-round
+    statistics, event counters) because the checkpoint contract is
+    "resumed runs do the same work".  The incremental-series contract is
+    the opposite: *change the work, preserve the decisions* — a warm
+    re-run skips whole pairs, so its counters differ from a from-scratch
+    run's by design.  This ledger therefore covers exactly what the
+    analysis decided: the snapshot years, each adjacent pair's settled
+    record and group mappings, and the full evolution-pattern content
+    derived from them.  Two analyses with equal
+    :func:`analysis_ledger_hash` linked every pair identically and built
+    the same evolution graph.
+    """
+    linkages = {
+        (linkage.old_year, linkage.new_year): linkage
+        for linkage in getattr(analysis, "pair_linkages", []) or []
+    }
+    pairs = []
+    for patterns in analysis.pair_patterns:
+        entry: Dict[str, object] = {
+            "old_year": patterns.old_year,
+            "new_year": patterns.new_year,
+            "records": {
+                "preserved": [
+                    list(pair) for pair in sorted(patterns.records.preserved)
+                ],
+                "added": sorted(patterns.records.added),
+                "removed": sorted(patterns.records.removed),
+            },
+            "groups": {
+                "preserved": [
+                    list(pair) for pair in sorted(patterns.groups.preserved)
+                ],
+                "moves": [
+                    list(pair) for pair in sorted(patterns.groups.moves)
+                ],
+                "splits": {
+                    old_id: sorted(new_ids)
+                    for old_id, new_ids in sorted(
+                        patterns.groups.splits.items()
+                    )
+                },
+                "merges": {
+                    new_id: sorted(old_ids)
+                    for new_id, old_ids in sorted(
+                        patterns.groups.merges.items()
+                    )
+                },
+                "added": sorted(patterns.groups.added),
+                "removed": sorted(patterns.groups.removed),
+            },
+        }
+        linkage = linkages.get((patterns.old_year, patterns.new_year))
+        if linkage is not None:
+            entry["record_mapping"] = linkage.record_mapping.as_jsonable()
+            entry["group_mapping"] = linkage.group_mapping.as_jsonable()
+        pairs.append(entry)
+    return {"years": list(analysis.graph.years), "pairs": pairs}
+
+
+def analysis_ledger_hash(analysis) -> str:
+    """SHA-256 of the canonical compact JSON of :func:`analysis_ledger`."""
+    canonical = json.dumps(
+        analysis_ledger(analysis), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,489 @@
+"""SeriesState: settled per-pair linkage state for incremental re-linkage.
+
+A rolling census series grows one snapshot at a time, but
+:func:`repro.evolution.analysis.analyse_series` re-links every adjacent
+pair from scratch on each call.  This module persists what each pair run
+*settled* — the accepted record/group mappings, the pinned
+:class:`~repro.core.simcache.SimilarityCache` scores and the pruning
+bounds — together with the identity evidence needed to decide whether
+that state is still valid when the series is analysed again:
+
+* a **snapshot fingerprint** per dataset (full record content, like
+  :func:`repro.checkpoint.state.dataset_fingerprint` but per side), the
+  cheap exact-match test for "nothing changed at all";
+* a **per-blocking-key fingerprint** map per side.  Blocking is the
+  pipeline's unit of candidate generation: a record pair can only be
+  proposed inside a shared key, so when a snapshot is revised the set
+  of keys whose membership or member content changed — the *dirty
+  keys* — bounds the records whose candidacy, scores or pruning bounds
+  could possibly differ.  Everything outside the dirty keys is reused
+  as a :class:`CacheSeed`.
+
+Identity contract (what invalidates what):
+
+* a different ``LinkageConfig.fingerprint()`` invalidates the whole
+  pair state — thresholds, weights, blocking and backends all shape
+  the decisions;
+* equal snapshot fingerprints on both sides revalidate the stored
+  mappings outright (byte-equal inputs, deterministic pipeline);
+* otherwise the pair is re-linked, seeding the similarity cache with
+  every pinned score and pruning bound whose two records both lie
+  outside the dirty keys of their side.  A key's fingerprint covers
+  the full content of *all* its member records, so any membership
+  change (add, remove, edit) dirties the key — including block-size
+  effects such as a block crossing ``max_block_size``.  Seeded scores
+  are pure functions of record content and seeded bounds are true
+  upper bounds regardless of δ, so seeding can never change a link
+  decision (proven by ``incremental_vs_scratch``); it only avoids
+  re-scoring.
+
+On disk a :class:`SeriesStore` is one directory with one
+schema-versioned, content-hashed document per adjacent pair
+(``pair_<old>_<new>.json``), written atomically.  A corrupt or
+unreadable pair file is treated as missing — the pair is simply
+re-linked from scratch and the file rewritten — so recovery is always
+convergent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..blocking.standard import (
+    NO_BLOCK_PREFIX,
+    CrossProductBlocker,
+    StandardBlocker,
+    no_block_key,
+)
+from ..instrumentation import (
+    CHECKPOINT_BYTES,
+    CHECKPOINT_LOADS,
+    CHECKPOINT_WRITES,
+    Instrumentation,
+)
+from ..ioutil import PathLike, atomic_write_text, is_temp_artifact
+from .state import CheckpointCorrupt, CheckpointSchemaError, content_hash
+
+#: Series pair-state document schema (independent of the RunState schema).
+SERIES_SCHEMA_VERSION = 1
+
+#: File name pattern of per-pair state documents.
+PAIR_NAME_FORMAT = "pair_{old_year}_{new_year}.json"
+_PAIR_NAME_RE = re.compile(r"^pair_(\d+)_(\d+)\.json$")
+
+#: The single all-encompassing key used for blockers without a key model
+#: (union/custom blockers): any change dirties everything, so incremental
+#: runs degrade to snapshot-fingerprint reuse only — conservative, never
+#: wrong.
+COARSE_KEY = "__all__"
+
+#: Instrumentation stage names for series-state I/O.
+SERIES_WRITE_STAGE = "series_state_write"
+SERIES_LOAD_STAGE = "series_state_load"
+
+
+def _record_row(record) -> Tuple:
+    """The canonical content row of one record — every attribute the
+    pipeline compares or blocks on (same shape as
+    :func:`repro.checkpoint.state.dataset_fingerprint`)."""
+    return (
+        record.record_id,
+        record.household_id,
+        record.first_name,
+        record.surname,
+        record.sex,
+        record.age,
+        record.occupation,
+        record.address,
+        record.role,
+    )
+
+
+def snapshot_fingerprint(dataset) -> str:
+    """Short stable hash of one dataset's year and full record content."""
+    digest = hashlib.sha256()
+    digest.update(str(dataset.year).encode("utf-8"))
+    for record in dataset.iter_records():
+        digest.update(json.dumps(_record_row(record)).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def blocking_keys(dataset, config) -> Dict[str, List[str]]:
+    """Record ids per blocking key, covering **every** record.
+
+    Keys mirror the configured blocker's candidate generation:
+
+    * :class:`StandardBlocker` — one key per (pass index, key value).
+      Records whose key function yields an empty or no-block sentinel
+      value get a per-record singleton key instead, so an edit to such
+      a record still dirties a key (its own).
+    * :class:`CrossProductBlocker` — every record pairs with every
+      other, so a change to a record invalidates exactly the pairs
+      involving it: one singleton key per record.
+    * anything else (union/custom blockers) — no per-key model is
+      assumed; a single :data:`COARSE_KEY` holds all records, making
+      any change dirty everything (correct, merely unhelpful).
+    """
+    blocker = config.build_blocker()
+    records = list(dataset.iter_records())
+    if isinstance(blocker, StandardBlocker):
+        keys: Dict[str, List[str]] = {}
+        for pass_index, key_function in enumerate(blocker.key_functions):
+            for record in records:
+                value = key_function(record)
+                if not value or value.startswith(NO_BLOCK_PREFIX):
+                    value = no_block_key(record)
+                keys.setdefault(f"{pass_index}|{value}", []).append(
+                    record.record_id
+                )
+        return keys
+    if isinstance(blocker, CrossProductBlocker):
+        return {
+            f"record|{record.record_id}": [record.record_id]
+            for record in records
+        }
+    return {COARSE_KEY: [record.record_id for record in records]}
+
+
+def blocking_key_fingerprints(
+    dataset, config
+) -> Tuple[Dict[str, List[str]], Dict[str, str]]:
+    """(key → sorted member ids, key → content fingerprint) for a dataset.
+
+    A key's fingerprint hashes the full canonical row of every member
+    record in sorted-id order, so it changes whenever the key gains or
+    loses a member *or* any member's content changes — the exact
+    invalidation granularity of candidate generation.
+    """
+    keys = blocking_keys(dataset, config)
+    fingerprints: Dict[str, str] = {}
+    for key, record_ids in keys.items():
+        record_ids.sort()
+        digest = hashlib.sha256()
+        for record_id in record_ids:
+            row = _record_row(dataset.record(record_id))
+            digest.update(json.dumps(row).encode("utf-8"))
+        fingerprints[key] = digest.hexdigest()[:16]
+    return keys, fingerprints
+
+
+def dirty_keys(
+    stored: Mapping[str, str], current: Mapping[str, str]
+) -> Set[str]:
+    """Keys whose fingerprint differs between a stored and the current
+    snapshot — including keys that appeared or vanished."""
+    return {
+        key
+        for key in set(stored) | set(current)
+        if stored.get(key) != current.get(key)
+    }
+
+
+def dirty_record_ids(
+    current_keys: Mapping[str, Sequence[str]], dirty: Set[str]
+) -> Set[str]:
+    """Current records belonging to any dirty key.
+
+    Membership is taken from the *current* snapshot: a deleted record
+    cannot appear in any current candidate pair, and a changed or added
+    record always changes all of its current keys (their fingerprints
+    cover its content), so every record whose candidacy could have
+    shifted is caught here.
+    """
+    records: Set[str] = set()
+    for key in dirty:
+        records.update(current_keys.get(key, ()))
+    return records
+
+
+@dataclass(frozen=True)
+class CacheSeed:
+    """Pre-validated similarity knowledge to pre-populate a fresh run's
+    :class:`~repro.core.simcache.SimilarityCache` with.
+
+    ``pinned`` rows are ``[old_id, new_id, score]`` exact scores;
+    ``bounds`` rows are ``[old_id, new_id, bound, origin]`` pruning
+    upper bounds.  Both are facts about record content only, so
+    replaying them is indistinguishable from having scored the pairs in
+    an earlier δ round.
+    """
+
+    pinned: Tuple[Tuple, ...] = ()
+    bounds: Tuple[Tuple, ...] = ()
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.pinned) + len(self.bounds)
+
+
+def build_seed(
+    state: "PairState",
+    clean_old_ids: Set[str],
+    clean_new_ids: Set[str],
+) -> CacheSeed:
+    """The stored cache entries whose both endpoints are clean records."""
+    # Imported lazily: repro.core.pipeline imports this package at module
+    # load, so series must not import repro.core back at its own.
+    from ..core.simcache import decompress_rows
+
+    pinned = tuple(
+        tuple(row)
+        for row in decompress_rows(state.pinned)
+        if row[0] in clean_old_ids and row[1] in clean_new_ids
+    )
+    bounds = tuple(
+        tuple(row)
+        for row in decompress_rows(state.bounds)
+        if row[0] in clean_old_ids and row[1] in clean_new_ids
+    )
+    return CacheSeed(pinned=pinned, bounds=bounds)
+
+
+def cache_parts(rows: Sequence[Sequence[object]]) -> List[str]:
+    """Rows as a (possibly empty) list of compressed journal parts."""
+    from ..core.simcache import compress_rows  # see build_seed
+
+    return [compress_rows([list(row) for row in rows])] if rows else []
+
+
+@dataclass
+class PairState:
+    """Everything one adjacent pair's linkage settled, plus the identity
+    evidence that decides whether it is still valid (module docstring)."""
+
+    old_year: int
+    new_year: int
+    #: Fingerprint of the LinkageConfig that produced this state.
+    config_fingerprint: str
+    #: :func:`snapshot_fingerprint` of each side at write time.
+    old_snapshot: str
+    new_snapshot: str
+    #: Per-blocking-key content fingerprints of each side.
+    old_keys: Dict[str, str] = field(default_factory=dict)
+    new_keys: Dict[str, str] = field(default_factory=dict)
+    #: Accepted links, canonical sorted ``[old_id, new_id]`` rows.
+    record_pairs: List[List[str]] = field(default_factory=list)
+    group_pairs: List[List[str]] = field(default_factory=list)
+    #: Compressed journal parts of the run's final pinned scores and
+    #: pruning bounds (see :mod:`repro.core.simcache`); lazy entries are
+    #: deliberately absent — they are cheap, unbounded rediscoveries.
+    pinned: List[str] = field(default_factory=list)
+    bounds: List[str] = field(default_factory=list)
+
+    # -- serialization ---------------------------------------------------------
+
+    def as_payload(self) -> Dict[str, object]:
+        return {
+            "old_year": self.old_year,
+            "new_year": self.new_year,
+            "config_fingerprint": self.config_fingerprint,
+            "old_snapshot": self.old_snapshot,
+            "new_snapshot": self.new_snapshot,
+            "old_keys": dict(self.old_keys),
+            "new_keys": dict(self.new_keys),
+            "record_pairs": [list(pair) for pair in self.record_pairs],
+            "group_pairs": [list(pair) for pair in self.group_pairs],
+            "pinned": list(self.pinned),
+            "bounds": list(self.bounds),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "PairState":
+        try:
+            return cls(
+                old_year=payload["old_year"],
+                new_year=payload["new_year"],
+                config_fingerprint=payload["config_fingerprint"],
+                old_snapshot=payload["old_snapshot"],
+                new_snapshot=payload["new_snapshot"],
+                old_keys=dict(payload["old_keys"]),
+                new_keys=dict(payload["new_keys"]),
+                record_pairs=[list(pair) for pair in payload["record_pairs"]],
+                group_pairs=[list(pair) for pair in payload["group_pairs"]],
+                pinned=list(payload["pinned"]),
+                bounds=list(payload["bounds"]),
+            )
+        except (KeyError, TypeError) as error:
+            raise CheckpointCorrupt(
+                f"series pair state is missing or malformed: {error!r}"
+            ) from None
+
+    def dumps(self) -> str:
+        """The on-disk document, following the RunState envelope
+        discipline (single-pass compact payload, spliced by hand)."""
+        payload_text = json.dumps(
+            self.as_payload(),
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        digest = hashlib.sha256(payload_text.encode("utf-8")).hexdigest()
+        return (
+            f'{{"content_hash":"{digest}","payload":{payload_text},'
+            f'"series_schema":{SERIES_SCHEMA_VERSION}}}\n'
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "PairState":
+        """Parse and verify a pair-state document (schema checked before
+        the payload, content hash before interpretation — exactly the
+        RunState discipline)."""
+        try:
+            document = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CheckpointCorrupt(
+                f"series pair state is not valid JSON: {error}"
+            ) from None
+        if not isinstance(document, dict):
+            raise CheckpointCorrupt(
+                f"series pair state must be an object, got "
+                f"{type(document).__name__}"
+            )
+        schema = document.get("series_schema")
+        if schema != SERIES_SCHEMA_VERSION:
+            raise CheckpointSchemaError(
+                f"unsupported series schema {schema!r} "
+                f"(this build reads schema {SERIES_SCHEMA_VERSION})"
+            )
+        payload = document.get("payload")
+        declared = document.get("content_hash")
+        if payload is None or declared is None:
+            raise CheckpointCorrupt(
+                "series pair state lacks a payload/content_hash section"
+            )
+        actual = content_hash(payload)
+        if actual != declared:
+            raise CheckpointCorrupt(
+                f"series pair state content hash mismatch: declared "
+                f"{declared}, recomputed {actual}"
+            )
+        return cls.from_payload(payload)
+
+
+class SeriesStore:
+    """One series-state directory: a pair-state document per adjacent
+    snapshot pair, written atomically and loaded leniently.
+
+    ``replace`` substitutes ``os.replace`` in the atomic write — the
+    same fault-injection seam :class:`~repro.checkpoint.store.CheckpointStore`
+    exposes for the crash-matrix battery.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        replace: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self._replace = replace
+        #: ``(path, reason)`` of pair files treated as missing because
+        #: they could not be read (corrupt bytes, unknown schema).
+        self.skipped: List[Tuple[Path, str]] = []
+
+    def path_for(self, old_year: int, new_year: int) -> Path:
+        return self.directory / PAIR_NAME_FORMAT.format(
+            old_year=old_year, new_year=new_year
+        )
+
+    # -- writing --------------------------------------------------------------
+
+    def write_pair(
+        self,
+        state: PairState,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> Path:
+        """Persist one pair's settled state, atomically and flushed.
+
+        Unlike per-round checkpoints, a pair state is written once per
+        re-linked pair — it is the durable product of the run, so it is
+        always fsynced.
+        """
+        text = state.dumps()
+        path_target = self.path_for(state.old_year, state.new_year)
+        if instrumentation is not None:
+            with instrumentation.stage(SERIES_WRITE_STAGE):
+                path = atomic_write_text(
+                    path_target, text, replace=self._replace, fsync=True
+                )
+            instrumentation.count(CHECKPOINT_WRITES)
+            instrumentation.count(CHECKPOINT_BYTES, len(text))
+        else:
+            path = atomic_write_text(
+                path_target, text, replace=self._replace, fsync=True
+            )
+        return path
+
+    # -- loading --------------------------------------------------------------
+
+    def load(self, path: PathLike) -> PairState:
+        """Load and verify one pair-state file (strict: raises)."""
+        target = Path(path)
+        try:
+            text = target.read_text(encoding="utf-8")
+        except OSError as error:
+            raise CheckpointCorrupt(
+                f"cannot read series pair state {target}: {error}"
+            ) from None
+        return PairState.loads(text)
+
+    def load_pair(
+        self,
+        old_year: int,
+        new_year: int,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> Optional[PairState]:
+        """The stored state of one pair, or ``None`` when absent or
+        unusable.  Unusable files are recorded in :attr:`skipped` and
+        treated as missing: the pair is re-linked from scratch and the
+        file rewritten, so recovery always converges.
+        """
+        path = self.path_for(old_year, new_year)
+        if not path.is_file():
+            return None
+        try:
+            if instrumentation is not None:
+                with instrumentation.stage(SERIES_LOAD_STAGE):
+                    state = self.load(path)
+                instrumentation.count(CHECKPOINT_LOADS)
+            else:
+                state = self.load(path)
+        except (CheckpointCorrupt, CheckpointSchemaError) as error:
+            self.skipped.append((path, str(error)))
+            return None
+        return state
+
+    # -- inspection -----------------------------------------------------------
+
+    def entries(self) -> List[Tuple[Path, int, int]]:
+        """All pair-state files as (path, old year, new year), sorted by
+        years; in-flight temporary artifacts are never listed."""
+        if not self.directory.is_dir():
+            return []
+        entries: List[Tuple[Path, int, int]] = []
+        for path in sorted(self.directory.iterdir()):
+            if is_temp_artifact(path) or not path.is_file():
+                continue
+            match = _PAIR_NAME_RE.match(path.name)
+            if match:
+                entries.append(
+                    (path, int(match.group(1)), int(match.group(2)))
+                )
+        entries.sort(key=lambda entry: (entry[1], entry[2]))
+        return entries
+
+
+def coerce_series_store(
+    series_state: Union[PathLike, SeriesStore, None]
+) -> Optional[SeriesStore]:
+    """Accept a directory path or an existing store (mirrors
+    :func:`repro.checkpoint.store.coerce_store`); ``None`` passes through."""
+    if series_state is None:
+        return None
+    if isinstance(series_state, SeriesStore):
+        return series_state
+    return SeriesStore(series_state)

@@ -6,6 +6,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli link data/census_1871.csv data/census_1881.csv \
         --records links_records.csv --groups links_groups.csv \
         --workers 4 --profile
+    python -m repro.cli link data/census_*.csv \
+        --incremental --series-state state/   # rolling-series mode
     python -m repro.cli evaluate links_records.csv data/truth_records_1871_1881.csv
     python -m repro.cli evolve data/census_*.csv
     python -m repro.cli golden --check          # replay committed goldens
@@ -55,25 +57,163 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_link(args: argparse.Namespace) -> int:
-    old_dataset = model_io.read_dataset(args.old)
-    new_dataset = model_io.read_dataset(args.new)
-    if args.resume and not args.checkpoint_dir:
-        print("link: --resume requires --checkpoint-dir", file=sys.stderr)
-        return 2
-    config = LinkageConfig(
+def _add_linkage_flags(parser: argparse.ArgumentParser) -> None:
+    """The LinkageConfig flags shared by every linking subcommand.
+
+    ``link`` and ``evolve`` must accept the same knobs: the series path
+    of ``link`` and the whole of ``evolve`` used to silently run a
+    default ``LinkageConfig()``, dropping backend/worker flags — now
+    both thread one parsed config through :func:`analyse_series`.
+    """
+    parser.add_argument("--delta-high", type=float, default=0.7)
+    parser.add_argument("--delta-low", type=float, default=0.5)
+    parser.add_argument("--alpha", type=float, default=0.2)
+    parser.add_argument("--beta", type=float, default=0.7)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for pair scoring (1 = serial, 0 = all cores); "
+        "output is identical for any value",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-stage timers, event counters and per-round "
+        "cache statistics after linking",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="enforce the structural invariants of Alg. 1/2 inline "
+        "(record-disjoint subgraphs, 1:1 links, witnessed group links); "
+        "violations abort with a structured report",
+    )
+    parser.add_argument(
+        "--no-filtering", action="store_true",
+        help="disable the lossless candidate-pruning engine "
+        "(repro.core.filtering); mappings are identical either way, "
+        "pruning only avoids full similarity computations",
+    )
+    parser.add_argument(
+        "--scoring-backend", choices=("vectorized", "python"),
+        default="vectorized",
+        help="bulk pair-scoring backend: 'vectorized' batches candidate "
+        "chunks through the numpy kernel (repro.core.kernel; silently "
+        "falls back to 'python' without numpy), 'python' forces the "
+        "per-pair reference path; outcomes are bit-identical either way",
+    )
+    parser.add_argument(
+        "--group-backend", choices=available_backends(), default="default",
+        help="group-matching backend for the §3.3–§3.4 slot "
+        "(repro.core.backends): 'default' is the paper's common-subgraph "
+        "engine, 'rgl' the two-stage CORE-refinement matcher (Robust "
+        "Group Linkage), 'hausdorff' the min-max set-distance household "
+        "matcher; backends produce different results by design — see the "
+        "scenario matrix in EXPERIMENTS.md",
+    )
+
+
+def _add_series_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--series-state", metavar="DIR",
+        help="series-state directory for incremental re-linkage "
+        "(repro.checkpoint.series): settled pair mappings and similarity "
+        "knowledge are persisted here and reused on the next run, so only "
+        "the pairs a new or revised snapshot dirtied are re-linked — the "
+        "output is identical to a from-scratch run",
+    )
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help="require incremental mode (must be combined with "
+        "--series-state; on its own --series-state already implies it)",
+    )
+
+
+def _linkage_config(args: argparse.Namespace, year_gap: int) -> LinkageConfig:
+    """One LinkageConfig from the shared flags (plus link-only extras)."""
+    return LinkageConfig(
         delta_high=args.delta_high,
         delta_low=args.delta_low,
         alpha=args.alpha,
         beta=args.beta,
-        year_gap=new_dataset.year - old_dataset.year,
+        year_gap=year_gap,
         n_workers=args.workers,
         validate=args.validate,
         filtering=not args.no_filtering,
         scoring_backend=args.scoring_backend,
         group_backend=args.group_backend,
-        checkpoint_every=args.checkpoint_every,
+        checkpoint_every=getattr(args, "checkpoint_every", 1),
     )
+
+
+def _mapping_path(base: str, old_year: int, new_year: int) -> Path:
+    path = Path(base)
+    return path.with_name(f"{path.stem}_{old_year}_{new_year}{path.suffix}")
+
+
+def _run_series(args: argparse.Namespace, datasets) -> int:
+    """Analyse a series (incremental when --series-state is given) and
+    print per-pair links plus the evolution summary."""
+    config = _linkage_config(args, datasets[1].year - datasets[0].year)
+    analysis = analyse_series(
+        datasets, config=config, series_state=args.series_state
+    )
+    for linkage in analysis.pair_linkages:
+        print(
+            f"{linkage.old_year}-{linkage.new_year}: "
+            f"{len(linkage.record_mapping)} record links, "
+            f"{len(linkage.group_mapping)} group links"
+        )
+        records_base = getattr(args, "records", None)
+        if records_base:
+            path = _mapping_path(records_base, linkage.old_year, linkage.new_year)
+            model_io.write_record_mapping(linkage.record_mapping, path)
+            print(f"wrote {path}")
+        groups_base = getattr(args, "groups", None)
+        if groups_base:
+            path = _mapping_path(groups_base, linkage.old_year, linkage.new_year)
+            model_io.write_group_mapping(linkage.group_mapping, path)
+            print(f"wrote {path}")
+    print("Group evolution patterns per pair:")
+    for pair, counts in sorted(analysis.pattern_frequency_table().items()):
+        ordered = ", ".join(
+            f"{name}={counts.get(name, 0)}"
+            for name in ("preserve_G", "move", "split", "merge", "add_G",
+                         "remove_G")
+        )
+        print(f"  {pair[0]}-{pair[1]}: {ordered}")
+    print("Preserved households per interval:",
+          analysis.preserve_interval_table())
+    share = analysis.largest_component_share()
+    print(f"Largest connected component: {share * 100:.1f}% of households")
+    if args.profile and analysis.profile is not None:
+        print()
+        print(analysis.profile.report())
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    if len(args.datasets) < 2:
+        print("link: need at least two census CSVs", file=sys.stderr)
+        return 2
+    if args.incremental and not args.series_state:
+        print("link: --incremental requires --series-state", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("link: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    datasets = sorted(
+        (model_io.read_dataset(path) for path in args.datasets),
+        key=lambda dataset: dataset.year,
+    )
+    if len(datasets) > 2 or args.series_state:
+        if args.checkpoint_dir:
+            print(
+                "link: --checkpoint-dir applies to single-pair runs; "
+                "series runs persist state via --series-state",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_series(args, datasets)
+    old_dataset, new_dataset = datasets
+    config = _linkage_config(args, new_dataset.year - old_dataset.year)
     result = link_datasets(
         old_dataset,
         new_dataset,
@@ -114,24 +254,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_evolve(args: argparse.Namespace) -> int:
+    if args.incremental and not args.series_state:
+        print("evolve: --incremental requires --series-state", file=sys.stderr)
+        return 2
     datasets = sorted(
         (model_io.read_dataset(path) for path in args.datasets),
         key=lambda dataset: dataset.year,
     )
-    analysis = analyse_series(datasets, config=LinkageConfig())
-    print("Group evolution patterns per pair:")
-    for pair, counts in sorted(analysis.pattern_frequency_table().items()):
-        ordered = ", ".join(
-            f"{name}={counts.get(name, 0)}"
-            for name in ("preserve_G", "move", "split", "merge", "add_G",
-                         "remove_G")
-        )
-        print(f"  {pair[0]}-{pair[1]}: {ordered}")
-    print("Preserved households per interval:",
-          analysis.preserve_interval_table())
-    share = analysis.largest_component_share()
-    print(f"Largest connected component: {share * 100:.1f}% of households")
-    return 0
+    return _run_series(args, datasets)
 
 
 def _cmd_checkpoints(args: argparse.Namespace) -> int:
@@ -208,59 +338,30 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(func=_cmd_generate)
 
     link = commands.add_parser(
-        "link", help="link two census CSVs (record + group mappings)"
-    )
-    link.add_argument("old", help="older census CSV")
-    link.add_argument("new", help="newer census CSV")
-    link.add_argument("--records", help="output CSV for the record mapping")
-    link.add_argument("--groups", help="output CSV for the group mapping")
-    link.add_argument("--delta-high", type=float, default=0.7)
-    link.add_argument("--delta-low", type=float, default=0.5)
-    link.add_argument("--alpha", type=float, default=0.2)
-    link.add_argument("--beta", type=float, default=0.7)
-    link.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for pair scoring (1 = serial, 0 = all cores); "
-        "output is identical for any value",
+        "link", help="link census CSVs: a pair, or a whole rolling series "
+        "with --series-state incremental re-linkage"
     )
     link.add_argument(
-        "--profile", action="store_true",
-        help="print per-stage timers, event counters and per-round "
-        "cache statistics after linking",
+        "datasets", nargs="+", metavar="census.csv",
+        help="census CSVs (two for a pair run; more, or --series-state, "
+        "switch to series mode)",
     )
     link.add_argument(
-        "--validate", action="store_true",
-        help="enforce the structural invariants of Alg. 1/2 inline "
-        "(record-disjoint subgraphs, 1:1 links, witnessed group links); "
-        "violations abort with a structured report",
+        "--records",
+        help="output CSV for the record mapping (series mode writes one "
+        "file per pair, years appended to the name)",
     )
     link.add_argument(
-        "--no-filtering", action="store_true",
-        help="disable the lossless candidate-pruning engine "
-        "(repro.core.filtering); mappings are identical either way, "
-        "pruning only avoids full similarity computations",
+        "--groups",
+        help="output CSV for the group mapping (series mode writes one "
+        "file per pair, years appended to the name)",
     )
-    link.add_argument(
-        "--scoring-backend", choices=("vectorized", "python"),
-        default="vectorized",
-        help="bulk pair-scoring backend: 'vectorized' batches candidate "
-        "chunks through the numpy kernel (repro.core.kernel; silently "
-        "falls back to 'python' without numpy), 'python' forces the "
-        "per-pair reference path; outcomes are bit-identical either way",
-    )
-    link.add_argument(
-        "--group-backend", choices=available_backends(), default="default",
-        help="group-matching backend for the §3.3–§3.4 slot "
-        "(repro.core.backends): 'default' is the paper's common-subgraph "
-        "engine, 'rgl' the two-stage CORE-refinement matcher (Robust "
-        "Group Linkage), 'hausdorff' the min-max set-distance household "
-        "matcher; backends produce different results by design — see the "
-        "scenario matrix in EXPERIMENTS.md",
-    )
+    _add_linkage_flags(link)
+    _add_series_flags(link)
     link.add_argument(
         "--checkpoint-dir",
         help="persist a resumable run-state snapshot here after every "
-        "checkpointed δ round and after the final pass",
+        "checkpointed δ round and after the final pass (pair runs only)",
     )
     link.add_argument(
         "--resume", action="store_true",
@@ -295,6 +396,8 @@ def build_parser() -> argparse.ArgumentParser:
         "evolve", help="link a whole series and report evolution patterns"
     )
     evolve.add_argument("datasets", nargs="+", help="census CSVs (>=2 years)")
+    _add_linkage_flags(evolve)
+    _add_series_flags(evolve)
     evolve.set_defaults(func=_cmd_evolve)
 
     golden = commands.add_parser(

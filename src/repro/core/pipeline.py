@@ -37,6 +37,7 @@ from ..instrumentation import (
     CACHE_HITS,
     CACHE_MISSES,
     PAIRS_SCORED,
+    SERIES_SEED_ENTRIES,
     Instrumentation,
 )
 from ..model.dataset import CensusDataset
@@ -107,6 +108,10 @@ class LinkageResult:
     #: Per-link :class:`LinkOrigin`, populated only when the run was
     #: validated (``LinkageConfig.validate``); ``None`` otherwise.
     provenance: Optional[Dict[Tuple[str, str], LinkOrigin]] = None
+    #: The run's similarity cache, kept only when the caller passed
+    #: ``keep_cache=True`` (the incremental series engine harvests its
+    #: pinned scores and pruning bounds); ``None`` otherwise.
+    cache: Optional[SimilarityCache] = None
 
     @property
     def num_record_links(self) -> int:
@@ -140,6 +145,8 @@ class IterativeGroupLinkage:
         new_dataset: CensusDataset,
         checkpoint_dir: Optional[Union[str, Path, CheckpointStore]] = None,
         resume: bool = False,
+        cache_seed=None,
+        keep_cache: bool = False,
     ) -> LinkageResult:
         """Run Algorithm 1 on two successive census datasets.
 
@@ -152,6 +159,14 @@ class IterativeGroupLinkage:
         an uninterrupted run (``repro.checkpoint.ledger_hash``).  A
         checkpoint recorded under a different configuration or different
         input data is rejected with :class:`CheckpointMismatch`.
+
+        ``cache_seed`` (a :class:`repro.checkpoint.series.CacheSeed`)
+        pre-populates the similarity cache with scores and bounds a
+        previous run settled for unchanged records — the decisions are
+        provably unaffected (see :meth:`SimilarityCache.seed`), only the
+        re-scoring work is skipped.  ``keep_cache=True`` exposes the
+        final cache on ``result.cache`` so the incremental series engine
+        can persist it.
         """
         config = self.config
         blocker = config.build_blocker()
@@ -222,6 +237,13 @@ class IterativeGroupLinkage:
         cache = SimilarityCache(
             max_lazy_entries=config.max_lazy_cache_entries or None
         )
+        if cache_seed is not None:
+            # Seeded before journalling so round-boundary checkpoints of
+            # a seeded run capture the seed rows too.
+            cache.seed(cache_seed.pinned, cache_seed.bounds)
+            instrumentation.count(
+                SERIES_SEED_ENTRIES, cache_seed.num_entries
+            )
         if store is not None and config.checkpoint_cache:
             # Journalled exports: rows are serialized as they are pinned
             # or bounded, so per-round checkpoints don't rebuild the
@@ -496,6 +518,7 @@ class IterativeGroupLinkage:
             subgraph_record_links=subgraph_links,
             profile=instrumentation,
             provenance=provenance,
+            cache=cache if keep_cache else None,
         )
         if validating:
             # Full-result pass over the invariant registry (Eq. 1/2,
@@ -647,14 +670,20 @@ def link_datasets(
     config: Optional[LinkageConfig] = None,
     checkpoint_dir: Optional[Union[str, Path, CheckpointStore]] = None,
     resume: bool = False,
+    cache_seed=None,
+    keep_cache: bool = False,
 ) -> LinkageResult:
     """Convenience wrapper: run Algorithm 1 on two datasets with the
     given (or default) configuration, optionally checkpointing each
     round boundary to ``checkpoint_dir`` and resuming from the newest
-    snapshot there (``resume=True``)."""
+    snapshot there (``resume=True``).  ``cache_seed``/``keep_cache``
+    feed the incremental series engine (see
+    :meth:`IterativeGroupLinkage.link`)."""
     return IterativeGroupLinkage(config).link(
         old_dataset,
         new_dataset,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        cache_seed=cache_seed,
+        keep_cache=keep_cache,
     )

@@ -33,7 +33,7 @@ import base64
 import json
 import zlib
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 #: (old record id, new record id) — the cache key.
 PairKey = Tuple[str, str]
@@ -212,6 +212,53 @@ class SimilarityCache:
     @property
     def num_bounds(self) -> int:
         return len(self._bounds)
+
+    # -- series seeding (repro.checkpoint.series) -----------------------------
+
+    def pinned_rows(self) -> List[List[object]]:
+        """All pinned entries as sorted ``[old_id, new_id, score]`` rows —
+        deterministic regardless of insertion order, so two runs that
+        pinned the same set of scores serialize byte-identically."""
+        return sorted(
+            [old_id, new_id, score]
+            for (old_id, new_id), score in self._pinned.items()
+        )
+
+    def bound_rows(self) -> List[List[object]]:
+        """All pruning bounds as sorted ``[old_id, new_id, bound, origin]``
+        rows (same determinism contract as :meth:`pinned_rows`)."""
+        return sorted(
+            [old_id, new_id, bound, origin]
+            for (old_id, new_id), (bound, origin) in self._bounds.items()
+        )
+
+    def seed(
+        self,
+        pinned_rows: Iterable[Sequence[object]],
+        bounds_rows: Iterable[Sequence[object]] = (),
+    ) -> None:
+        """Pre-populate a fresh cache with scores and bounds settled by an
+        earlier run over the same (unchanged) records.
+
+        Replay follows the :meth:`from_export` discipline — bounds
+        first, then pins, each pin evicting its pair's bound — but
+        unlike a resume import this is *knowledge*, not *run state*:
+        the hit/miss/eviction tallies stay untouched, so the seeded
+        run's own effort counters remain meaningful.  Pre-matching then
+        treats every seeded pair exactly as if it had been scored in an
+        earlier δ round: pinned pairs skip scoring outright, bounded
+        pairs stay pruned while the bound clears the round's cutoff and
+        are re-evaluated fresh otherwise — which is why seeding can
+        never change a link decision.  Call on an empty cache before
+        :meth:`enable_export_journal` so journalling captures the
+        seeded entries too.
+        """
+        for old_id, new_id, bound, origin in bounds_rows:
+            if (old_id, new_id) not in self._pinned:
+                self._bounds[(old_id, new_id)] = (bound, origin)
+        for old_id, new_id, score in pinned_rows:
+            self._pinned[(old_id, new_id)] = score
+            self._bounds.pop((old_id, new_id), None)
 
     # -- checkpoint export / import -------------------------------------------
 

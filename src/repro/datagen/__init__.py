@@ -24,6 +24,7 @@ from .names import (
     zipf_weights,
 )
 from .population import PopulationSimulator, SimulationParams
+from .revision import revise_middle_record, revise_records
 from .scenarios import (
     ADVERSARIAL_SCENARIOS,
     SCENARIOS,
@@ -64,4 +65,6 @@ __all__ = [
     "zipf_weights",
     "PopulationSimulator",
     "SimulationParams",
+    "revise_middle_record",
+    "revise_records",
 ]

@@ -458,7 +458,10 @@ class PopulationSimulator:
                 self.world.new_household(self.names.address(), person_id)
             else:
                 target_id = rng.choice(household_ids)
-                if target_id == home_id:
+                # The snapshot can hold households this very loop already
+                # emptied and dropped (drop_if_empty below); lodging with
+                # one of those is impossible, not a fresh RNG draw.
+                if target_id == home_id or target_id not in self.world.households:
                     continue
                 person.is_servant = person.sex == "f" and rng.random() < 0.6
                 self.world.move_person(person_id, target_id)

@@ -1,0 +1,60 @@
+"""Targeted in-place revisions of a census snapshot.
+
+The incremental re-linkage subsystem (ROADMAP item 5) must handle a
+snapshot being *corrected* after it was already linked — a transcription
+fix arriving for a census in the middle of a rolling series.  These
+helpers produce such revisions deterministically, so the differential
+battery, the hypothesis properties and the benchmarks all exercise the
+same well-defined edit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping
+
+from ..model.dataset import CensusDataset
+
+
+def revise_records(
+    dataset: CensusDataset,
+    overrides: Mapping[str, Mapping[str, object]],
+) -> CensusDataset:
+    """A new dataset with per-record attribute overrides applied.
+
+    ``overrides`` maps record ids to attribute replacements, e.g.
+    ``{"1871_12": {"surname": "smyth"}}``.  The input dataset is left
+    untouched; unknown record ids raise ``KeyError`` so a typo in a test
+    cannot silently produce a no-op revision.
+    """
+    revised = []
+    pending: Dict[str, Mapping[str, object]] = dict(overrides)
+    for record in dataset.iter_records():
+        changes = pending.pop(record.record_id, None)
+        if changes:
+            record = dataclasses.replace(record, **changes)
+        revised.append(record)
+    if pending:
+        raise KeyError(
+            f"overrides name record ids absent from the {dataset.year} "
+            f"snapshot: {sorted(pending)}"
+        )
+    return CensusDataset.from_records(dataset.year, revised)
+
+
+def revise_middle_record(
+    dataset: CensusDataset, suffix: str = "x"
+) -> CensusDataset:
+    """The canonical single-record revision: append ``suffix`` to the
+    surname of the record in the middle of the id order.
+
+    Purely a function of the dataset (no randomness), so every caller —
+    differential checks, arrival-matrix tests, benchmarks — revises the
+    same record the same way and results stay comparable.
+    """
+    record_ids = dataset.record_ids
+    if not record_ids:
+        return CensusDataset.from_records(dataset.year, [])
+    target = record_ids[len(record_ids) // 2]
+    surname = dataset.record(target).surname or ""
+    return revise_records(dataset, {target: {"surname": surname + suffix}})

@@ -51,6 +51,17 @@ KERNEL_PAIRS = "kernel_pairs"  # pairs resolved (scored or pruned) by the
 CHECKPOINT_WRITES = "checkpoint_writes"  # run-state snapshots persisted
 CHECKPOINT_LOADS = "checkpoint_loads"  # run-state snapshots restored on resume
 CHECKPOINT_BYTES = "checkpoint_bytes_written"  # serialized checkpoint bytes
+SERIES_PAIRS_REUSED = "series_pairs_reused"  # adjacent pairs whose stored
+# mappings were revalidated outright (equal snapshot fingerprints, no re-link)
+SERIES_PAIRS_RELINKED = "series_pairs_relinked"  # adjacent pairs re-linked
+# by an incremental run (cold, or dirtied by a snapshot change)
+SERIES_KEYS_DIRTY = "series_keys_dirty"  # blocking keys (both sides) whose
+# fingerprint changed vs the stored pair state — drives cache-seed selection
+SERIES_KEYS_TOTAL = "series_keys_total"  # blocking keys (both sides) examined
+SERIES_SEED_ENTRIES = "series_seed_entries"  # cache entries (pins + bounds)
+# replayed into a re-linked pair's similarity cache from stored state
+PAIRS_RESCORED = "pairs_rescored"  # agg_sim evaluations performed by the
+# re-linked pairs of an incremental run; 0 proves a no-op re-run did no work
 
 
 @dataclass

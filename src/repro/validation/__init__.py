@@ -23,6 +23,7 @@ from .differential import (
     assert_equivalences,
     blocking_cross_covers_standard,
     cache_bounded_vs_unbounded,
+    incremental_vs_scratch,
     run_differential,
     serial_vs_parallel,
 )
@@ -30,6 +31,7 @@ from .golden import (
     DEFAULT_SPECS,
     GoldenCheck,
     GoldenSpec,
+    analysis_jsonable,
     canonical_json,
     check_golden,
     config_fingerprint,
@@ -54,11 +56,13 @@ __all__ = [
     "assert_equivalences",
     "blocking_cross_covers_standard",
     "cache_bounded_vs_unbounded",
+    "incremental_vs_scratch",
     "run_differential",
     "serial_vs_parallel",
     "DEFAULT_SPECS",
     "GoldenCheck",
     "GoldenSpec",
+    "analysis_jsonable",
     "canonical_json",
     "check_golden",
     "config_fingerprint",

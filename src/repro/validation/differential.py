@@ -22,6 +22,15 @@ that must not change the output:
   ``vectorized`` runs are bit-identical to ``python`` runs, serial and
   parallel alike, down to the scoring effort (see ``docs/KERNEL.md``);
 
+one is a declared *pure reuse* knob:
+
+* ``series_state`` — incremental re-linkage of a rolling series
+  (:mod:`repro.checkpoint.series`) reuses settled pair mappings and
+  seeds similarity caches from stored state, so the resulting
+  ``EvolutionAnalysis`` must be decision-identical to a from-scratch
+  run across every arrival sequence — append, no-op re-run, revised
+  snapshot (:func:`incremental_vs_scratch`);
+
 and one is a declared *coverage* knob:
 
 * ``blocking`` — the exact cross product proposes a superset of the
@@ -38,6 +47,7 @@ and ``tests/test_validation_differential.py`` run the declared set.
 from __future__ import annotations
 
 import dataclasses
+import tempfile
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -516,6 +526,169 @@ def backend_default_vs_protocol(
     return outcomes
 
 
+def _analysis_mapping_pairs(analysis) -> Tuple[List[Tuple[str, str]], List[Tuple[str, str]]]:
+    """All (record pairs, group pairs) of an analysis, across every
+    adjacent snapshot pair.  Record and household ids are year-prefixed
+    (``1871_12``, ``g1871_3``), so pooling the pairs of different
+    snapshot pairs into one set is unambiguous."""
+    record_pairs: List[Tuple[str, str]] = []
+    group_pairs: List[Tuple[str, str]] = []
+    for linkage in analysis.pair_linkages:
+        record_pairs.extend(linkage.record_mapping.pairs())
+        group_pairs.extend(linkage.group_mapping.pairs())
+    return record_pairs, group_pairs
+
+
+def _compare_analyses(
+    name: str, config: LinkageConfig, base, variant
+) -> DifferentialOutcome:
+    """Judge two EvolutionAnalysis objects for decision identity:
+    pair-level mapping diffs plus analysis-ledger-hash equality (which
+    additionally covers the derived evolution patterns)."""
+    from ..checkpoint import analysis_ledger_hash
+
+    base_records, base_groups = _analysis_mapping_pairs(base)
+    variant_records, variant_groups = _analysis_mapping_pairs(variant)
+    notes: List[str] = []
+    base_hash = analysis_ledger_hash(base)
+    variant_hash = analysis_ledger_hash(variant)
+    if base_hash != variant_hash:
+        notes.append(
+            f"analysis ledger hash differs: base {base_hash[:16]}…, "
+            f"variant {variant_hash[:16]}…"
+        )
+    return DifferentialOutcome(
+        name=name,
+        relation=IDENTICAL,
+        base_config=config,
+        variant_config=config,
+        record_diff=_diff_pairs("record link", base_records, variant_records),
+        group_diff=_diff_pairs("group link", base_groups, variant_groups),
+        notes=notes,
+    )
+
+
+def incremental_vs_scratch(
+    series: Sequence[CensusDataset],
+    config: Optional[LinkageConfig] = None,
+    workers: Sequence[int] = (1, 2),
+) -> List[DifferentialOutcome]:
+    """Incremental series re-linkage is decision-identical to from-scratch
+    across every arrival sequence (ROADMAP item 5 promise).
+
+    Per worker count, against a from-scratch ``analyse_series`` baseline:
+
+    * **cold** — first incremental run into an empty series-state store;
+    * **no-op** — immediate re-run over the warm store; additionally
+      must *prove the reuse*: every pair revalidated by snapshot
+      fingerprint and ``pairs_rescored == 0``;
+    * **append** (series of ≥ 3 snapshots) — warm a fresh store on the
+      series prefix, then the final snapshot "arrives" and only its new
+      pair may be linked;
+    * **revise** — the middle snapshot is revised in place
+      (:func:`repro.datagen.revision.revise_middle_record`) and the warm
+      store must converge to the revised from-scratch result.
+
+    Decision identity means pooled pair-level mapping equality *and*
+    equal ``analysis_ledger_hash`` — mappings, evolution patterns and
+    graph content; effort counters are exactly what incremental mode is
+    licensed to change, so they stay out of the comparison (except the
+    no-op work proof above).
+    """
+    # Imported lazily, mirroring the golden machinery: the differential
+    # core stays importable without the evolution/datagen packages.
+    from ..datagen.revision import revise_middle_record
+    from ..evolution.analysis import analyse_series
+    from ..instrumentation import PAIRS_RESCORED, SERIES_PAIRS_REUSED
+
+    config = config or LinkageConfig()
+    datasets = list(series)
+    num_pairs = len(datasets) - 1
+    outcomes: List[DifferentialOutcome] = []
+    for count in workers:
+        run_config = dataclasses.replace(config, n_workers=count)
+        if count > 1:
+            run_config = dataclasses.replace(
+                run_config, worker_chunk_size=64, group_worker_chunk_size=4
+            )
+        scratch = analyse_series(datasets, config=run_config)
+        with tempfile.TemporaryDirectory(
+            prefix="differential-series-"
+        ) as state_dir:
+            cold = analyse_series(
+                datasets, config=run_config, series_state=state_dir
+            )
+            outcomes.append(
+                _compare_analyses(
+                    f"incremental-vs-scratch(cold,n_workers={count})",
+                    run_config,
+                    scratch,
+                    cold,
+                )
+            )
+            noop = analyse_series(
+                datasets, config=run_config, series_state=state_dir
+            )
+            outcome = _compare_analyses(
+                f"incremental-vs-scratch(no-op,n_workers={count})",
+                run_config,
+                scratch,
+                noop,
+            )
+            rescored = noop.profile.value(PAIRS_RESCORED)
+            if rescored:
+                outcome.notes.append(
+                    f"no-op re-run re-scored {rescored} pairs (expected 0)"
+                )
+            reused = noop.profile.value(SERIES_PAIRS_REUSED)
+            if reused != num_pairs:
+                outcome.notes.append(
+                    f"no-op re-run reused {reused} of {num_pairs} pairs"
+                )
+            outcomes.append(outcome)
+            if len(datasets) >= 3:
+                with tempfile.TemporaryDirectory(
+                    prefix="differential-series-append-"
+                ) as append_dir:
+                    analyse_series(
+                        datasets[:-1],
+                        config=run_config,
+                        series_state=append_dir,
+                    )
+                    appended = analyse_series(
+                        datasets, config=run_config, series_state=append_dir
+                    )
+                outcome = _compare_analyses(
+                    f"incremental-vs-scratch(append,n_workers={count})",
+                    run_config,
+                    scratch,
+                    appended,
+                )
+                reused = appended.profile.value(SERIES_PAIRS_REUSED)
+                if reused != num_pairs - 1:
+                    outcome.notes.append(
+                        f"append arrival reused {reused} of "
+                        f"{num_pairs - 1} prefix pairs"
+                    )
+                outcomes.append(outcome)
+            revised = list(datasets)
+            middle = len(revised) // 2
+            revised[middle] = revise_middle_record(revised[middle])
+            scratch_revised = analyse_series(revised, config=run_config)
+            incremental_revised = analyse_series(
+                revised, config=run_config, series_state=state_dir
+            )
+            outcomes.append(
+                _compare_analyses(
+                    f"incremental-vs-scratch(revise,n_workers={count})",
+                    run_config,
+                    scratch_revised,
+                    incremental_revised,
+                )
+            )
+    return outcomes
+
+
 def blocking_standard_qgram_covers_standard(
     old_dataset: CensusDataset,
     new_dataset: CensusDataset,
@@ -568,13 +741,17 @@ def assert_equivalences(
     config: Optional[LinkageConfig] = None,
     workers: Sequence[int] = (2, 4),
     include_blocking: bool = False,
+    series: Optional[Sequence[CensusDataset]] = None,
 ) -> List[DifferentialOutcome]:
     """Run the declared equivalence suite; raise on any violation.
 
     Always runs serial-vs-parallel, bounded-vs-unbounded cache,
     filtering-on-vs-off (serial and 2 workers), vectorized-vs-python
-    scoring (serial and 2 workers) and indexed-vs-brute-force group-pair
-    enumeration.  ``include_blocking``
+    scoring (serial and 2 workers), indexed-vs-brute-force group-pair
+    enumeration and incremental-vs-scratch series re-linkage
+    (cold/no-op/revise — plus append when the series has ≥ 3 snapshots —
+    serial and 2 workers, over ``series`` or, by default, the two
+    datasets as a minimal series).  ``include_blocking``
     adds the quadratic cross-product comparison and the ``standard+qgram``
     coverage check — off by default so the suite stays usable on larger
     workloads.
@@ -591,6 +768,13 @@ def assert_equivalences(
     outcomes.extend(
         backend_default_vs_protocol(
             old_dataset, new_dataset, config, workers=(1, 2)
+        )
+    )
+    outcomes.extend(
+        incremental_vs_scratch(
+            list(series) if series is not None else [old_dataset, new_dataset],
+            config,
+            workers=(1, 2),
         )
     )
     if include_blocking:

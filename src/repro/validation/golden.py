@@ -61,6 +61,14 @@ class GoldenSpec:
     checkpoint subsystem's core guarantee — its fixture must be
     result-identical to the uninterrupted spec with the same seed,
     workload and configuration.
+
+    ``incremental_snapshots`` (optional) turns the spec into a rolling
+    *series* run: the seeded series has that many snapshots, the first
+    ``n - 1`` are analysed into a fresh series-state directory, and then
+    the full series is re-analysed against the warm store — the final
+    snapshot *arrives incrementally*.  The fixture pins the analysis
+    ledger (decisions only, :func:`repro.checkpoint.analysis_ledger`)
+    instead of a single pair result.
     """
 
     name: str
@@ -68,6 +76,7 @@ class GoldenSpec:
     households: int
     config_overrides: Tuple[Tuple[str, object], ...] = ()
     resume_at_round: Optional[int] = None
+    incremental_snapshots: Optional[int] = None
 
     def build_config(self) -> LinkageConfig:
         overrides = dict(self.config_overrides)
@@ -81,7 +90,15 @@ class GoldenSpec:
         return LinkageConfig(**overrides)
 
     def generate(self):
-        """The seeded dataset pair plus its ground truth series."""
+        """The seeded series (pair, or ``incremental_snapshots`` long)."""
+        if self.incremental_snapshots is not None:
+            from ..datagen.generator import GeneratorConfig, generate_series
+
+            return generate_series(GeneratorConfig(
+                seed=self.seed,
+                num_snapshots=self.incremental_snapshots,
+                initial_households=self.households,
+            ))
         return generate_pair(seed=self.seed, initial_households=self.households)
 
 
@@ -128,6 +145,14 @@ DEFAULT_SPECS: Tuple[GoldenSpec, ...] = (
                config_overrides=(("group_backend", "rgl"),)),
     GoldenSpec("seed7-hausdorff", seed=7, households=30,
                config_overrides=(("group_backend", "hausdorff"),)),
+    # A rolling 3-snapshot series where the third snapshot arrives
+    # against a warm series-state store (repro.checkpoint.series): the
+    # committed proof that incremental re-linkage pins the exact
+    # decisions of a from-scratch analysis — the fixture's ledger hash
+    # is, by the incremental_vs_scratch equivalence, the hash a cold
+    # run produces too.
+    GoldenSpec("seed7-incremental-append", seed=7, households=30,
+               incremental_snapshots=3),
 )
 
 
@@ -207,6 +232,29 @@ def result_jsonable(
     return document
 
 
+def analysis_jsonable(analysis) -> Dict[str, object]:
+    """The golden-relevant view of an :class:`EvolutionAnalysis`.
+
+    Pins the decisions-only analysis ledger (every per-pair mapping and
+    pattern, no effort counters — see
+    :func:`repro.checkpoint.analysis_ledger`) plus its hash and the
+    per-pair pattern frequency table, so series goldens are stable
+    across machines, worker counts and warm-vs-cold series state.
+    """
+    from ..checkpoint import analysis_ledger, analysis_ledger_hash
+
+    return {
+        "ledger": analysis_ledger(analysis),
+        "ledger_hash": analysis_ledger_hash(analysis),
+        "pattern_frequency": {
+            f"{old_year}-{new_year}": dict(sorted(counts.items()))
+            for (old_year, new_year), counts in sorted(
+                analysis.pattern_frequency_table().items()
+            )
+        },
+    }
+
+
 # -- record / check / diff ---------------------------------------------------
 
 
@@ -234,11 +282,33 @@ def _run_resumed(
         )
 
 
+def _run_incremental_append(datasets, config: LinkageConfig):
+    """Warm a series store on all but the last snapshot, then let the
+    last snapshot arrive against it."""
+    from ..evolution.analysis import analyse_series
+
+    with tempfile.TemporaryDirectory(prefix="golden-series-") as tmp:
+        analyse_series(datasets[:-1], config=config, series_state=tmp)
+        return analyse_series(datasets, config=config, series_state=tmp)
+
+
 def run_golden(spec: GoldenSpec) -> Dict[str, object]:
     """Execute a spec's seeded run and build its golden document."""
     series = spec.generate()
-    old_dataset, new_dataset = series.datasets
     config = spec.build_config()
+    if spec.incremental_snapshots is not None:
+        analysis = _run_incremental_append(list(series.datasets), config)
+        return {
+            "schema": SCHEMA_VERSION,
+            "name": spec.name,
+            "seed": spec.seed,
+            "households": spec.households,
+            "config_overrides": [list(item) for item in spec.config_overrides],
+            "incremental_snapshots": spec.incremental_snapshots,
+            "config_fingerprint": config_fingerprint(config),
+            "analysis": analysis_jsonable(analysis),
+        }
+    old_dataset, new_dataset = series.datasets
     if spec.resume_at_round is not None:
         result = _run_resumed(
             old_dataset, new_dataset, config, spec.resume_at_round

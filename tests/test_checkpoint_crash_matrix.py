@@ -233,6 +233,130 @@ class TestCadenceAndOptions:
             link_datasets(old, new, make_config(), resume=True)
 
 
+class TestSeriesStateCrashMatrix:
+    """Kill the *series-state* store mid-incremental-update: a plain
+    re-run against the surviving directory must converge to the same
+    SeriesState — byte-identical pair files — and the same decisions
+    ledger as an uninterrupted run."""
+
+    @pytest.fixture(scope="class")
+    def series(self):
+        from repro.datagen.generator import GeneratorConfig, generate_series
+
+        return generate_series(GeneratorConfig(
+            seed=SEED, num_snapshots=3, initial_households=18
+        )).datasets
+
+    @pytest.fixture(scope="class")
+    def control(self, series, tmp_path_factory):
+        """Uninterrupted incremental run: reference store + ledger hash."""
+        from repro.checkpoint import analysis_ledger_hash
+        from repro.evolution.analysis import analyse_series
+
+        directory = tmp_path_factory.mktemp("series-control")
+        analysis = analyse_series(
+            series, config=LinkageConfig(), series_state=directory
+        )
+        return directory, analysis_ledger_hash(analysis)
+
+    @staticmethod
+    def assert_stores_byte_identical(control_dir, recovered_dir):
+        control_files = sorted(p.name for p in control_dir.iterdir())
+        recovered_files = sorted(p.name for p in recovered_dir.iterdir())
+        assert recovered_files == control_files
+        for name in control_files:
+            assert (recovered_dir / name).read_bytes() == (
+                control_dir / name
+            ).read_bytes(), f"series pair file {name} diverged after crash"
+
+    def test_kill_mid_update_then_rerun_converges(
+        self, series, control, tmp_path
+    ):
+        from repro.checkpoint import analysis_ledger_hash
+        from repro.checkpoint.faults import CrashingSeriesStore
+        from repro.evolution.analysis import analyse_series
+        from repro.instrumentation import (
+            SERIES_PAIRS_RELINKED,
+            SERIES_PAIRS_REUSED,
+        )
+
+        control_dir, expected = control
+        store = CrashingSeriesStore(tmp_path, crash_after_writes=1)
+        with pytest.raises(SimulatedCrash):
+            analyse_series(
+                series, config=LinkageConfig(), series_state=store
+            )
+        # Exactly the first pair survived, durably published.
+        assert len(list(tmp_path.iterdir())) == 1
+        resumed = analyse_series(
+            series, config=LinkageConfig(), series_state=tmp_path
+        )
+        assert analysis_ledger_hash(resumed) == expected
+        # The surviving pair was reused, only the missing one re-linked.
+        assert resumed.profile.value(SERIES_PAIRS_REUSED) == 1
+        assert resumed.profile.value(SERIES_PAIRS_RELINKED) == 1
+        self.assert_stores_byte_identical(control_dir, tmp_path)
+
+    def test_publish_failure_leaves_no_corrupt_state(
+        self, series, control, tmp_path
+    ):
+        """The worst instant for a pair write: payload staged, rename
+        fails.  No temp residue, no corrupt file — the re-run re-links
+        the unpublished pair and converges byte-identically."""
+        from repro.checkpoint import analysis_ledger_hash
+        from repro.checkpoint.faults import CrashingSeriesStore
+        from repro.evolution.analysis import analyse_series
+
+        control_dir, expected = control
+        store = CrashingSeriesStore(tmp_path, fail_replace_at=2)
+        with pytest.raises(OSError, match="injected failure"):
+            analyse_series(
+                series, config=LinkageConfig(), series_state=store
+            )
+        assert len(list(tmp_path.iterdir())) == 1  # no temp residue
+        resumed = analyse_series(
+            series, config=LinkageConfig(), series_state=tmp_path
+        )
+        assert analysis_ledger_hash(resumed) == expected
+        self.assert_stores_byte_identical(control_dir, tmp_path)
+
+    def test_kill_during_revision_update_converges(
+        self, series, control, tmp_path
+    ):
+        """Crash while a *revision* is being folded in (both pairs dirty,
+        killed after rewriting the first): the re-run finishes the
+        update and matches an uninterrupted revised control exactly."""
+        from repro.checkpoint import analysis_ledger_hash
+        from repro.checkpoint.faults import CrashingSeriesStore
+        from repro.datagen import revise_middle_record
+        from repro.evolution.analysis import analyse_series
+
+        revised = list(series)
+        revised[1] = revise_middle_record(series[1])
+
+        control_dir = tmp_path / "revised-control"
+        revised_control = analyse_series(
+            revised, config=LinkageConfig(), series_state=control_dir
+        )
+        expected = analysis_ledger_hash(revised_control)
+
+        crash_dir = tmp_path / "crash"
+        # Warm on the original series, then crash mid-revision-update.
+        analyse_series(
+            series, config=LinkageConfig(), series_state=crash_dir
+        )
+        store = CrashingSeriesStore(crash_dir, crash_after_writes=1)
+        with pytest.raises(SimulatedCrash):
+            analyse_series(
+                revised, config=LinkageConfig(), series_state=store
+            )
+        resumed = analyse_series(
+            revised, config=LinkageConfig(), series_state=crash_dir
+        )
+        assert analysis_ledger_hash(resumed) == expected
+        self.assert_stores_byte_identical(control_dir, crash_dir)
+
+
 class TestMismatchGuards:
     def test_config_change_rejected(self, datasets, tmp_path):
         old, new = datasets

@@ -1,0 +1,144 @@
+"""Property-based tests for the dirty-key engine of incremental
+re-linkage (:mod:`repro.checkpoint.series`).
+
+The central claims, over arbitrary valid datasets and arbitrary
+single-record edits:
+
+* **soundness** — every blocking key whose candidate set could have
+  been affected by the edit is dirty (the key held the record before
+  the edit, or holds it after);
+* **minimality** — *only* such keys are dirty: an edit never
+  invalidates a key the edited record touches in neither version, so
+  unrelated similarity knowledge survives every revision;
+* **no-op exactness** — an edit that leaves the record row unchanged
+  dirties nothing at all.
+
+A limited-example pipeline property then closes the loop: under random
+single edits to the middle snapshot, warm incremental analysis pins the
+same decisions ledger as a from-scratch run.
+"""
+
+import functools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import analysis_ledger_hash
+from repro.checkpoint.series import (
+    blocking_key_fingerprints,
+    dirty_keys,
+    dirty_record_ids,
+)
+from repro.core.config import LinkageConfig
+from repro.datagen import revise_records
+from repro.datagen.generator import GeneratorConfig, generate_series
+from repro.evolution.analysis import analyse_series
+
+from tests.strategies import census_datasets
+
+CONFIG = LinkageConfig()
+
+#: (attribute, value strategy) pool for drawn single-record edits.
+#: surname/address feed blocking keys (edits move the record between
+#: keys); age/occupation/first_name only change row content (the record
+#: stays put but its keys' fingerprints must still change).
+EDIT_FIELDS = (
+    ("surname", st.text("abcdefgh", min_size=0, max_size=8)),
+    ("address", st.text("abcdefgh ", min_size=0, max_size=12)),
+    ("first_name", st.text("abcdefgh", min_size=0, max_size=8)),
+    ("occupation", st.one_of(st.none(), st.text("abcdef", min_size=1, max_size=8))),
+    ("age", st.integers(min_value=0, max_value=90)),
+)
+
+
+@st.composite
+def dataset_and_edit(draw):
+    """(dataset, record_id, field, value): one drawn single-record edit."""
+    dataset = draw(census_datasets(min_households=1, max_households=4))
+    record_ids = sorted(dataset.record_ids)
+    record_id = draw(st.sampled_from(record_ids))
+    field, value_st = draw(st.sampled_from(EDIT_FIELDS))
+    return dataset, record_id, field, draw(value_st)
+
+
+def keys_of(keys, record_id):
+    return {key for key, members in keys.items() if record_id in members}
+
+
+class TestDirtyKeyProperties:
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(dataset_and_edit())
+    def test_dirty_keys_sound_and_minimal(self, example):
+        """dirty == keys touching the edited record (before ∪ after);
+        a no-op edit dirties nothing."""
+        dataset, record_id, field, value = example
+        revised = revise_records(dataset, {record_id: {field: value}})
+
+        before_keys, before_fps = blocking_key_fingerprints(dataset, CONFIG)
+        after_keys, after_fps = blocking_key_fingerprints(revised, CONFIG)
+        dirty = dirty_keys(before_fps, after_fps)
+
+        if getattr(dataset.record(record_id), field) == value:
+            assert dirty == set()
+            return
+        expected = keys_of(before_keys, record_id) | keys_of(
+            after_keys, record_id
+        )
+        assert dirty == expected
+        # The dirtied records always include the edited one, and every
+        # dirty record shares a current key with it — no unrelated
+        # record is ever re-scored because of this edit.
+        records = dirty_record_ids(after_keys, dirty)
+        assert record_id in records
+        for other in records:
+            assert keys_of(after_keys, other) & dirty
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(census_datasets(min_households=1, max_households=4))
+    def test_identity_edit_is_clean(self, dataset):
+        """Fingerprinting is deterministic: a dataset diffed against a
+        rebuilt copy of itself has zero dirty keys."""
+        _, first = blocking_key_fingerprints(dataset, CONFIG)
+        rebuilt = revise_records(dataset, {})
+        _, second = blocking_key_fingerprints(rebuilt, CONFIG)
+        assert dirty_keys(first, second) == set()
+
+
+@functools.lru_cache(maxsize=1)
+def _pipeline_series():
+    return generate_series(
+        GeneratorConfig(seed=7, num_snapshots=3, initial_households=10)
+    ).datasets
+
+
+class TestPipelineProperty:
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_incremental_matches_scratch_under_random_edit(
+        self, tmp_path_factory, data
+    ):
+        """Warm incremental re-analysis after a random single-record
+        edit to the middle snapshot pins the scratch decisions ledger."""
+        datasets = list(_pipeline_series())
+        middle = datasets[1]
+        record_id = data.draw(
+            st.sampled_from(sorted(middle.record_ids)), label="record"
+        )
+        field, value_st = data.draw(st.sampled_from(EDIT_FIELDS[:3]),
+                                    label="field")
+        value = data.draw(value_st, label="value")
+        revised = list(datasets)
+        revised[1] = revise_records(middle, {record_id: {field: value}})
+
+        store = tmp_path_factory.mktemp("series-state")
+        analyse_series(datasets, config=CONFIG, series_state=str(store))
+        incremental = analyse_series(
+            revised, config=CONFIG, series_state=str(store)
+        )
+        scratch = analyse_series(revised, config=CONFIG)
+        assert analysis_ledger_hash(incremental) == analysis_ledger_hash(
+            scratch
+        )

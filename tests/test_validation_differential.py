@@ -126,8 +126,35 @@ class TestDeclaredEquivalences:
         assert all(outcome.ok for outcome in outcomes)
         # one worker variant + the cache check + two filtering variants
         # + two scoring-backend variants + the indexed-vs-brute-force
-        # group-pair check + two backend-protocol variants
-        assert len(outcomes) == 9
+        # group-pair check + two backend-protocol variants + six
+        # incremental-series variants (cold/no-op/revise × workers 1, 2;
+        # no append: the default 2-snapshot series has no prefix)
+        assert len(outcomes) == 15
+
+    def test_incremental_vs_scratch_arrival_sequences(self, workload):
+        """The tentpole's headline proof: incremental re-linkage over a
+        3-snapshot series is decision-identical to from-scratch for the
+        cold start, the no-op re-run (with zero pairs re-scored), the
+        append arrival and the revised-middle-snapshot arrival — serial
+        and with 2 workers."""
+        from repro.datagen import GeneratorConfig, generate_series
+        from repro.validation.differential import incremental_vs_scratch
+
+        series = generate_series(
+            GeneratorConfig(seed=7, num_snapshots=3, initial_households=18)
+        )
+        outcomes = incremental_vs_scratch(series.datasets, workers=(1, 2))
+        # (cold + no-op + append + revise) × workers (1, 2)
+        assert len(outcomes) == 8
+        names = {outcome.name for outcome in outcomes}
+        for scenario in ("cold", "no-op", "append", "revise"):
+            for count in (1, 2):
+                assert (
+                    f"incremental-vs-scratch({scenario},n_workers={count})"
+                    in names
+                )
+        for outcome in outcomes:
+            assert outcome.ok, outcome.report()
 
 
 class TestFailurePaths:

@@ -60,13 +60,42 @@ class TestGoldenDocuments:
             assert "seconds" not in stats
 
     def test_document_excludes_effort_diagnostics(self):
-        """Schema 2: scoring-effort counters are not part of the outcome."""
+        """Schema 2: scoring-effort counters are not part of the outcome.
+
+        Series goldens pin an ``analysis`` ledger instead of a pair
+        ``result``; the ledger is decisions-only by construction, so
+        only pair documents carry iteration statistics to vet."""
         for spec in DEFAULT_SPECS:
             document = load_golden(golden_path(GOLDEN_DIR, spec))
             assert document["schema"] == 2
-            for stats in document["result"]["iterations"]:
+            for stats in document.get("result", {}).get("iterations", []):
                 for effort in ("pairs_scored", "cache_hits", "cache_misses"):
                     assert effort not in stats
+
+    def test_incremental_fixture_pins_decisions_only(self):
+        """The series golden carries the analysis ledger and its hash —
+        no counters, no timers — and covers every adjacent pair."""
+        import hashlib
+        import json
+
+        by_name = {spec.name: spec for spec in DEFAULT_SPECS}
+        spec = by_name["seed7-incremental-append"]
+        document = load_golden(golden_path(GOLDEN_DIR, spec))
+        assert document["incremental_snapshots"] == 3
+        assert "result" not in document
+        ledger = document["analysis"]["ledger"]
+        assert len(ledger["years"]) == 3
+        assert len(ledger["pairs"]) == 2
+        for pair in ledger["pairs"]:
+            assert "record_mapping" in pair and "group_mapping" in pair
+        # The stored hash matches the stored ledger (same canonical
+        # encoding as repro.checkpoint.analysis_ledger_hash), so the
+        # fixture cannot drift internally.
+        encoded = json.dumps(
+            ledger, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        expected = hashlib.sha256(encoded).hexdigest()
+        assert document["analysis"]["ledger_hash"] == expected
 
     def test_no_filtering_variant_matches_default_outcome(self):
         """The committed fixtures themselves prove pruning is lossless:
