@@ -1,0 +1,305 @@
+"""Sharded out-of-core linkage — peak RSS and wall clock vs in-RAM.
+
+The question behind :mod:`repro.sharding`: what does it cost, and what
+does it buy, to run Algorithm 1 one blocking-closed shard at a time
+instead of holding the whole country in memory?  Each grid row links
+one country-scale snapshot pair (:mod:`repro.datagen.country`, region
+blocking) both ways and reports
+
+* wall clock per variant,
+* **peak RSS per variant** — each variant runs in its own subprocess so
+  ``ru_maxrss`` (monotone within a process) measures exactly one
+  pipeline, and
+* the decision-ledger hash (:func:`repro.checkpoint.decision_ledger_hash`),
+  asserted identical between the variants: sharding is licensed to
+  change effort and memory, never decisions.
+
+The in-RAM variant loads the full datasets from the same shard store
+first, so both variants read identical bytes and the comparison is
+pipeline-resident memory, not parsing overhead.
+
+Modes:
+
+* ``--quick`` — CI smoke (the ``scale-smoke`` job): a small country,
+  writes ``results/sharded_quick.{txt,json}`` plus a copy of the shard
+  store manifest for the artifact upload.
+* ``--check-baseline`` — additionally gate against the committed
+  ``results/baseline_sharded_quick.json``: the decision hash must equal
+  the pinned hash, and the sharded variant's peak RSS must stay under
+  the pinned ceiling.
+* default (nightly) — the scaling grid (10k and 100k households;
+  ``--max-households 200000`` extends it).  Here the acceptance gate is
+  the point of the subsystem: **sharded peak RSS strictly below in-RAM
+  peak RSS** on every row of at least 10k households.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from benchlib import BENCH_SEED, RESULTS_DIR, write_result
+
+#: (total households, regions, shards) per full-mode row.
+FULL_GRID = (
+    (10_000, 50, 16),
+    (100_000, 500, 32),
+)
+EXTENDED_ROW = (200_000, 1_000, 64)
+QUICK_ROW = (600, 4, 4)
+
+BASELINE_NAME = "baseline_sharded_quick.json"
+
+
+# -- subprocess workers ------------------------------------------------------
+
+
+def _worker(mode: str, store_dir: str, shards: int) -> int:
+    """Run one variant and print its measurements as JSON (subprocess
+    entry point; peak RSS is this process's own ``ru_maxrss``)."""
+    import resource
+
+    from repro.checkpoint import decision_ledger_hash
+    from repro.core.config import LinkageConfig
+    from repro.core.pipeline import link_datasets
+    from repro.sharding import (
+        ShardStore,
+        ShardedRecordSource,
+        link_datasets_sharded,
+    )
+
+    store = ShardStore(store_dir)
+    old_year, new_year = store.years()[:2]
+    start = time.perf_counter()
+    if mode == "inram":
+        result = link_datasets(
+            store.read_dataset(old_year),
+            store.read_dataset(new_year),
+            LinkageConfig(blocking="region"),
+        )
+    else:
+        result = link_datasets_sharded(
+            ShardedRecordSource.from_store(store, old_year),
+            ShardedRecordSource.from_store(store, new_year),
+            LinkageConfig(blocking="region", shards=shards),
+        )
+    seconds = time.perf_counter() - start
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(json.dumps({
+        "mode": mode,
+        "seconds": seconds,
+        "peak_rss_mb": rss_kb / 1024.0,
+        "decision_hash": decision_ledger_hash(result),
+        "record_links": result.num_record_links,
+        "group_links": result.num_group_links,
+    }))
+    return 0
+
+
+def _generate(store_dir: str, households: int, regions: int) -> int:
+    """Generate and persist one country pair (subprocess entry point, so
+    generation memory never pollutes a variant's RSS)."""
+    from repro.datagen.country import CountryConfig, generate_country
+    from repro.sharding import ShardStore
+
+    country = generate_country(CountryConfig(
+        seed=BENCH_SEED,
+        regions=regions,
+        households_per_region=households // regions,
+    ))
+    store = ShardStore(store_dir)
+    store.write_datasets(country.datasets)
+    print(json.dumps({
+        "records": [len(dataset) for dataset in country.datasets],
+    }))
+    return 0
+
+
+def _run_child(args) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), *args],
+        capture_output=True, text=True, env=env, check=False,
+    )
+    if process.returncode != 0:
+        raise RuntimeError(
+            f"worker {args} failed:\n{process.stdout}\n{process.stderr}"
+        )
+    return json.loads(process.stdout.strip().splitlines()[-1])
+
+
+# -- the grid ----------------------------------------------------------------
+
+
+def run_row(households: int, regions: int, shards: int, keep_manifest=None):
+    """One grid row: generate → link both ways → compare."""
+    with tempfile.TemporaryDirectory(prefix="bench-sharded-") as tmp:
+        store_dir = str(Path(tmp) / "store")
+        gen = _run_child([
+            "--generate", store_dir, str(households), str(regions)
+        ])
+        if keep_manifest is not None:
+            shutil.copy(Path(store_dir) / "manifest.json", keep_manifest)
+        inram = _run_child(["--run-variant", "inram", store_dir, "0"])
+        sharded = _run_child([
+            "--run-variant", "sharded", store_dir, str(shards)
+        ])
+    assert sharded["decision_hash"] == inram["decision_hash"], (
+        f"sharded decisions diverged from in-RAM at {households} "
+        f"households: {sharded['decision_hash']} != {inram['decision_hash']}"
+    )
+    return {
+        "households": households,
+        "regions": regions,
+        "shards": shards,
+        "records": gen["records"],
+        "inram_seconds": inram["seconds"],
+        "sharded_seconds": sharded["seconds"],
+        "inram_peak_rss_mb": inram["peak_rss_mb"],
+        "sharded_peak_rss_mb": sharded["peak_rss_mb"],
+        "rss_ratio": sharded["peak_rss_mb"] / inram["peak_rss_mb"],
+        "decision_hash": inram["decision_hash"],
+        "record_links": inram["record_links"],
+        "group_links": inram["group_links"],
+    }
+
+
+def format_rows(rows):
+    from repro.evaluation.reporting import format_table
+
+    return format_table(
+        ("households", "records", "shards", "inram_s", "sharded_s",
+         "inram_rss_mb", "sharded_rss_mb", "rss_ratio"),
+        [
+            (
+                row["households"],
+                "/".join(str(n) for n in row["records"]),
+                row["shards"],
+                f"{row['inram_seconds']:.1f}",
+                f"{row['sharded_seconds']:.1f}",
+                f"{row['inram_peak_rss_mb']:.0f}",
+                f"{row['sharded_peak_rss_mb']:.0f}",
+                f"{row['rss_ratio']:.2f}",
+            )
+            for row in rows
+        ],
+        title=(
+            f"Sharded out-of-core vs in-RAM linkage (region blocking, "
+            f"seed {BENCH_SEED}; decisions ledger-hash-identical on "
+            f"every row)"
+        ),
+    )
+
+
+def check_baseline(row) -> None:
+    baseline_path = RESULTS_DIR / BASELINE_NAME
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    problems = []
+    if row["decision_hash"] != baseline["decision_hash"]:
+        problems.append(
+            f"decision hash drifted: pinned {baseline['decision_hash']}, "
+            f"got {row['decision_hash']}"
+        )
+    ceiling = baseline["sharded_peak_rss_mb_ceiling"]
+    if row["sharded_peak_rss_mb"] > ceiling:
+        problems.append(
+            f"sharded peak RSS {row['sharded_peak_rss_mb']:.0f} MB "
+            f"exceeds the pinned ceiling {ceiling} MB"
+        )
+    if problems:
+        raise AssertionError(
+            "sharded quick baseline violated:\n" + "\n".join(problems)
+        )
+    print(
+        f"baseline ok: hash {row['decision_hash'][:16]}… pinned, "
+        f"sharded RSS {row['sharded_peak_rss_mb']:.0f} MB <= "
+        f"{ceiling} MB ceiling"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: one small row, writes "
+                             "results/sharded_quick.{txt,json}")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="gate the quick row against the committed "
+                             f"results/{BASELINE_NAME}")
+    parser.add_argument("--max-households", type=int, default=100_000,
+                        help="extend the full grid up to this many "
+                             "households (200000 adds the 1000-region row)")
+    # Subprocess entry points (internal).
+    parser.add_argument("--run-variant", nargs=3,
+                        metavar=("MODE", "STORE", "SHARDS"),
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--generate", nargs=3,
+                        metavar=("STORE", "HOUSEHOLDS", "REGIONS"),
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.run_variant:
+        mode, store_dir, shards = args.run_variant
+        return _worker(mode, store_dir, int(shards))
+    if args.generate:
+        store_dir, households, regions = args.generate
+        return _generate(store_dir, int(households), int(regions))
+
+    if args.quick or args.check_baseline:
+        households, regions, shards = QUICK_ROW
+        RESULTS_DIR.mkdir(exist_ok=True)
+        manifest_copy = RESULTS_DIR / "sharded_quick_manifest.json"
+        row = run_row(households, regions, shards,
+                      keep_manifest=manifest_copy)
+        write_result("sharded_quick.txt", format_rows([row]))
+        (RESULTS_DIR / "sharded_quick.json").write_text(
+            json.dumps(row, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        if args.check_baseline:
+            check_baseline(row)
+        print("sharded == in-RAM decisions at "
+              f"{households} households")
+        return 0
+
+    rows = []
+    grid = list(FULL_GRID)
+    if args.max_households >= EXTENDED_ROW[0]:
+        grid.append(EXTENDED_ROW)
+    grid = [row for row in grid if row[0] <= args.max_households]
+    for households, regions, shards in grid:
+        print(f"[bench_sharded] {households} households "
+              f"({regions} regions, {shards} shards)...", flush=True)
+        row = run_row(households, regions, shards)
+        rows.append(row)
+        print(f"[bench_sharded]   in-RAM {row['inram_seconds']:.0f}s/"
+              f"{row['inram_peak_rss_mb']:.0f}MB, sharded "
+              f"{row['sharded_seconds']:.0f}s/"
+              f"{row['sharded_peak_rss_mb']:.0f}MB", flush=True)
+    write_result("sharded_full.txt", format_rows(rows))
+    (RESULTS_DIR / "sharded_full.json").write_text(
+        json.dumps(rows, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    # The acceptance gate: out-of-core must beat in-RAM on resident
+    # memory wherever the data is big enough for the claim to matter.
+    for row in rows:
+        if row["households"] >= 10_000:
+            assert row["sharded_peak_rss_mb"] < row["inram_peak_rss_mb"], (
+                f"sharded peak RSS ({row['sharded_peak_rss_mb']:.0f} MB) "
+                f"not below in-RAM ({row['inram_peak_rss_mb']:.0f} MB) at "
+                f"{row['households']} households"
+            )
+    print("all rows decision-identical; sharded peak RSS below in-RAM "
+          "on every row >= 10k households")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

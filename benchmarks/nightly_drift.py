@@ -1,0 +1,122 @@
+"""Assemble the nightly baseline-drift report.
+
+Runs at the end of the nightly workflow, after the non-quick benchmark
+grids (`bench_scaling`, `bench_scenarios`, `bench_incremental`,
+`bench_sharded`) have refreshed ``results/``.  Reads whatever full-grid
+JSON results exist, compares them against the committed quick-mode
+baselines where the two are comparable, and writes
+``results/nightly_drift.md`` — the artifact a human reads in the
+morning to decide whether a drift is noise, a regression, or a baseline
+that needs re-recording.
+
+This script never fails the build: the hard gates (ledger-hash
+identity, RSS ordering, P/R/F tolerance) live inside the benchmarks
+themselves.  The drift report is the soft signal layered on top —
+full-grid numbers move for legitimate reasons (different workload
+sizes than the quick baselines), so they are reported, not asserted.
+"""
+
+import json
+from pathlib import Path
+
+from benchlib import RESULTS_DIR
+
+REPORT = RESULTS_DIR / "nightly_drift.md"
+
+
+def load(name):
+    path = RESULTS_DIR / name
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def sharded_section(lines):
+    rows = load("sharded_full.json")
+    baseline = load("baseline_sharded_quick.json")
+    lines.append("## Sharded out-of-core grid (`bench_sharded.py`)\n")
+    if rows is None:
+        lines.append("_not run this night_\n")
+        return
+    lines.append(
+        "| households | in-RAM s | sharded s | in-RAM MB | sharded MB "
+        "| RSS ratio |"
+    )
+    lines.append("|---|---|---|---|---|---|")
+    for row in rows:
+        lines.append(
+            f"| {row['households']} | {row['inram_seconds']:.0f} "
+            f"| {row['sharded_seconds']:.0f} "
+            f"| {row['inram_peak_rss_mb']:.0f} "
+            f"| {row['sharded_peak_rss_mb']:.0f} "
+            f"| {row['rss_ratio']:.2f} |"
+        )
+    lines.append(
+        "\nDecision hashes were asserted sharded == in-RAM on every "
+        "row by the benchmark itself; the quick-gate hash pinned in "
+        "`baseline_sharded_quick.json` is "
+        f"`{(baseline or {}).get('decision_hash', '?')[:16]}…` and only "
+        "applies at quick scale.\n"
+    )
+
+
+def scenario_section(lines):
+    matrix = load("scenario_matrix.json")
+    baseline = load("baseline_scenarios_quick.json")
+    lines.append("## Backend × scenario quality (`bench_scenarios.py`)\n")
+    if matrix is None or baseline is None:
+        lines.append("_not run this night_\n")
+        return
+    lines.append(
+        "Full-grid F-measure vs the committed quick baseline (larger "
+        "workload, so drift here is informational):\n"
+    )
+    lines.append("| cell | quick baseline F | nightly full F | delta |")
+    lines.append("|---|---|---|---|")
+    for cell in matrix.get("cells", []):
+        key = f"{cell['scenario']}/{cell['backend']}"
+        pinned = baseline.get(key)
+        if pinned is None:
+            continue
+        delta = cell["f_measure"] - pinned["f_measure"]
+        lines.append(
+            f"| {key} | {pinned['f_measure']:.2f} "
+            f"| {cell['f_measure']:.2f} | {delta:+.2f} |"
+        )
+    lines.append("")
+
+
+def incremental_section(lines):
+    counters = load("incremental_full.json")
+    lines.append("## Incremental arrivals (`bench_incremental.py`)\n")
+    if counters is None:
+        lines.append("_not run this night_\n")
+        return
+    lines.append("| arrival | pairs re-scored | pairs reused |")
+    lines.append("|---|---|---|")
+    for arrival in sorted(counters):
+        row = counters[arrival]
+        lines.append(
+            f"| {arrival} | {row.get('pairs_rescored', '?')} "
+            f"| {row.get('series_pairs_reused', '?')} |"
+        )
+    lines.append(
+        "\nThe no-op arrival re-scoring zero pairs is asserted by the "
+        "benchmark; anything nonzero above for `no-op` means the gate "
+        "itself changed.\n"
+    )
+
+
+def main():
+    lines = ["# Nightly baseline-drift report\n"]
+    sharded_section(lines)
+    scenario_section(lines)
+    incremental_section(lines)
+    REPORT.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"wrote {REPORT}")
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ from .pairs import (
     score_pairs,
 )
 from .qgram_index import QGramIndexBlocker
+from .region import RegionBlocker, record_region
 from .sorted_neighbourhood import SortedNeighbourhoodBlocker, default_sort_key
 from .standard import (
     DEFAULT_KEY_FUNCTIONS,
@@ -28,6 +29,8 @@ __all__ = [
     "reduction_ratio",
     "score_pairs",
     "QGramIndexBlocker",
+    "RegionBlocker",
+    "record_region",
     "SortedNeighbourhoodBlocker",
     "default_sort_key",
     "DEFAULT_KEY_FUNCTIONS",

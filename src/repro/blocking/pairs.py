@@ -43,6 +43,23 @@ class UnionBlocker:
             pairs.update(blocker.candidate_pairs(old_records, new_records))
         return pairs
 
+    def partition_keys(self, record: PersonRecord) -> Tuple[str, ...]:
+        """Member keys tagged by member index (shard-planner protocol;
+        see :meth:`repro.blocking.standard.StandardBlocker.partition_keys`).
+        Raises :class:`TypeError` when a member blocker does not support
+        key partitioning (e.g. the q-gram index)."""
+        keys: List[str] = []
+        for index, blocker in enumerate(self.blockers):
+            member_keys = getattr(blocker, "partition_keys", None)
+            if member_keys is None:
+                raise TypeError(
+                    f"blocker {type(blocker).__name__} does not support "
+                    f"partition_keys; sharded runs need a key-partitionable "
+                    f"blocker (standard, cross, region)"
+                )
+            keys.extend(f"u{index}|{key}" for key in member_keys(record))
+        return tuple(keys)
+
 
 def score_pairs(
     pairs: Iterable[Tuple[str, str]],

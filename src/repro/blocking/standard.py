@@ -122,6 +122,24 @@ class StandardBlocker:
                 )
         return pairs
 
+    def partition_keys(self, record: PersonRecord) -> Tuple[str, ...]:
+        """The pass-tagged blocking keys this record can block under.
+
+        The shard planner (:mod:`repro.sharding.planner`) closes shards
+        over shared partition keys, so two records that could ever land
+        in one block must share a key here.  Keys are tagged with the
+        pass index: the same key *string* from different passes (e.g. a
+        surname and a first-name Soundex colliding) joins different
+        blocks, and must not conflate shard components.  ``no_block``
+        keys are omitted — they never form a block.
+        """
+        keys: List[str] = []
+        for pass_index, key_function in enumerate(self.key_functions):
+            key = key_function(record)
+            if key and not key.startswith(NO_BLOCK_PREFIX):
+                keys.append(f"{pass_index}|{key}")
+        return tuple(keys)
+
 
 class CrossProductBlocker:
     """No blocking: every (old, new) pair is a candidate.
@@ -141,3 +159,9 @@ class CrossProductBlocker:
             for old in old_records
             for new in new_records
         }
+
+    def partition_keys(self, record: PersonRecord) -> Tuple[str, ...]:
+        """Every record shares one universal key: the cross product is a
+        single block, so sharding degenerates to one shard — correct,
+        just not scalable (which is the point of this blocker)."""
+        return ("*",)

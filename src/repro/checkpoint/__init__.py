@@ -16,6 +16,8 @@ Layout::
       state.py    RunState + canonical serialization, content hash, schema
       store.py    CheckpointStore: atomic writes, recovery scan, inspection
       ledger.py   the canonical "resumed == uninterrupted" comparison doc
+      shard.py    ShardRunState: per-shard recovery points of the
+                  sharded out-of-core driver (repro.sharding.pipeline)
       series.py   SeriesState: settled pair linkage for incremental re-runs
       faults.py   crash/fault injection for the test battery
 """
@@ -23,6 +25,8 @@ Layout::
 from .ledger import (
     analysis_ledger,
     analysis_ledger_hash,
+    decision_ledger,
+    decision_ledger_hash,
     ledger_hash,
     result_ledger,
 )
@@ -37,6 +41,13 @@ from .state import (
     RunState,
     content_hash,
     dataset_fingerprint,
+)
+from .shard import (
+    SHARD_PHASE_FINAL,
+    SHARD_PHASE_ROUND,
+    SHARD_SCHEMA_VERSION,
+    ShardRunState,
+    ShardStateStore,
 )
 from .store import CheckpointEntry, CheckpointStore, coerce_store
 
@@ -66,9 +77,16 @@ __all__ = [
     "CheckpointStore",
     "PairState",
     "RunState",
+    "SHARD_PHASE_FINAL",
+    "SHARD_PHASE_ROUND",
+    "SHARD_SCHEMA_VERSION",
     "SeriesStore",
+    "ShardRunState",
+    "ShardStateStore",
     "analysis_ledger",
     "analysis_ledger_hash",
+    "decision_ledger",
+    "decision_ledger_hash",
     "coerce_series_store",
     "coerce_store",
     "content_hash",

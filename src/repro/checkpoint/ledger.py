@@ -85,6 +85,62 @@ def ledger_hash(result) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+#: Per-round IterationStats fields that record *decisions* (what was
+#: linked and what remained), as opposed to effort diagnostics
+#: (pairs_scored, cache hits/misses) and wall clock.
+DECISION_ITERATION_FIELDS = (
+    "iteration",
+    "delta",
+    "accepted_group_links",
+    "new_record_links",
+    "remaining_old",
+    "remaining_new",
+)
+
+
+def decision_ledger(result) -> Dict[str, object]:
+    """The canonical **decisions-only** document of a LinkageResult.
+
+    The sharded driver (:mod:`repro.sharding.pipeline`) promises the
+    in-RAM pipeline's *decisions* — mappings, link accounting, and each
+    round's accepted/remaining tallies — while legitimately changing the
+    *effort*: per-shard caches serve different hit patterns, per-shard
+    pruning engines warm up separately, and per-shard kernels batch
+    differently, so :func:`result_ledger` (which covers effort counters)
+    cannot be the comparison document.  This ledger is the analogue of
+    :func:`analysis_ledger` at single-pair granularity: two results with
+    equal :func:`decision_ledger_hash` linked the same records and
+    groups through the same per-round decision sequence.
+
+    Note ``candidate_subgraphs`` stays out: how many candidate units a
+    backend *considered* is effort, not outcome — the selected links per
+    round are what must match.
+    """
+    iterations = []
+    for stats in result.iterations:
+        entry = dataclasses.asdict(stats)
+        iterations.append(
+            {name: entry[name] for name in DECISION_ITERATION_FIELDS}
+        )
+    return {
+        "record_mapping": result.record_mapping.as_jsonable(),
+        "group_mapping": result.group_mapping.as_jsonable(),
+        "num_record_links": result.num_record_links,
+        "num_group_links": result.num_group_links,
+        "subgraph_record_links": result.subgraph_record_links,
+        "remaining_record_links": result.remaining_record_links,
+        "iterations": iterations,
+    }
+
+
+def decision_ledger_hash(result) -> str:
+    """SHA-256 of the canonical compact JSON of :func:`decision_ledger`."""
+    canonical = json.dumps(
+        decision_ledger(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def analysis_ledger(analysis) -> Dict[str, object]:
     """The canonical **decisions-only** document of an EvolutionAnalysis.
 

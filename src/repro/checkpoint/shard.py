@@ -1,0 +1,311 @@
+"""Per-shard run state for the sharded out-of-core driver.
+
+The in-RAM checkpoint subsystem (:mod:`repro.checkpoint.state`) snapshots
+Algorithm 1 at δ-round boundaries.  The sharded driver
+(:mod:`repro.sharding.pipeline`) visits many shards inside one round, so
+its natural recovery points are finer: a :class:`ShardRunState` is
+written after **every shard merge**, and a resumed run re-enters the
+interrupted round at the exact shard boundary — shards already merged
+are never re-processed.
+
+What is persisted: everything *decided* (mappings, completed-round
+ledgers, provenance, counters, the in-flight round's accumulators) plus
+the fingerprints binding the state to its configuration, input data and
+shard plan.  What is deliberately **not** persisted: the per-shard
+similarity caches and pruning engines.  A resumed run therefore re-scores
+pairs the interrupted run had cached — its *effort* counters differ —
+but every decision is identical, which is the sharded contract
+(:func:`repro.checkpoint.decision_ledger_hash`; the in-RAM subsystem
+makes the stronger same-effort promise via its cache export, at a
+per-round-size cost that per-shard cadence would multiply).
+
+Documents share the envelope of :mod:`repro.checkpoint.state`::
+
+    {"schema": 1, "content_hash": "<sha256>", "payload": {...}}
+
+with an independent schema counter (:data:`SHARD_SCHEMA_VERSION`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..instrumentation import (
+    CHECKPOINT_BYTES,
+    CHECKPOINT_LOADS,
+    CHECKPOINT_WRITES,
+    Instrumentation,
+)
+from ..ioutil import atomic_write_text
+from .state import (
+    CheckpointCorrupt,
+    CheckpointSchemaError,
+    content_hash,
+)
+
+#: Shard-state document schema version.
+SHARD_SCHEMA_VERSION = 1
+
+#: ``ShardRunState.phase`` while δ rounds are in progress.
+SHARD_PHASE_ROUND = "round"
+#: ``ShardRunState.phase`` after the remaining pass (run complete).
+SHARD_PHASE_FINAL = "final"
+
+
+@dataclass
+class ShardRunState:
+    """One recovery point of the sharded driver (see module docstring)."""
+
+    #: ``SHARD_PHASE_ROUND`` or ``SHARD_PHASE_FINAL``.
+    phase: str
+    #: 1-based index of the round being processed (or last completed).
+    round_index: int
+    #: δ of that round (``None`` before the first round).
+    delta: Optional[float]
+    #: The full δ schedule, for inspection.
+    schedule: Tuple[float, ...]
+    #: Total shards in the plan.
+    shards_total: int
+    #: Shards of the current round already merged.
+    shards_done: int
+    #: True when ``round_index`` finished all shards (its stats are in
+    #: ``iterations``) — the next round starts fresh.
+    round_complete: bool
+    #: True when the δ loop is over and only the remaining pass remains.
+    rounds_finished: bool
+    #: Accepted record links, canonical sorted ``[old_id, new_id]`` rows.
+    record_pairs: List[List[str]] = field(default_factory=list)
+    #: Accepted group links, canonical sorted ``[old_id, new_id]`` rows.
+    group_pairs: List[List[str]] = field(default_factory=list)
+    #: Completed rounds' ``IterationStats`` ledgers as plain dicts.
+    iterations: List[Dict[str, object]] = field(default_factory=list)
+    #: In-flight round accumulators (candidate_subgraphs,
+    #: accepted_group_links, new_record_links, pairs_scored, cache_hits,
+    #: cache_misses, seconds) — ``None`` when no round is in flight.
+    round_accum: Optional[Dict[str, object]] = None
+    #: Sorted provenance rows, or ``None`` when not recording provenance.
+    provenance: Optional[List[List[object]]] = None
+    #: Instrumentation counter snapshot.
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Lifetime cache totals of already-retired shard caches
+    #: (hits/misses/evictions), carried so final counters stay monotone
+    #: across resume.
+    cache_totals: Dict[str, int] = field(default_factory=dict)
+    #: Fingerprint of the LinkageConfig that produced this state.
+    config_fingerprint: str = ""
+    #: Fingerprint of the input data (see the sharded driver).
+    data_fingerprint: str = ""
+    #: Fingerprint of the shard plan (record→shard assignment).
+    plan_fingerprint: str = ""
+    #: Final-phase bookkeeping (``None`` until the final phase).
+    subgraph_record_links: Optional[int] = None
+    remaining_record_links: Optional[int] = None
+
+    def as_payload(self) -> Dict[str, object]:
+        return {
+            "phase": self.phase,
+            "round_index": self.round_index,
+            "delta": self.delta,
+            "schedule": list(self.schedule),
+            "shards_total": self.shards_total,
+            "shards_done": self.shards_done,
+            "round_complete": self.round_complete,
+            "rounds_finished": self.rounds_finished,
+            "record_pairs": [list(pair) for pair in self.record_pairs],
+            "group_pairs": [list(pair) for pair in self.group_pairs],
+            "iterations": [dict(stats) for stats in self.iterations],
+            "round_accum": (
+                None if self.round_accum is None else dict(self.round_accum)
+            ),
+            "provenance": (
+                None
+                if self.provenance is None
+                else [list(row) for row in self.provenance]
+            ),
+            "counters": dict(self.counters),
+            "cache_totals": dict(self.cache_totals),
+            "config_fingerprint": self.config_fingerprint,
+            "data_fingerprint": self.data_fingerprint,
+            "plan_fingerprint": self.plan_fingerprint,
+            "subgraph_record_links": self.subgraph_record_links,
+            "remaining_record_links": self.remaining_record_links,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ShardRunState":
+        try:
+            return cls(
+                phase=payload["phase"],
+                round_index=payload["round_index"],
+                delta=payload["delta"],
+                schedule=tuple(payload["schedule"]),
+                shards_total=payload["shards_total"],
+                shards_done=payload["shards_done"],
+                round_complete=payload["round_complete"],
+                rounds_finished=payload["rounds_finished"],
+                record_pairs=[list(pair) for pair in payload["record_pairs"]],
+                group_pairs=[list(pair) for pair in payload["group_pairs"]],
+                iterations=[dict(stats) for stats in payload["iterations"]],
+                round_accum=(
+                    None
+                    if payload["round_accum"] is None
+                    else dict(payload["round_accum"])
+                ),
+                provenance=(
+                    None
+                    if payload["provenance"] is None
+                    else [list(row) for row in payload["provenance"]]
+                ),
+                counters=dict(payload["counters"]),
+                cache_totals=dict(payload["cache_totals"]),
+                config_fingerprint=payload["config_fingerprint"],
+                data_fingerprint=payload["data_fingerprint"],
+                plan_fingerprint=payload["plan_fingerprint"],
+                subgraph_record_links=payload["subgraph_record_links"],
+                remaining_record_links=payload["remaining_record_links"],
+            )
+        except (KeyError, TypeError) as error:
+            raise CheckpointCorrupt(
+                f"shard state payload is missing or malformed: {error!r}"
+            ) from None
+
+    def dumps(self) -> str:
+        payload_text = json.dumps(
+            self.as_payload(),
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        digest = content_hash(json.loads(payload_text))
+        return (
+            f'{{"content_hash":"{digest}","payload":{payload_text},'
+            f'"schema":{SHARD_SCHEMA_VERSION}}}\n'
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "ShardRunState":
+        try:
+            document = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CheckpointCorrupt(
+                f"shard state is not valid JSON: {error}"
+            ) from None
+        if not isinstance(document, dict):
+            raise CheckpointCorrupt(
+                f"shard state document must be an object, got "
+                f"{type(document).__name__}"
+            )
+        schema = document.get("schema")
+        if schema != SHARD_SCHEMA_VERSION:
+            raise CheckpointSchemaError(
+                f"unsupported shard state schema {schema!r} (this build "
+                f"reads schema {SHARD_SCHEMA_VERSION})"
+            )
+        payload = document.get("payload")
+        declared = document.get("content_hash")
+        if payload is None or declared is None:
+            raise CheckpointCorrupt(
+                "shard state document lacks a payload/content_hash section"
+            )
+        actual = content_hash(payload)
+        if actual != declared:
+            raise CheckpointCorrupt(
+                f"shard state content hash mismatch: declared {declared}, "
+                f"recomputed {actual}"
+            )
+        return cls.from_payload(payload)
+
+    def order_key(self) -> Tuple[int, int, int, int]:
+        """Progress order: later states strictly dominate earlier ones."""
+        return (
+            1 if self.phase == SHARD_PHASE_FINAL else 0,
+            self.round_index,
+            1 if self.round_complete else 0,
+            self.shards_done,
+        )
+
+
+class ShardStateStore:
+    """Directory of :class:`ShardRunState` documents, newest-wins.
+
+    File naming encodes progress (``shard_r0003_s0002.json`` = round 3,
+    two shards merged; ``shard_final.json`` = complete run), but recovery
+    never trusts names: every load re-verifies the content hash and the
+    latest state is picked by payload order, skipping unreadable files.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, state: ShardRunState) -> Path:
+        if state.phase == SHARD_PHASE_FINAL:
+            return self.directory / "shard_final.json"
+        return self.directory / (
+            f"shard_r{state.round_index:04d}_s{state.shards_done:04d}"
+            f"{'_done' if state.round_complete else ''}.json"
+        )
+
+    def write_state(
+        self,
+        state: ShardRunState,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(state)
+        text = state.dumps()
+        atomic_write_text(path, text)
+        if instrumentation is not None:
+            instrumentation.count(CHECKPOINT_WRITES)
+            instrumentation.count(CHECKPOINT_BYTES, len(text.encode("utf-8")))
+        return path
+
+    def load_latest(
+        self, instrumentation: Optional[Instrumentation] = None
+    ) -> Optional[ShardRunState]:
+        """The most advanced loadable state, or ``None``; corrupt or
+        foreign-schema files are skipped, not fatal."""
+        if not self.directory.is_dir():
+            return None
+        best: Optional[ShardRunState] = None
+        for path in sorted(self.directory.glob("shard_*.json")):
+            try:
+                state = ShardRunState.loads(
+                    path.read_text(encoding="utf-8")
+                )
+            except (CheckpointCorrupt, CheckpointSchemaError, OSError):
+                continue
+            if instrumentation is not None:
+                instrumentation.count(CHECKPOINT_LOADS)
+            if best is None or state.order_key() > best.order_key():
+                best = state
+        return best
+
+    def describe(self) -> List[Dict[str, object]]:
+        """One row per state file, for inspection tooling."""
+        rows: List[Dict[str, object]] = []
+        if not self.directory.is_dir():
+            return rows
+        for path in sorted(self.directory.glob("shard_*.json")):
+            row: Dict[str, object] = {"file": path.name}
+            try:
+                state = ShardRunState.loads(
+                    path.read_text(encoding="utf-8")
+                )
+            except (CheckpointCorrupt, CheckpointSchemaError) as error:
+                row["status"] = type(error).__name__
+                rows.append(row)
+                continue
+            row.update(
+                status="ok",
+                phase=state.phase,
+                round=state.round_index,
+                shards_done=f"{state.shards_done}/{state.shards_total}",
+                round_complete=state.round_complete,
+                record_links=len(state.record_pairs),
+                group_links=len(state.group_pairs),
+            )
+            rows.append(row)
+        return rows

@@ -35,13 +35,34 @@ from .model import io as model_io
 def _cmd_generate(args: argparse.Namespace) -> int:
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    config = GeneratorConfig(
-        seed=args.seed,
-        start_year=args.start_year,
-        num_snapshots=args.snapshots,
-        initial_households=args.households,
-    )
-    series = generate_series(config)
+    if args.regions:
+        from .datagen.country import CountryConfig, generate_country
+
+        series = generate_country(CountryConfig(
+            seed=args.seed,
+            start_year=args.start_year,
+            num_snapshots=args.snapshots,
+            regions=args.regions,
+            households_per_region=args.households_per_region,
+        ))
+    else:
+        config = GeneratorConfig(
+            seed=args.seed,
+            start_year=args.start_year,
+            num_snapshots=args.snapshots,
+            initial_households=args.households,
+        )
+        series = generate_series(config)
+    if args.store:
+        from .sharding import ShardStore
+
+        store = ShardStore(args.store)
+        store.write_datasets(series.datasets)
+        print(
+            f"wrote shard store {args.store} "
+            f"({store.format} format, years "
+            f"{', '.join(str(year) for year in store.years())})"
+        )
     for dataset in series.datasets:
         path = out_dir / f"census_{dataset.year}.csv"
         model_io.write_dataset(dataset, path)
@@ -100,6 +121,24 @@ def _add_linkage_flags(parser: argparse.ArgumentParser) -> None:
         "per-pair reference path; outcomes are bit-identical either way",
     )
     parser.add_argument(
+        "--blocking",
+        choices=("standard", "region", "standard+qgram", "cross"),
+        default="standard",
+        help="candidate blocking scheme: 'standard' is the paper's "
+        "multi-pass phonetic blocker, 'region' wraps it region-locally "
+        "for country-scale data (repro.blocking.region), "
+        "'standard+qgram' adds the q-gram recall net, 'cross' is the "
+        "exact quadratic cross product",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run the linkage shard-by-shard over N blocking-closed "
+        "work units (repro.sharding): only one shard's records and "
+        "scores stay in memory at a time, and the decisions are "
+        "identical to the in-RAM run; 0 (default) keeps the in-RAM "
+        "pipeline",
+    )
+    parser.add_argument(
         "--group-backend", choices=available_backends(), default="default",
         help="group-matching backend for the §3.3–§3.4 slot "
         "(repro.core.backends): 'default' is the paper's common-subgraph "
@@ -139,6 +178,8 @@ def _linkage_config(args: argparse.Namespace, year_gap: int) -> LinkageConfig:
         filtering=not args.no_filtering,
         scoring_backend=args.scoring_backend,
         group_backend=args.group_backend,
+        blocking=args.blocking,
+        shards=args.shards,
         checkpoint_every=getattr(args, "checkpoint_every", 1),
     )
 
@@ -189,15 +230,93 @@ def _run_series(args: argparse.Namespace, datasets) -> int:
     return 0
 
 
-def _cmd_link(args: argparse.Namespace) -> int:
-    if len(args.datasets) < 2:
-        print("link: need at least two census CSVs", file=sys.stderr)
+def _cmd_link_store(args: argparse.Namespace) -> int:
+    """Out-of-core pair linkage over an on-disk shard store."""
+    from .sharding import ShardStore, ShardedRecordSource, link_datasets_sharded
+
+    store = ShardStore(args.store)
+    years = store.years()
+    if args.datasets:
+        try:
+            years = sorted(int(year) for year in args.datasets)
+        except ValueError:
+            print(
+                "link: with --store the positional arguments are census "
+                "years, not CSV paths",
+                file=sys.stderr,
+            )
+            return 2
+    if len(years) != 2:
+        print(
+            f"link: --store needs exactly two snapshot years, store has "
+            f"{', '.join(str(year) for year in years) or 'none'} "
+            f"(pass two years as positional arguments to choose)",
+            file=sys.stderr,
+        )
         return 2
+    old_year, new_year = years
+    config = _linkage_config(args, new_year - old_year)
+    result = link_datasets_sharded(
+        ShardedRecordSource.from_store(store, old_year),
+        ShardedRecordSource.from_store(store, new_year),
+        config,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+    _report_link_result(args, result)
+    return 0
+
+
+def _report_link_result(args: argparse.Namespace, result) -> None:
+    print(
+        f"{result.num_record_links} record links, "
+        f"{result.num_group_links} group links "
+        f"({len(result.iterations)} iterations)"
+    )
+    if args.profile and result.profile is not None:
+        print()
+        print(result.profile.report())
+        print()
+        print("round  delta  scored  cache_hits  seconds")
+        for stats in result.iterations:
+            print(
+                f"{stats.iteration:>5d}  {stats.delta:>5.2f}  "
+                f"{stats.pairs_scored:>6d}  {stats.cache_hits:>10d}  "
+                f"{stats.seconds:>7.3f}"
+            )
+    if args.records:
+        model_io.write_record_mapping(result.record_mapping, args.records)
+        print(f"wrote {args.records}")
+    if args.groups:
+        model_io.write_group_mapping(result.group_mapping, args.groups)
+        print(f"wrote {args.groups}")
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
     if args.incremental and not args.series_state:
         print("link: --incremental requires --series-state", file=sys.stderr)
         return 2
     if args.resume and not args.checkpoint_dir:
         print("link: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.shards and args.series_state:
+        print(
+            "link: --shards applies to single-pair runs; series mode "
+            "re-links pair by pair via --series-state",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store:
+        if args.series_state:
+            print(
+                "link: --store is a pair-mode input; it cannot be "
+                "combined with --series-state",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_link_store(args)
+    if len(args.datasets) < 2:
+        print("link: need at least two census CSVs", file=sys.stderr)
         return 2
     datasets = sorted(
         (model_io.read_dataset(path) for path in args.datasets),
@@ -221,28 +340,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
     )
-    print(
-        f"{result.num_record_links} record links, "
-        f"{result.num_group_links} group links "
-        f"({len(result.iterations)} iterations)"
-    )
-    if args.profile and result.profile is not None:
-        print()
-        print(result.profile.report())
-        print()
-        print("round  delta  scored  cache_hits  seconds")
-        for stats in result.iterations:
-            print(
-                f"{stats.iteration:>5d}  {stats.delta:>5.2f}  "
-                f"{stats.pairs_scored:>6d}  {stats.cache_hits:>10d}  "
-                f"{stats.seconds:>7.3f}"
-            )
-    if args.records:
-        model_io.write_record_mapping(result.record_mapping, args.records)
-        print(f"wrote {args.records}")
-    if args.groups:
-        model_io.write_group_mapping(result.group_mapping, args.groups)
-        print(f"wrote {args.groups}")
+    _report_link_result(args, result)
     return 0
 
 
@@ -335,6 +433,24 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--households", type=int, default=300)
     generate.add_argument("--snapshots", type=int, default=2)
     generate.add_argument("--start-year", type=int, default=1871)
+    generate.add_argument(
+        "--regions", type=int, default=0, metavar="N",
+        help="generate a country-scale series of N regions "
+        "(repro.datagen.country) instead of a single-town series; "
+        "record/household ids are namespaced '<region>::' and each "
+        "region evolves under an independent RNG stream",
+    )
+    generate.add_argument(
+        "--households-per-region", type=int, default=300, metavar="N",
+        help="initial households per region in --regions mode "
+        "(default 300)",
+    )
+    generate.add_argument(
+        "--store", metavar="DIR",
+        help="additionally persist the snapshots as an on-disk columnar "
+        "shard store (repro.sharding.store) for out-of-core linkage "
+        "via link --store",
+    )
     generate.set_defaults(func=_cmd_generate)
 
     link = commands.add_parser(
@@ -342,9 +458,17 @@ def build_parser() -> argparse.ArgumentParser:
         "with --series-state incremental re-linkage"
     )
     link.add_argument(
-        "datasets", nargs="+", metavar="census.csv",
+        "datasets", nargs="*", metavar="census.csv",
         help="census CSVs (two for a pair run; more, or --series-state, "
-        "switch to series mode)",
+        "switch to series mode); with --store, two census *years* "
+        "selecting the store snapshots instead",
+    )
+    link.add_argument(
+        "--store", metavar="DIR",
+        help="link straight from an on-disk columnar shard store "
+        "(written by generate --store) instead of CSVs: records stream "
+        "shard by shard and the full snapshots are never resident "
+        "(pair mode only; combine with --shards and --blocking region)",
     )
     link.add_argument(
         "--records",

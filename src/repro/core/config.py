@@ -78,7 +78,9 @@ class LinkageConfig:
     blocking:
         ``"standard"`` (multi-pass phonetic), ``"cross"`` (exact cross
         product, small data only), ``"standard+qgram"`` (the phonetic
-        passes unioned with an inverted q-gram index over names) or a
+        passes unioned with an inverted q-gram index over names),
+        ``"region"`` (the standard passes kept region-local for
+        country-scale data, see :mod:`repro.blocking.region`) or a
         custom :class:`Blocker` instance.
     allow_singleton_subgraphs:
         Keep one-vertex common subgraphs with no matched edge.  Off by
@@ -213,6 +215,16 @@ class LinkageConfig:
     #: matrix (benchmarks/bench_scenarios.py) compares their P/R/F under
     #: adversarial populations.
     group_backend: str = "default"
+    #: Shard count for the out-of-core sharded driver
+    #: (:mod:`repro.sharding.pipeline`).  0 (the default) runs the
+    #: in-RAM pipeline; ``shards >= 1`` partitions the blocking-key
+    #: graph into that many balanced work units and streams them in
+    #: lockstep δ rounds — decision-identical to the in-RAM path for
+    #: any shard count (enforced by
+    #: ``repro.validation.differential.sharded_vs_unsharded``), only
+    #: peak memory and effort counters change.  Requires a
+    #: key-partitionable blocker (standard, cross, region).
+    shards: int = 0
     #: Checkpoint cadence when the run persists state (a ``checkpoint_dir``
     #: was passed to ``link_datasets``): write a recovery snapshot after
     #: every Nth δ round.  1 (the default) checkpoints every round
@@ -247,6 +259,8 @@ class LinkageConfig:
             raise ValueError("max_lazy_cache_entries must be >= 0 (0 = off)")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0 (0 = in-RAM pipeline)")
         if self.scoring_backend not in ("python", "vectorized"):
             raise ValueError(
                 f"scoring_backend must be 'python' or 'vectorized', "
@@ -358,6 +372,14 @@ class LinkageConfig:
             return StandardBlocker(max_block_size=self.max_block_size)
         if self.blocking == "cross":
             return CrossProductBlocker()
+        if self.blocking == "region":
+            # Region-local multi-pass phonetic blocking for country-scale
+            # data (repro.datagen.country); see repro.blocking.region.
+            from ..blocking.region import RegionBlocker
+
+            return RegionBlocker(
+                StandardBlocker(max_block_size=self.max_block_size)
+            )
         if self.blocking == "standard+qgram":
             # Multi-pass union: the phonetic passes plus an inverted
             # q-gram index over names, catching pairs whose soundex codes

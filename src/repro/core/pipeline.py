@@ -678,7 +678,29 @@ def link_datasets(
     round boundary to ``checkpoint_dir`` and resuming from the newest
     snapshot there (``resume=True``).  ``cache_seed``/``keep_cache``
     feed the incremental series engine (see
-    :meth:`IterativeGroupLinkage.link`)."""
+    :meth:`IterativeGroupLinkage.link`).
+
+    ``config.shards >= 1`` dispatches to the sharded out-of-core driver
+    (:func:`repro.sharding.link_datasets_sharded`), which produces the
+    same decisions shard by shard; ``cache_seed``/``keep_cache`` are
+    in-RAM-only and rejected there.
+    """
+    if config is not None and config.shards > 0:
+        if cache_seed is not None or keep_cache:
+            raise ValueError(
+                "cache_seed/keep_cache require the in-RAM pipeline; "
+                "sharded runs (LinkageConfig.shards >= 1) rebuild caches "
+                "per shard and cannot seed or export them"
+            )
+        from ..sharding.pipeline import link_datasets_sharded
+
+        return link_datasets_sharded(
+            old_dataset,
+            new_dataset,
+            config,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
     return IterativeGroupLinkage(config).link(
         old_dataset,
         new_dataset,

@@ -6,6 +6,18 @@ demographic dynamics and data-quality noise.  See DESIGN.md §2.
 """
 
 from .corruption import SPELLING_VARIANTS, CorruptionParams, RecordCorruptor
+from .country import (
+    REGION_SEP,
+    CountryConfig,
+    CountrySeries,
+    default_region_names,
+    generate_country,
+    generate_region_series,
+    namespace_record,
+    region_of,
+    region_of_record,
+    region_seed,
+)
 from .entities import HouseholdEntity, PersonEntity, World
 from .generator import (
     CensusSeries,
@@ -37,6 +49,16 @@ from .scenarios import (
 )
 
 __all__ = [
+    "REGION_SEP",
+    "CountryConfig",
+    "CountrySeries",
+    "default_region_names",
+    "generate_country",
+    "generate_region_series",
+    "namespace_record",
+    "region_of",
+    "region_of_record",
+    "region_seed",
     "ADVERSARIAL_SCENARIOS",
     "SCENARIOS",
     "Distortions",

@@ -1,0 +1,266 @@
+"""Country-scale census generation: many regions, one series.
+
+The paper's evaluation (§5) is a single town; the ROADMAP north star is
+country scale.  A country here is a set of *regions*, each evolved by its
+own :func:`~repro.datagen.generator.generate_series` run under a
+deterministic per-region RNG stream, then merged year by year into one
+:class:`~repro.model.dataset.CensusDataset` per snapshot.
+
+Two properties carry the whole sharded-scale story
+(:mod:`repro.sharding`):
+
+* **Region-namespaced identifiers.**  Every record, household and entity
+  id is prefixed ``<region>::`` (:data:`REGION_SEP`), so region
+  membership is recoverable from any id (:func:`region_of`) and the
+  region-local blocker (:class:`repro.blocking.region.RegionBlocker`)
+  can keep candidate pairs inside a region without carrying the record
+  objects around.
+* **Per-region RNG independence.**  A region's seed is derived from the
+  country seed and the region *name* alone (:func:`region_seed`) — not
+  from the region list — so adding, removing or reordering regions never
+  perturbs another region's records.  The hypothesis battery in
+  ``tests/test_datagen_country.py`` pins this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..model.dataset import CensusDataset
+from ..model.records import PersonRecord
+from .corruption import CorruptionParams
+from .generator import CensusSeries, GeneratorConfig, generate_series
+from .groundtruth import SeriesGroundTruth
+from .population import SimulationParams
+
+#: Separator between the region prefix and the per-region identifier.
+REGION_SEP = "::"
+
+
+def region_of(identifier: str) -> str:
+    """The region prefix of a namespaced id (``""`` when not namespaced)."""
+    if REGION_SEP not in identifier:
+        return ""
+    return identifier.split(REGION_SEP, 1)[0]
+
+
+def region_of_record(record: PersonRecord) -> str:
+    """The region a record belongs to, read off its record id."""
+    return region_of(record.record_id)
+
+
+def region_seed(seed: int, region: str) -> int:
+    """Deterministic per-region RNG seed.
+
+    Depends on the country seed and the region *name* only — never on
+    how many regions exist or in which order they are listed — so each
+    region's demographic history is independent of the rest of the
+    country's composition.
+    """
+    digest = hashlib.sha256(f"{seed}|{region}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def default_region_names(count: int) -> Tuple[str, ...]:
+    """``r00, r01, …`` — stable zero-padded names for anonymous regions."""
+    if count < 1:
+        raise ValueError("a country needs at least one region")
+    width = max(2, len(str(count - 1)))
+    return tuple(f"r{index:0{width}d}" for index in range(count))
+
+
+@dataclass
+class CountryConfig:
+    """Parameters of a multi-region country series.
+
+    ``regions`` is either a count (named ``r00…``) or an explicit
+    sequence of region names; ``households_per_region`` is either one
+    size for all regions or a per-region sequence aligned with the
+    region names.
+    """
+
+    seed: int = 42
+    regions: Union[int, Sequence[str]] = 4
+    households_per_region: Union[int, Sequence[int]] = 300
+    start_year: int = 1871
+    num_snapshots: int = 2
+    interval: int = 10
+    simulation: SimulationParams = field(default_factory=SimulationParams)
+    corruption: CorruptionParams = field(default_factory=CorruptionParams)
+
+    def __post_init__(self) -> None:
+        names = self.region_names
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate region names: {list(names)}")
+        for name in names:
+            if not name or REGION_SEP in name:
+                raise ValueError(
+                    f"region name {name!r} must be non-empty and must not "
+                    f"contain {REGION_SEP!r}"
+                )
+        sizes = self.region_sizes
+        if len(sizes) != len(names):
+            raise ValueError(
+                f"{len(names)} regions but {len(sizes)} household counts"
+            )
+        if any(size < 1 for size in sizes):
+            raise ValueError("households_per_region entries must be >= 1")
+
+    @property
+    def region_names(self) -> Tuple[str, ...]:
+        if isinstance(self.regions, int):
+            return default_region_names(self.regions)
+        return tuple(self.regions)
+
+    @property
+    def region_sizes(self) -> Tuple[int, ...]:
+        if isinstance(self.households_per_region, int):
+            return tuple(
+                [self.households_per_region] * len(self.region_names)
+            )
+        return tuple(self.households_per_region)
+
+    @property
+    def years(self) -> List[int]:
+        return [
+            self.start_year + index * self.interval
+            for index in range(self.num_snapshots)
+        ]
+
+    def region_generator_config(self, region: str) -> GeneratorConfig:
+        """The :class:`GeneratorConfig` of one region's independent run."""
+        sizes = dict(zip(self.region_names, self.region_sizes))
+        return GeneratorConfig(
+            seed=region_seed(self.seed, region),
+            start_year=self.start_year,
+            num_snapshots=self.num_snapshots,
+            interval=self.interval,
+            initial_households=sizes[region],
+            simulation=self.simulation,
+            corruption=self.corruption,
+        )
+
+
+@dataclass
+class CountrySeries:
+    """A merged multi-region series: one dataset per year, full truth."""
+
+    datasets: List[CensusDataset]
+    ground_truth: SeriesGroundTruth
+    config: CountryConfig
+    regions: Tuple[str, ...]
+
+    @property
+    def years(self) -> List[int]:
+        return [dataset.year for dataset in self.datasets]
+
+    def dataset(self, year: int) -> CensusDataset:
+        for dataset in self.datasets:
+            if dataset.year == year:
+                return dataset
+        raise KeyError(f"no dataset for year {year}")
+
+    def successive_pairs(self) -> List[Tuple[CensusDataset, CensusDataset]]:
+        return list(zip(self.datasets, self.datasets[1:]))
+
+
+def namespace_record(region: str, record: PersonRecord) -> PersonRecord:
+    """A copy of ``record`` with region-prefixed record/household/entity
+    ids.  Attribute values are untouched — namespacing must never change
+    what the linkage pipeline compares."""
+    prefix = f"{region}{REGION_SEP}"
+    return dataclasses.replace(
+        record,
+        record_id=f"{prefix}{record.record_id}",
+        household_id=f"{prefix}{record.household_id}",
+        entity_id=(
+            f"{prefix}{record.entity_id}"
+            if record.entity_id is not None
+            else None
+        ),
+    )
+
+
+def generate_region_series(config: CountryConfig, region: str) -> CensusSeries:
+    """One region's independent series under its derived seed.
+
+    Ids are *not* namespaced here — this is the raw per-region run, the
+    reference the independence tests compare against.
+    """
+    return generate_series(config.region_generator_config(region))
+
+
+def generate_country(
+    config: Optional[CountryConfig] = None,
+    **overrides,
+) -> CountrySeries:
+    """Generate a multi-region country series with merged ground truth.
+
+    Either pass a :class:`CountryConfig` or keyword overrides of its
+    fields (``generate_country(regions=8, households_per_region=500)``).
+    Regions are generated independently (see :func:`region_seed`) and
+    merged in region-name listing order; record ids sort region-first,
+    so merged datasets iterate region by region.
+    """
+    if config is None:
+        config = CountryConfig(**overrides)
+    elif overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    truth = SeriesGroundTruth()
+    merged_records: Dict[int, List[PersonRecord]] = {
+        year: [] for year in config.years
+    }
+    merged_entity_to_record: Dict[int, Dict[str, str]] = {
+        year: {} for year in config.years
+    }
+    merged_record_household: Dict[int, Dict[str, str]] = {
+        year: {} for year in config.years
+    }
+    merged_household_entity: Dict[int, Dict[str, str]] = {
+        year: {} for year in config.years
+    }
+
+    for region in config.region_names:
+        series = generate_region_series(config, region)
+        prefix = f"{region}{REGION_SEP}"
+        for dataset in series.datasets:
+            year = dataset.year
+            merged_records[year].extend(
+                namespace_record(region, record)
+                for record in dataset.iter_records()
+            )
+            merged_entity_to_record[year].update(
+                (f"{prefix}{entity}", f"{prefix}{record_id}")
+                for entity, record_id in
+                series.ground_truth.entity_to_record[year].items()
+            )
+            merged_record_household[year].update(
+                (f"{prefix}{record_id}", f"{prefix}{household_id}")
+                for record_id, household_id in
+                series.ground_truth.record_household[year].items()
+            )
+            merged_household_entity[year].update(
+                (f"{prefix}{household_id}", f"{prefix}{entity}")
+                for household_id, entity in
+                series.ground_truth.household_entity_of[year].items()
+            )
+
+    datasets: List[CensusDataset] = []
+    for year in config.years:
+        datasets.append(CensusDataset.from_records(year, merged_records[year]))
+        truth.register_snapshot(
+            year,
+            merged_entity_to_record[year],
+            merged_record_household[year],
+            merged_household_entity[year],
+        )
+    return CountrySeries(
+        datasets=datasets,
+        ground_truth=truth,
+        config=config,
+        regions=config.region_names,
+    )

@@ -26,6 +26,7 @@ from .differential import (
     incremental_vs_scratch,
     run_differential,
     serial_vs_parallel,
+    sharded_vs_unsharded,
 )
 from .golden import (
     DEFAULT_SPECS,
@@ -59,6 +60,7 @@ __all__ = [
     "incremental_vs_scratch",
     "run_differential",
     "serial_vs_parallel",
+    "sharded_vs_unsharded",
     "DEFAULT_SPECS",
     "GoldenCheck",
     "GoldenSpec",

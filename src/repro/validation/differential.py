@@ -22,6 +22,15 @@ that must not change the output:
   ``vectorized`` runs are bit-identical to ``python`` runs, serial and
   parallel alike, down to the scoring effort (see ``docs/KERNEL.md``);
 
+one is a declared *pure memory-layout* knob:
+
+* ``shards`` — the sharded out-of-core driver
+  (:mod:`repro.sharding.pipeline`) runs the δ loop one blocking-closed
+  shard at a time and must reproduce the in-RAM run's *decisions*
+  exactly (:func:`sharded_vs_unsharded`); effort counters legitimately
+  differ, so the comparison document is the decisions-only
+  :func:`repro.checkpoint.decision_ledger_hash`;
+
 one is a declared *pure reuse* knob:
 
 * ``series_state`` — incremental re-linkage of a rolling series
@@ -689,6 +698,63 @@ def incremental_vs_scratch(
     return outcomes
 
 
+def sharded_vs_unsharded(
+    old_dataset: CensusDataset,
+    new_dataset: CensusDataset,
+    config: Optional[LinkageConfig] = None,
+    shards: Sequence[int] = (1, 4),
+    workers: Sequence[int] = (1, 2),
+) -> List[DifferentialOutcome]:
+    """The sharded out-of-core driver is decision-identical to in-RAM
+    (ROADMAP item 2 promise; :mod:`repro.sharding.pipeline`).
+
+    Per (shard count × worker count), against one in-RAM baseline:
+    pair-level mapping identity **plus** equal
+    :func:`repro.checkpoint.decision_ledger_hash` — the mappings, link
+    accounting and every round's decision ledger.  Effort diagnostics
+    (pairs scored, cache hits/misses) are exactly what sharding is
+    licensed to change — per-shard caches, pruning engines and kernels
+    do different work — so ``check_diagnostics`` stays off and the
+    full-effort :func:`repro.checkpoint.ledger_hash` is not compared.
+    """
+    from ..checkpoint import decision_ledger_hash
+
+    config = config or LinkageConfig()
+    base_config = dataclasses.replace(config, shards=0, n_workers=1)
+    base_result = link_datasets(old_dataset, new_dataset, base_config)
+    base_hash = decision_ledger_hash(base_result)
+    outcomes: List[DifferentialOutcome] = []
+    for num_shards in shards:
+        for count in workers:
+            variant_config = dataclasses.replace(
+                config, shards=num_shards, n_workers=count
+            )
+            if count > 1:
+                variant_config = dataclasses.replace(
+                    variant_config, worker_chunk_size=64
+                )
+            variant_result = link_datasets(
+                old_dataset, new_dataset, variant_config
+            )
+            outcome = compare_results(
+                f"sharded-vs-unsharded(shards={num_shards},"
+                f"n_workers={count})",
+                IDENTICAL,
+                base_config,
+                variant_config,
+                base_result,
+                variant_result,
+            )
+            if decision_ledger_hash(variant_result) != base_hash:
+                outcome.notes.append(
+                    "decision ledger hash differs: the per-round decision "
+                    "sequence diverged even though the final mappings "
+                    "matched"
+                )
+            outcomes.append(outcome)
+    return outcomes
+
+
 def blocking_standard_qgram_covers_standard(
     old_dataset: CensusDataset,
     new_dataset: CensusDataset,
@@ -748,10 +814,11 @@ def assert_equivalences(
     Always runs serial-vs-parallel, bounded-vs-unbounded cache,
     filtering-on-vs-off (serial and 2 workers), vectorized-vs-python
     scoring (serial and 2 workers), indexed-vs-brute-force group-pair
-    enumeration and incremental-vs-scratch series re-linkage
+    enumeration, incremental-vs-scratch series re-linkage
     (cold/no-op/revise — plus append when the series has ≥ 3 snapshots —
     serial and 2 workers, over ``series`` or, by default, the two
-    datasets as a minimal series).  ``include_blocking``
+    datasets as a minimal series) and sharded-vs-unsharded linkage
+    (shards 1 and 4, serial and 2 workers).  ``include_blocking``
     adds the quadratic cross-product comparison and the ``standard+qgram``
     coverage check — off by default so the suite stays usable on larger
     workloads.
@@ -775,6 +842,11 @@ def assert_equivalences(
             list(series) if series is not None else [old_dataset, new_dataset],
             config,
             workers=(1, 2),
+        )
+    )
+    outcomes.extend(
+        sharded_vs_unsharded(
+            old_dataset, new_dataset, config, shards=(1, 4), workers=(1, 2)
         )
     )
     if include_blocking:

@@ -128,8 +128,9 @@ class TestDeclaredEquivalences:
         # + two scoring-backend variants + the indexed-vs-brute-force
         # group-pair check + two backend-protocol variants + six
         # incremental-series variants (cold/no-op/revise × workers 1, 2;
-        # no append: the default 2-snapshot series has no prefix)
-        assert len(outcomes) == 15
+        # no append: the default 2-snapshot series has no prefix) + four
+        # sharded-vs-unsharded variants (shards 1, 4 × workers 1, 2)
+        assert len(outcomes) == 19
 
     def test_incremental_vs_scratch_arrival_sequences(self, workload):
         """The tentpole's headline proof: incremental re-linkage over a
