@@ -1,0 +1,350 @@
+"""Evolution-graph query service — latency and cache behaviour under load.
+
+The question behind :mod:`repro.service`: once the series analysis is
+published into an :class:`~repro.service.store.EvolutionStore` and served
+through the stdlib asyncio HTTP layer, what latency does a query client
+actually see — and how much of the answer load does the
+``(graph_version, query)`` LRU cache absorb?
+
+The harness is a closed-loop asyncio load test in a single process:
+``CLIENTS`` concurrent keep-alive connections against an in-process
+server on a free port, each client replaying a deterministic query mix
+(``random.Random(BENCH_SEED + client_index)``) drawn from a pool of real
+endpoint targets sampled from the served graph.  Every response is
+parsed (Content-Length framing), must be 200, and ``/graph`` bodies must
+echo the published ``graph_version``.  Reported per row:
+
+* p50 / p99 / mean request latency (ms) and aggregate requests/s,
+* the service's own cache counters — hits, misses, hit rate — read from
+  ``GET /stats`` after the run.
+
+Modes:
+
+* ``--quick`` — CI smoke (the ``service-smoke`` job): 100 clients,
+  writes ``results/service_quick.{txt,json}``.
+* ``--check-baseline`` — additionally gate against the committed
+  ``results/baseline_service_quick.json``: the published graph_version
+  must equal the pinned hash, p50/p99 must stay under the pinned
+  ceilings, and the cache hit rate must not fall below the pinned floor.
+* ``--record-baseline`` — rewrite the committed baseline from this run
+  (hash pinned exactly; latency ceilings widened; hit-rate floor
+  tightened to a round number below the measurement).
+* default (nightly) — the full grid: 300 clients, cache on *and* cache
+  off, so the cache's latency contribution is measured rather than
+  assumed.
+"""
+
+import argparse
+import asyncio
+import json
+import random
+import statistics
+import tempfile
+import time
+
+from benchlib import BENCH_SEED, RESULTS_DIR, write_result
+
+#: (clients, requests per client) per mode.
+QUICK_LOAD = (100, 20)
+FULL_LOAD = (300, 40)
+
+#: Distinct query targets in the replayed pool — small enough that a
+#: warm cache answers most requests, large enough to exercise every
+#: endpoint family.
+POOL_SIZE = 48
+
+#: Series the served graph is built from.
+SNAPSHOTS = 4
+HOUSEHOLDS = 80
+
+BASELINE_NAME = "baseline_service_quick.json"
+
+
+# -- workload ----------------------------------------------------------------
+
+
+def build_service(store_dir, cache_enabled=True):
+    from repro.core.config import LinkageConfig
+    from repro.datagen.generator import GeneratorConfig, generate_series
+    from repro.evolution.analysis import analyse_series
+    from repro.service import EvolutionQueryService, EvolutionStore
+
+    datasets = generate_series(GeneratorConfig(
+        seed=BENCH_SEED,
+        num_snapshots=SNAPSHOTS,
+        initial_households=HOUSEHOLDS,
+    )).datasets
+    analysis = analyse_series(datasets, config=LinkageConfig())
+    store = EvolutionStore(store_dir)
+    store.publish(analysis)
+    return EvolutionQueryService(store, cache_enabled=cache_enabled)
+
+
+def build_target_pool(service):
+    """A deterministic pool of real query targets over the served graph."""
+    rng = random.Random(BENCH_SEED)
+    targets = [
+        "/graph",
+        "/patterns/frequencies",
+        "/patterns/sequences?length=2",
+        "/patterns/sequences?length=3",
+        "/chains/preserve",
+        "/chains/preserve?min_length=2",
+        "/chains/preserve?limit=10",
+    ]
+    groups = sorted(v for v in service.graph.vertices if v[0] == "group")
+    records = sorted(v for v in service.graph.vertices if v[0] == "record")
+    for _, year, household_id in rng.sample(groups, min(len(groups), 20)):
+        targets.append(f"/households/{year}/{household_id}/lineage")
+        targets.append(f"/households/{year}/{household_id}/neighborhood"
+                       f"?radius=2")
+    for _, year, record_id in rng.sample(records, min(len(records), 20)):
+        targets.append(f"/persons/{year}/{record_id}/timeline")
+    rng.shuffle(targets)
+    return targets[:POOL_SIZE]
+
+
+# -- asyncio closed-loop client ----------------------------------------------
+
+
+async def _read_response(reader):
+    head = await reader.readuntil(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length)
+    return status, body
+
+
+async def _client(index, host, port, targets, requests, latencies, problems):
+    rng = random.Random(BENCH_SEED + index)
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for _ in range(requests):
+            target = rng.choice(targets)
+            start = time.perf_counter()
+            writer.write(
+                f"GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
+            )
+            await writer.drain()
+            status, body = await _read_response(reader)
+            latencies.append(time.perf_counter() - start)
+            if status != 200:
+                problems.append(f"{target}: HTTP {status}")
+    finally:
+        writer.close()
+
+
+async def _run_load(service, clients, requests, targets):
+    from repro.service.http import start_service_server
+
+    server = await start_service_server(service, port=0)
+    host, port = server.sockets[0].getsockname()[:2]
+    latencies, problems = [], []
+    start = time.perf_counter()
+    await asyncio.gather(*(
+        _client(i, host, port, targets, requests, latencies, problems)
+        for i in range(clients)
+    ))
+    seconds = time.perf_counter() - start
+    # One last connection reads the service's own view of the run.
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(b"GET /graph HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n")
+    await writer.drain()
+    _, graph_body = await _read_response(reader)
+    _, stats_body = await _read_response(reader)
+    writer.close()
+    server.close()
+    await server.wait_closed()
+    if json.loads(graph_body)["graph_version"] != service.graph_version:
+        problems.append("/graph did not echo the published graph_version")
+    return latencies, seconds, json.loads(stats_body), problems
+
+
+def run_row(clients, requests, cache_enabled=True):
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        service = build_service(tmp, cache_enabled=cache_enabled)
+        targets = build_target_pool(service)
+        latencies, seconds, stats, problems = asyncio.run(
+            _run_load(service, clients, requests, targets)
+        )
+    if problems:
+        raise AssertionError(
+            "load test saw bad responses:\n" + "\n".join(problems[:10])
+        )
+    expected = clients * requests
+    assert len(latencies) == expected, (
+        f"lost requests: {len(latencies)} completed of {expected}"
+    )
+    ordered = sorted(latencies)
+    hits = stats["cache_hits"]
+    misses = stats["cache_misses"]
+    return {
+        "clients": clients,
+        "requests": expected,
+        "cache_enabled": cache_enabled,
+        "seconds": seconds,
+        "rps": expected / seconds,
+        "p50_ms": 1000 * statistics.median(ordered),
+        "p99_ms": 1000 * ordered[min(len(ordered) - 1,
+                                     int(0.99 * len(ordered)))],
+        "mean_ms": 1000 * statistics.fmean(ordered),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "graph_version": stats["graph_version"],
+        "distinct_targets": POOL_SIZE,
+    }
+
+
+# -- reporting and the baseline gate -----------------------------------------
+
+
+def format_rows(rows):
+    from repro.evaluation.reporting import format_table
+
+    return format_table(
+        ("clients", "requests", "cache", "p50_ms", "p99_ms", "mean_ms",
+         "rps", "hit_rate"),
+        [
+            (
+                row["clients"],
+                row["requests"],
+                "on" if row["cache_enabled"] else "off",
+                f"{row['p50_ms']:.2f}",
+                f"{row['p99_ms']:.2f}",
+                f"{row['mean_ms']:.2f}",
+                f"{row['rps']:.0f}",
+                f"{row['cache_hit_rate']:.2f}",
+            )
+            for row in rows
+        ],
+        title=(
+            f"Evolution query service under concurrent load "
+            f"({SNAPSHOTS} snapshots, {HOUSEHOLDS} households, "
+            f"{POOL_SIZE} distinct targets, seed {BENCH_SEED})"
+        ),
+    )
+
+
+def check_baseline(row):
+    baseline_path = RESULTS_DIR / BASELINE_NAME
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    problems = []
+    if row["graph_version"] != baseline["graph_version"]:
+        problems.append(
+            f"graph_version drifted: pinned {baseline['graph_version']}, "
+            f"got {row['graph_version']}"
+        )
+    for key in ("p50_ms", "p99_ms"):
+        ceiling = baseline[f"{key}_ceiling"]
+        if row[key] > ceiling:
+            problems.append(
+                f"{key} {row[key]:.2f} ms exceeds the pinned ceiling "
+                f"{ceiling} ms"
+            )
+    floor = baseline["min_cache_hit_rate"]
+    if row["cache_hit_rate"] < floor:
+        problems.append(
+            f"cache hit rate {row['cache_hit_rate']:.2f} fell below the "
+            f"pinned floor {floor}"
+        )
+    if problems:
+        raise AssertionError(
+            "service quick baseline violated:\n" + "\n".join(problems)
+        )
+    print(
+        f"baseline ok: graph {row['graph_version']} pinned, "
+        f"p50 {row['p50_ms']:.2f}/p99 {row['p99_ms']:.2f} ms under "
+        f"ceilings, hit rate {row['cache_hit_rate']:.2f} >= {floor}"
+    )
+
+
+def record_baseline(row):
+    baseline = {
+        "comment": (
+            "Pinned gate for bench_service.py --quick --check-baseline "
+            "(the service-smoke CI job). graph_version is the store hash "
+            f"the quick workload ({SNAPSHOTS} snapshots, {HOUSEHOLDS} "
+            f"households, seed {BENCH_SEED}) must publish; the latency "
+            "ceilings are ~10x the recorded medians to absorb CI-runner "
+            "noise while still catching an accidentally quadratic "
+            "handler; the hit-rate floor guards the "
+            "(graph_version, query) cache against silent invalidation."
+        ),
+        "graph_version": row["graph_version"],
+        "p50_ms_ceiling": round(max(10 * row["p50_ms"], 5.0), 1),
+        "p99_ms_ceiling": round(max(10 * row["p99_ms"], 25.0), 1),
+        "min_cache_hit_rate": 0.9,
+        "recorded_p50_ms": round(row["p50_ms"], 3),
+        "recorded_p99_ms": round(row["p99_ms"], 3),
+        "recorded_cache_hit_rate": round(row["cache_hit_rate"], 4),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / BASELINE_NAME
+    path.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"recorded {path}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 100-client row, writes "
+                             "results/service_quick.{txt,json}")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="gate the quick row against the committed "
+                             f"results/{BASELINE_NAME}")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help=f"rewrite results/{BASELINE_NAME} from this "
+                             "quick run")
+    args = parser.parse_args(argv)
+
+    if args.quick or args.check_baseline or args.record_baseline:
+        clients, requests = QUICK_LOAD
+        row = run_row(clients, requests)
+        write_result("service_quick.txt", format_rows([row]))
+        (RESULTS_DIR / "service_quick.json").write_text(
+            json.dumps(row, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        if args.record_baseline:
+            record_baseline(row)
+        if args.check_baseline:
+            check_baseline(row)
+        print(f"served {row['requests']} requests from {clients} "
+              f"concurrent clients, all 200")
+        return 0
+
+    clients, requests = FULL_LOAD
+    rows = []
+    for cache_enabled in (True, False):
+        label = "on" if cache_enabled else "off"
+        print(f"[bench_service] {clients} clients, cache {label}...",
+              flush=True)
+        row = run_row(clients, requests, cache_enabled=cache_enabled)
+        rows.append(row)
+        print(f"[bench_service]   p50 {row['p50_ms']:.2f} ms, "
+              f"p99 {row['p99_ms']:.2f} ms, {row['rps']:.0f} req/s, "
+              f"hit rate {row['cache_hit_rate']:.2f}", flush=True)
+    write_result("service_full.txt", format_rows(rows))
+    (RESULTS_DIR / "service_full.json").write_text(
+        json.dumps(rows, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    on, off = rows
+    assert on["cache_hit_rate"] > off["cache_hit_rate"], (
+        "cache-on run did not out-hit cache-off — the LRU is not engaging"
+    )
+    print("cache-on vs cache-off measured; all responses 200 and "
+          "version-consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

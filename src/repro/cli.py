@@ -362,6 +362,70 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     return _run_series(args, datasets)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Publish into and serve from a persistent evolution-graph store."""
+    from .service import EvolutionQueryService, EvolutionStore, StoreMissing
+    from .service.http import serve as serve_http
+
+    if args.incremental and not args.series_state:
+        print("serve: --incremental requires --series-state", file=sys.stderr)
+        return 2
+    store = EvolutionStore(args.store)
+    if args.refresh:
+        if len(args.refresh) < 2:
+            print("serve: --refresh needs at least two census CSVs",
+                  file=sys.stderr)
+            return 2
+        datasets = sorted(
+            (model_io.read_dataset(path) for path in args.refresh),
+            key=lambda dataset: dataset.year,
+        )
+        config = _linkage_config(args, datasets[1].year - datasets[0].year)
+        analysis = analyse_series(
+            datasets, config=config, series_state=args.series_state
+        )
+        report = store.publish(analysis)
+        verb = "published (no byte changed)" if report.is_noop else "published"
+        print(
+            f"{verb} graph {report.graph_version}: "
+            f"{len(report.segments_written)} segment(s) written, "
+            f"{len(report.segments_unchanged)} unchanged"
+        )
+        swept = store.sweep()
+        if swept:
+            print(f"swept {len(swept)} orphan segment file(s)")
+    try:
+        version = store.graph_version()
+    except Exception as error:  # corrupt store: report, don't trace
+        print(f"serve: store unusable: {error}", file=sys.stderr)
+        return 1
+    if version is None:
+        print(
+            f"serve: {args.store} holds no published graph — pass "
+            f"--refresh census_*.csv to build one",
+            file=sys.stderr,
+        )
+        return 2
+    if args.refresh_only:
+        return 0
+    try:
+        service = EvolutionQueryService(
+            store,
+            cache_size=args.cache_size,
+            cache_enabled=not args.no_cache,
+        )
+    except StoreMissing as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    if args.uvicorn:
+        from .service.asgi import run_uvicorn
+
+        run_uvicorn(service, host=args.host, port=args.port)
+    else:
+        serve_http(service, host=args.host, port=args.port)
+    return 0
+
+
 def _cmd_checkpoints(args: argparse.Namespace) -> int:
     from .checkpoint import CheckpointStore
 
@@ -545,6 +609,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="subset of golden spec names (default: all)",
     )
     golden.set_defaults(func=_cmd_golden)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve evolution-graph queries over HTTP from a "
+        "persistent store (docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "store", help="EvolutionStore directory (created on first --refresh)"
+    )
+    serve.add_argument(
+        "--refresh", nargs="+", metavar="CSV",
+        help="re-run the series analysis over these census CSVs and "
+        "publish the result into the store before serving",
+    )
+    serve.add_argument(
+        "--refresh-only", action="store_true",
+        help="publish (with --refresh) and exit without serving",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 picks a free one; default: 8080)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the (graph_version, query) LRU result cache",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="LRU result-cache capacity in entries (default: 1024)",
+    )
+    serve.add_argument(
+        "--uvicorn", action="store_true",
+        help="serve through uvicorn/ASGI instead of the stdlib "
+        "asyncio server (requires the repro[service] extra)",
+    )
+    _add_linkage_flags(serve)
+    _add_series_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

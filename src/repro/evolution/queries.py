@@ -3,18 +3,51 @@ future-work direction).
 
 These helpers answer the analysis questions the paper sketches:
 follow a person through the decades (timeline), follow a household
-lineage through preserves/splits/merges, and mine frequent change
-sequences (which pattern chains occur most often).
+lineage through preserves/splits/merges, enumerate maximal ``preserve_G``
+chains, inspect a household's split/merge neighborhood and mine frequent
+change sequences (which pattern chains occur most often).
+
+Every walker is **depth-bounded**: graphs built by
+:func:`repro.evolution.analysis.analyse_series` are acyclic by
+construction (edges only point to later years), but a graph loaded from
+disk — the evolution-graph query service serves exactly those — carries
+no such guarantee.  An unbounded walk over a cyclic or pathologically
+deep graph must fail with :class:`WalkDepthExceeded`, never with a
+blown stack or an infinite loop, so all walks are iterative and check
+``max_depth`` explicitly (default :data:`DEFAULT_MAX_DEPTH` hops).
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from .graph import EvolutionGraph, Vertex
-from .patterns import GROUP_PATTERN_TYPES, PRESERVE_R
+from .graph import EvolutionEdge, EvolutionGraph, Vertex
+from .patterns import GROUP_PATTERN_TYPES, PRESERVE_G, PRESERVE_R
+
+
+#: Hop budget of every walker: far beyond any census series (a chain of
+#: 500 decades) yet far below the interpreter's recursion headroom, so a
+#: cyclic graph fails fast with a typed error instead of a stack fault.
+DEFAULT_MAX_DEPTH = 500
+
+
+class WalkDepthExceeded(ValueError):
+    """A graph walk ran past its ``max_depth`` hop budget.
+
+    On analysis-built graphs this signals a genuinely deeper series than
+    the budget; on hand-built or deserialized graphs it is the cycle
+    guard — the walk is aborted instead of recursing forever.
+    """
+
+
+def _check_depth(depth: int, max_depth: int, what: str) -> None:
+    if depth > max_depth:
+        raise WalkDepthExceeded(
+            f"{what} exceeded max_depth={max_depth} hops; the graph is "
+            f"deeper than the budget or contains a cycle"
+        )
 
 
 @dataclass(frozen=True)
@@ -27,7 +60,10 @@ class TimelineStep:
 
 
 def person_timeline(
-    graph: EvolutionGraph, start_year: int, record_id: str
+    graph: EvolutionGraph,
+    start_year: int,
+    record_id: str,
+    max_depth: int = DEFAULT_MAX_DEPTH,
 ) -> List[TimelineStep]:
     """Follow a person's ``preserve_R`` chain from a starting record.
 
@@ -41,43 +77,151 @@ def person_timeline(
     steps = [TimelineStep(start_year, record_id)]
     current = ("record", start_year, record_id)
     while current in forward:
+        _check_depth(len(steps), max_depth, "person timeline")
         current = forward[current]
         steps.append(TimelineStep(current[1], current[2], PRESERVE_R))
     return steps
 
 
-def household_lineage(
-    graph: EvolutionGraph, start_year: int, household_id: str
-) -> List[List[TimelineStep]]:
-    """All forward paths of a household through typed group edges.
-
-    Unlike a person, a household can fan out (splits) — the result is a
-    list of root-to-leaf paths through the group-pattern edges.
-    """
+def _forward_group_edges(
+    graph: EvolutionGraph,
+) -> Dict[Vertex, List[Tuple[Vertex, str]]]:
     forward: Dict[Vertex, List[Tuple[Vertex, str]]] = defaultdict(list)
     for edge in graph.edges:
         if edge.edge_type in GROUP_PATTERN_TYPES:
             forward[edge.source].append((edge.target, edge.edge_type))
+    return forward
 
+
+def household_lineage(
+    graph: EvolutionGraph,
+    start_year: int,
+    household_id: str,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+) -> List[List[TimelineStep]]:
+    """All forward paths of a household through typed group edges.
+
+    Unlike a person, a household can fan out (splits) — the result is a
+    list of root-to-leaf paths through the group-pattern edges, in
+    depth-first order with successors visited in sorted order.
+    """
+    forward = _forward_group_edges(graph)
     paths: List[List[TimelineStep]] = []
-
-    def walk(vertex: Vertex, path: List[TimelineStep]) -> None:
+    stack: List[Tuple[Vertex, List[TimelineStep]]] = [
+        (
+            ("group", start_year, household_id),
+            [TimelineStep(start_year, household_id)],
+        )
+    ]
+    while stack:
+        vertex, path = stack.pop()
+        _check_depth(len(path) - 1, max_depth, "household lineage")
         successors = sorted(forward.get(vertex, []))
         if not successors:
             paths.append(path)
-            return
-        for target, edge_type in successors:
-            walk(target, path + [TimelineStep(target[1], target[2], edge_type)])
-
-    walk(
-        ("group", start_year, household_id),
-        [TimelineStep(start_year, household_id)],
-    )
+            continue
+        # Reversed push so the sorted-order successor is popped first,
+        # preserving the recursive walker's depth-first output order.
+        for target, edge_type in reversed(successors):
+            stack.append(
+                (target, path + [TimelineStep(target[1], target[2], edge_type)])
+            )
     return paths
 
 
+def preserve_chains(
+    graph: EvolutionGraph,
+    min_length: int = 1,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+) -> List[List[TimelineStep]]:
+    """All maximal ``preserve_G`` chains of at least ``min_length`` edges.
+
+    A chain starts at a household with no incoming ``preserve_G`` edge
+    and follows the (1:1 per census pair) preserve links as far as they
+    reach; chains are sorted by (start year, start household id).  The
+    chains of length ``>= k`` are exactly the households the paper's
+    Table 8 counts as preserved over ``k`` intervals starting at their
+    chain head.
+    """
+    if min_length < 1:
+        raise ValueError("min_length must be >= 1")
+    forward: Dict[Vertex, Tuple[Vertex, str]] = {}
+    has_incoming: set = set()
+    for edge in graph.edges:
+        if edge.edge_type == PRESERVE_G:
+            forward[edge.source] = (edge.target, edge.edge_type)
+            has_incoming.add(edge.target)
+    chains: List[List[TimelineStep]] = []
+    for start in sorted(set(forward) - has_incoming):
+        steps = [TimelineStep(start[1], start[2])]
+        current = start
+        while current in forward:
+            _check_depth(len(steps), max_depth, "preserve chain")
+            current, edge_type = forward[current]
+            steps.append(TimelineStep(current[1], current[2], edge_type))
+        if len(steps) - 1 >= min_length:
+            chains.append(steps)
+    chains.sort(key=lambda steps: (steps[0].year, steps[0].identifier))
+    return chains
+
+
+def group_neighborhood(
+    graph: EvolutionGraph,
+    year: int,
+    household_id: str,
+    radius: int = 1,
+    edge_types: Optional[Sequence[str]] = None,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+) -> List[EvolutionEdge]:
+    """The typed group edges within ``radius`` undirected hops of a
+    household — the split/merge neighborhood query of the evolution
+    service.
+
+    ``edge_types`` restricts the traversal (e.g. ``("split", "merge")``
+    to see only fission/fusion events); the default covers every group
+    pattern type.  Edges are returned sorted by (source, target, type),
+    deduplicated.  ``radius`` counts hops and is capped by
+    ``max_depth``.
+    """
+    if radius < 0:
+        raise ValueError("radius must be >= 0")
+    _check_depth(radius, max_depth, "group neighborhood radius")
+    allowed = tuple(edge_types) if edge_types is not None else GROUP_PATTERN_TYPES
+    unknown = set(allowed) - set(GROUP_PATTERN_TYPES)
+    if unknown:
+        raise ValueError(
+            f"unknown group edge types: {', '.join(sorted(unknown))}"
+        )
+    incident: Dict[Vertex, List[EvolutionEdge]] = defaultdict(list)
+    for edge in graph.edges:
+        if edge.edge_type in allowed:
+            incident[edge.source].append(edge)
+            incident[edge.target].append(edge)
+    start: Vertex = ("group", year, household_id)
+    frontier = {start}
+    visited = {start}
+    edges: set = set()
+    for _ in range(radius):
+        next_frontier: set = set()
+        for vertex in frontier:
+            for edge in incident.get(vertex, ()):
+                edges.add(edge)
+                for endpoint in (edge.source, edge.target):
+                    if endpoint not in visited:
+                        visited.add(endpoint)
+                        next_frontier.add(endpoint)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return sorted(
+        edges, key=lambda edge: (edge.source, edge.target, edge.edge_type)
+    )
+
+
 def frequent_change_sequences(
-    graph: EvolutionGraph, length: int = 2
+    graph: EvolutionGraph,
+    length: int = 2,
+    max_depth: int = DEFAULT_MAX_DEPTH,
 ) -> Counter:
     """Count the pattern-type sequences household chains go through.
 
@@ -87,27 +231,30 @@ def frequent_change_sequences(
     """
     if length < 1:
         raise ValueError("length must be >= 1")
-    forward: Dict[Vertex, List[Tuple[Vertex, str]]] = defaultdict(list)
-    for edge in graph.edges:
-        if edge.edge_type in GROUP_PATTERN_TYPES:
-            forward[edge.source].append((edge.target, edge.edge_type))
+    _check_depth(length, max_depth, "change-sequence length")
+    forward = _forward_group_edges(graph)
 
     sequences: Counter = Counter()
-
-    def walk(vertex: Vertex, trail: Tuple[str, ...]) -> None:
-        if len(trail) == length:
-            sequences[trail] += 1
-            return
-        for target, edge_type in sorted(forward.get(vertex, [])):
-            walk(target, trail + (edge_type,))
-
-    for vertex in sorted(v for v in graph.vertices if v[0] == "group"):
-        walk(vertex, ())
+    for start in sorted(v for v in graph.vertices if v[0] == "group"):
+        # Iterative depth-first walk; the trail is bounded by ``length``
+        # which was itself checked against ``max_depth`` above.
+        stack: List[Tuple[Vertex, Tuple[str, ...]]] = [(start, ())]
+        while stack:
+            vertex, trail = stack.pop()
+            if len(trail) == length:
+                sequences[trail] += 1
+                continue
+            for target, edge_type in sorted(
+                forward.get(vertex, []), reverse=True
+            ):
+                stack.append((target, trail + (edge_type,)))
     return sequences
 
 
 def households_with_history(
-    graph: EvolutionGraph, *edge_types: str
+    graph: EvolutionGraph,
+    *edge_types: str,
+    max_depth: int = DEFAULT_MAX_DEPTH,
 ) -> List[Vertex]:
     """Households whose forward chain realises the given type sequence.
 
@@ -116,21 +263,23 @@ def households_with_history(
     """
     if not edge_types:
         raise ValueError("at least one edge type is required")
-    forward: Dict[Vertex, List[Tuple[Vertex, str]]] = defaultdict(list)
-    for edge in graph.edges:
-        if edge.edge_type in GROUP_PATTERN_TYPES:
-            forward[edge.source].append((edge.target, edge.edge_type))
+    _check_depth(len(edge_types), max_depth, "history length")
+    forward = _forward_group_edges(graph)
+    wanted = tuple(edge_types)
 
-    def matches(vertex: Vertex, remaining: Tuple[str, ...]) -> bool:
-        if not remaining:
-            return True
-        return any(
-            edge_type == remaining[0] and matches(target, remaining[1:])
-            for target, edge_type in forward.get(vertex, [])
-        )
+    def matches(start: Vertex) -> bool:
+        stack: List[Tuple[Vertex, int]] = [(start, 0)]
+        while stack:
+            vertex, matched = stack.pop()
+            if matched == len(wanted):
+                return True
+            for target, edge_type in forward.get(vertex, []):
+                if edge_type == wanted[matched]:
+                    stack.append((target, matched + 1))
+        return False
 
     return [
         vertex
         for vertex in sorted(v for v in graph.vertices if v[0] == "group")
-        if matches(vertex, tuple(edge_types))
+        if matches(vertex)
     ]

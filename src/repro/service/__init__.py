@@ -1,0 +1,61 @@
+"""Evolution-graph query service (ROADMAP item 3).
+
+Turns the batch-only §4 evolution analysis into a persistent,
+continuously queryable surface:
+
+* :mod:`store` — :class:`EvolutionStore`, a versioned on-disk store of
+  one evolution graph spanning many censuses: content-hash node IDs,
+  prev/next temporal links, per-year segments written atomically and
+  refreshed incrementally as snapshots land;
+* :mod:`core` — :class:`EvolutionQueryService`, the sans-IO query core:
+  routing, pagination, canonical JSON serialization and the LRU result
+  cache keyed on ``(graph_version, query)``;
+* :mod:`http` — the zero-dependency ``asyncio.start_server`` HTTP layer
+  behind ``python -m repro.cli serve``;
+* :mod:`asgi` — an optional ASGI adapter for uvicorn (or any ASGI
+  server) deployments.
+
+See ``docs/SERVICE.md`` for the on-disk layout, the ID scheme, the
+cache-invalidation contract and the endpoint reference.
+"""
+
+from .core import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_PAGE_SIZE,
+    EvolutionQueryService,
+    edge_rows,
+    frequency_rows,
+    path_rows,
+    sequence_rows,
+    step_rows,
+)
+from .http import serve, start_service_server
+from .store import (
+    SERVICE_SCHEMA_VERSION,
+    EvolutionStore,
+    PublishReport,
+    StoreCorrupt,
+    StoreError,
+    StoreMissing,
+    node_id,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "DEFAULT_PAGE_SIZE",
+    "EvolutionQueryService",
+    "EvolutionStore",
+    "PublishReport",
+    "SERVICE_SCHEMA_VERSION",
+    "StoreCorrupt",
+    "StoreError",
+    "StoreMissing",
+    "edge_rows",
+    "frequency_rows",
+    "node_id",
+    "path_rows",
+    "sequence_rows",
+    "serve",
+    "start_service_server",
+    "step_rows",
+]

@@ -1,0 +1,78 @@
+"""Optional ASGI adapter: the same service behind uvicorn/FastAPI stacks.
+
+The stdlib :mod:`repro.service.http` layer is the zero-dependency
+default; deployments that already run an ASGI server (uvicorn, hypercorn,
+or a FastAPI app mounting this one) can serve the identical API through
+:func:`create_asgi_app`.  The app itself is dependency-free — ASGI is
+just a calling convention — so importing this module never requires
+uvicorn; only :func:`run_uvicorn` does, and it fails with a clear
+message when the ``[service]`` extra is not installed.
+
+Byte-identity with the stdlib layer is a test obligation
+(``tests/test_service_api.py``): both layers delegate every decision to
+:meth:`repro.service.core.EvolutionQueryService.handle_request`.
+"""
+
+from __future__ import annotations
+
+from .core import EvolutionQueryService
+
+
+def create_asgi_app(service: EvolutionQueryService):
+    """Wrap a query service as an ASGI 3 application callable."""
+
+    async def app(scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            # Answer startup/shutdown so uvicorn's lifecycle is clean.
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+        if scope["type"] != "http":
+            raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
+        # Drain the request body per the ASGI contract (all endpoints
+        # are parameterised by the target alone).
+        while True:
+            message = await receive()
+            if message["type"] != "http.request" or not message.get(
+                "more_body", False
+            ):
+                break
+        target = scope["path"]
+        query = scope.get("query_string", b"")
+        if query:
+            target += "?" + query.decode("utf-8", "replace")
+        status, body = service.handle_request(scope["method"], target)
+        await send(
+            {
+                "type": "http.response.start",
+                "status": status,
+                "headers": [
+                    (b"content-type", b"application/json"),
+                    (b"content-length", str(len(body)).encode("ascii")),
+                ],
+            }
+        )
+        await send({"type": "http.response.body", "body": body})
+
+    return app
+
+
+def run_uvicorn(
+    service: EvolutionQueryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+) -> None:
+    """Serve through uvicorn (requires the ``repro[service]`` extra)."""
+    try:
+        import uvicorn
+    except ImportError:
+        raise RuntimeError(
+            "uvicorn is not installed; pip install 'repro[service]' or "
+            "use the stdlib server (repro serve without --uvicorn)"
+        ) from None
+    uvicorn.run(create_asgi_app(service), host=host, port=port,
+                log_level="warning")

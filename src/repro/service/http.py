@@ -1,0 +1,172 @@
+"""Zero-dependency asyncio HTTP layer over the evolution query service.
+
+``asyncio.start_server`` plus a hand-rolled HTTP/1.1 request loop keeps
+the service deployable on a bare Python — no pip installs — while still
+handling hundreds of concurrent keep-alive clients (the load-test
+harness in ``benchmarks/bench_service.py`` drives exactly that).  The
+layer is deliberately dumb: parse the request line, drain the headers,
+hand ``(method, target)`` to
+:meth:`repro.service.core.EvolutionQueryService.handle_request`, frame
+the canonical JSON body with ``Content-Length``.  Everything observable
+about responses is decided in :mod:`repro.service.core`; an ASGI server
+deployment goes through :mod:`repro.service.asgi` instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from .core import EvolutionQueryService, canonical_json
+
+#: Upper bound on request head (request line + headers) bytes; beyond it
+#: the connection is answered 431 and closed.
+MAX_REQUEST_HEAD = 32 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _frame(status: int, body: bytes, keep_alive: bool) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        f"\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _parse_head(head: bytes) -> Tuple[str, str, bool]:
+    """(method, target, keep_alive) from one raw request head."""
+    lines = head.split(b"\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line: {lines[0][:80]!r}")
+    method = parts[0].decode("ascii", "replace").upper()
+    target = parts[1].decode("utf-8", "replace")
+    version = parts[2].decode("ascii", "replace")
+    keep_alive = version == "HTTP/1.1"
+    for line in lines[1:]:
+        if b":" not in line:
+            continue
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"connection":
+            token = value.strip().lower()
+            if token == b"close":
+                keep_alive = False
+            elif token == b"keep-alive":
+                keep_alive = True
+    return method, target, keep_alive
+
+
+async def handle_connection(
+    service: EvolutionQueryService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one client connection: a keep-alive loop of GET/POST
+    requests (bodies are ignored — every endpoint is parameterised by
+    the target alone)."""
+    try:
+        while True:
+            try:
+                head = await reader.readuntil(b"\r\n\r\n")
+            except asyncio.IncompleteReadError:
+                return  # client went away between requests
+            except asyncio.LimitOverrunError:
+                writer.write(
+                    _frame(431, canonical_json({"error": "headers too large"}),
+                           keep_alive=False)
+                )
+                await writer.drain()
+                return
+            if len(head) > MAX_REQUEST_HEAD:
+                writer.write(
+                    _frame(431, canonical_json({"error": "headers too large"}),
+                           keep_alive=False)
+                )
+                await writer.drain()
+                return
+            try:
+                method, target, keep_alive = _parse_head(head)
+            except ValueError as error:
+                writer.write(
+                    _frame(400, canonical_json({"error": str(error)}),
+                           keep_alive=False)
+                )
+                await writer.drain()
+                return
+            status, body = service.handle_request(method, target)
+            writer.write(_frame(status, body, keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        # close() alone: awaiting wait_closed() here trips asyncio's
+        # stream-protocol callback when the server cancels handler
+        # tasks on shutdown (the close still completes in the loop).
+        writer.close()
+
+
+async def start_service_server(
+    service: EvolutionQueryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+) -> asyncio.AbstractServer:
+    """Bind and return the listening server (``port=0`` picks a free
+    port — ``server.sockets[0].getsockname()`` reveals it)."""
+
+    async def _client(reader, writer):
+        try:
+            await handle_connection(service, reader, writer)
+        except asyncio.CancelledError:
+            # server.close() cancels tasks parked on idle keep-alive
+            # connections; asyncio's stream protocol would log that
+            # cancellation as an "Exception in callback" otherwise.
+            pass
+
+    return await asyncio.start_server(
+        _client, host=host, port=port, limit=MAX_REQUEST_HEAD
+    )
+
+
+def serve(
+    service: EvolutionQueryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    ready: Optional[object] = None,
+) -> None:
+    """Blocking entry point of ``repro serve``: run until interrupted.
+
+    ``ready`` (any object with ``set()``, e.g. ``threading.Event``) is
+    signalled once the socket is bound — the hook tests use to start
+    the server on a thread and know when to connect.
+    """
+
+    async def _run() -> None:
+        server = await start_service_server(service, host=host, port=port)
+        bound = server.sockets[0].getsockname()
+        print(f"serving evolution graph {service.graph_version} "
+              f"on http://{bound[0]}:{bound[1]}")
+        if ready is not None:
+            ready.set()
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,458 @@
+"""EvolutionStore: a versioned on-disk evolution graph spanning censuses.
+
+The evolution graph of a rolling census series is expensive to produce
+(one linkage run per adjacent pair) and cheap to serve — provided it is
+persisted in a layout a long-running service can reload, verify and
+refresh incrementally.  This module is that layout:
+
+* **Stable node IDs.**  Every household-year and person-year vertex gets
+  a content-hash ID — :func:`node_id` over its canonical
+  ``(kind, year, identifier)`` triple — so IDs never depend on insertion
+  order, process, or Python hash seed, and two stores publishing the
+  same graph agree byte for byte.
+
+* **Per-year segments with prev/next temporal links.**  One document per
+  census year (``seg_<year>_<digest>.json``) holds that year's node
+  records (each with its sorted ``prev``/``next`` typed links into the
+  neighbouring censuses), the ordered pattern edges *leaving* that year,
+  and the year's slice of the preserve index.  When snapshot ``N+1``
+  lands, only segment ``N`` (which gains ``next`` links) and the new
+  segment ``N+1`` change — every other segment is byte-identical and is
+  **not rewritten**.
+
+* **A manifest as the commit point.**  Segment files are
+  content-addressed (the payload hash is part of the file name), written
+  first via :func:`repro.ioutil.atomic_write_text`, and only then does
+  the manifest — which records the ``graph_version`` and every
+  segment's name and hash — atomically flip to the new view.  A crash
+  mid-publish leaves at worst orphan segment files next to a fully
+  intact previous view; re-publishing the same analysis is a byte-level
+  no-op (checked content, not just existence, so a tampered file is
+  healed by the next publish).
+
+* **Verified loads.**  :meth:`EvolutionStore.load_graph` checks the
+  document envelope hash of the manifest and of every segment, each
+  segment hash against the manifest's record, and finally that the
+  reconstructed graph reproduces the manifest's ``graph_version`` —
+  any tampered or torn file raises :class:`StoreCorrupt` instead of
+  serving a silently wrong graph.
+
+``graph_version`` — :func:`repro.checkpoint.state.content_hash` over
+:func:`repro.evolution.io.graph_to_dict` — is the identity the query
+service keys its result cache on (see ``docs/SERVICE.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..checkpoint.state import content_hash
+from ..evolution.graph import EvolutionEdge, EvolutionGraph, Vertex
+from ..evolution.io import graph_to_dict
+from ..ioutil import PathLike, atomic_write_text, is_temp_artifact
+
+#: On-disk document schema of manifests and segments.
+SERVICE_SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+SEGMENT_NAME_FORMAT = "seg_{year}_{digest}.json"
+_SEGMENT_NAME_RE = re.compile(r"^seg_(\d+)_([0-9a-f]{12})\.json$")
+
+#: Length of the short hashes used for node IDs and graph versions.
+_SHORT_HASH = 16
+
+
+class StoreError(RuntimeError):
+    """Base class of evolution-store failures."""
+
+
+class StoreMissing(StoreError):
+    """The store directory holds no published manifest yet."""
+
+
+class StoreCorrupt(StoreError):
+    """A manifest or segment failed its integrity verification."""
+
+
+def node_id(kind: str, year: int, identifier: str) -> str:
+    """Stable content-hash ID of one entity-year vertex.
+
+    A pure function of the canonical ``(kind, year, identifier)``
+    triple; the same household-year resolves to the same ID in every
+    process, publish and store.
+    """
+    canonical = json.dumps([kind, int(year), identifier], sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:_SHORT_HASH]
+
+
+def graph_version_of(graph: EvolutionGraph) -> str:
+    """The version identity of a graph: content hash of its canonical
+    JSON form (:func:`repro.evolution.io.graph_to_dict`)."""
+    return content_hash(graph_to_dict(graph))[:_SHORT_HASH]
+
+
+def _document(payload: Dict[str, object]) -> str:
+    """The store's document envelope: compact canonical payload guarded
+    by a content hash, schema declared beside it (the checkpoint
+    discipline of :mod:`repro.checkpoint.state`)."""
+    payload_text = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    digest = hashlib.sha256(payload_text.encode("utf-8")).hexdigest()
+    return (
+        f'{{"content_hash":"{digest}","payload":{payload_text},'
+        f'"service_schema":{SERVICE_SCHEMA_VERSION}}}\n'
+    )
+
+
+def _parse_document(text: str, what: str) -> Tuple[Dict[str, object], str]:
+    """Verify a document envelope; returns (payload, content hash)."""
+    try:
+        document = json.loads(text)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise StoreCorrupt(f"{what} is not valid JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise StoreCorrupt(
+            f"{what} must be an object, got {type(document).__name__}"
+        )
+    schema = document.get("service_schema")
+    if schema != SERVICE_SCHEMA_VERSION:
+        raise StoreCorrupt(
+            f"{what} declares unsupported service schema {schema!r} "
+            f"(this build reads schema {SERVICE_SCHEMA_VERSION})"
+        )
+    payload = document.get("payload")
+    declared = document.get("content_hash")
+    if payload is None or declared is None:
+        raise StoreCorrupt(f"{what} lacks a payload/content_hash section")
+    actual = content_hash(payload)
+    if actual != declared:
+        raise StoreCorrupt(
+            f"{what} content hash mismatch: declared {declared}, "
+            f"recomputed {actual}"
+        )
+    return payload, declared
+
+
+@dataclass
+class PublishReport:
+    """What one :meth:`EvolutionStore.publish` actually wrote."""
+
+    graph_version: str
+    #: Segment file names newly written by this publish.
+    segments_written: List[str] = field(default_factory=list)
+    #: Segment file names found on disk already byte-identical.
+    segments_unchanged: List[str] = field(default_factory=list)
+    manifest_written: bool = False
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the publish changed no byte on disk — the
+        re-publish-same-analysis contract."""
+        return not self.segments_written and not self.manifest_written
+
+
+def _coerce_graph(source: Union[EvolutionGraph, object]) -> EvolutionGraph:
+    """Accept an :class:`EvolutionGraph` or anything carrying one in a
+    ``graph`` attribute (an :class:`~repro.evolution.analysis.EvolutionAnalysis`)."""
+    if isinstance(source, EvolutionGraph):
+        return source
+    graph = getattr(source, "graph", None)
+    if isinstance(graph, EvolutionGraph):
+        return graph
+    raise TypeError(
+        f"expected an EvolutionGraph or EvolutionAnalysis, got "
+        f"{type(source).__name__}"
+    )
+
+
+def _segment_payload(graph: EvolutionGraph, year: int) -> Dict[str, object]:
+    """The canonical per-year segment: node documents with prev/next
+    links, the ordered edges leaving this year, the preserve-index slice."""
+    next_links: Dict[Vertex, List[List[str]]] = {}
+    prev_links: Dict[Vertex, List[List[str]]] = {}
+    edges: List[Dict[str, object]] = []
+    for edge in graph.edges:
+        if edge.source[1] == year:
+            edges.append(
+                {
+                    "source": list(edge.source),
+                    "target": list(edge.target),
+                    "type": edge.edge_type,
+                }
+            )
+            next_links.setdefault(edge.source, []).append(
+                [edge.edge_type, node_id(*edge.target)]
+            )
+        if edge.target[1] == year:
+            prev_links.setdefault(edge.target, []).append(
+                [edge.edge_type, node_id(*edge.source)]
+            )
+    nodes = []
+    for vertex in sorted(v for v in graph.vertices if v[1] == year):
+        kind, _, identifier = vertex
+        nodes.append(
+            {
+                "node": node_id(kind, year, identifier),
+                "kind": kind,
+                "id": identifier,
+                "prev": sorted(prev_links.get(vertex, [])),
+                "next": sorted(next_links.get(vertex, [])),
+            }
+        )
+    preserve = sorted(
+        [old_id, new_id]
+        for (index_year, old_id), new_id in graph._preserve_index.items()
+        if index_year == year
+    )
+    return {"year": year, "nodes": nodes, "edges": edges, "preserve": preserve}
+
+
+class EvolutionStore:
+    """One store directory: per-year segments plus a manifest commit
+    point (module docstring).
+
+    ``replace`` substitutes ``os.replace`` inside the atomic writes —
+    the fault-injection seam the crash battery drives, exactly like
+    :class:`repro.checkpoint.store.CheckpointStore`.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        replace: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self._replace = replace
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    # -- publishing -----------------------------------------------------------
+
+    def publish(self, source: Union[EvolutionGraph, object]) -> PublishReport:
+        """Persist a graph (or an analysis carrying one) as the store's
+        current view.
+
+        Segments first, manifest last; every write is atomic; files
+        whose bytes are already correct are left untouched, so
+        publishing an unchanged graph writes nothing and appending one
+        snapshot rewrites exactly two segments plus the manifest.
+        """
+        graph = _coerce_graph(source)
+        years_with_content = {vertex[1] for vertex in graph.vertices}
+        years_with_content.update(edge.source[1] for edge in graph.edges)
+        stray = years_with_content - set(graph.years)
+        if stray:
+            raise ValueError(
+                f"graph has vertices or edges in years outside its "
+                f"snapshot list: {sorted(stray)}"
+            )
+        version = graph_version_of(graph)
+        report = PublishReport(graph_version=version)
+        segments: List[Dict[str, object]] = []
+        for year in graph.years:
+            payload = _segment_payload(graph, year)
+            text = _document(payload)
+            digest = content_hash(payload)
+            name = SEGMENT_NAME_FORMAT.format(year=year, digest=digest[:12])
+            if self._write_if_changed(self.directory / name, text):
+                report.segments_written.append(name)
+            else:
+                report.segments_unchanged.append(name)
+            segments.append({"year": year, "file": name, "hash": digest})
+        manifest_payload = {
+            "graph_version": version,
+            "years": list(graph.years),
+            "segments": segments,
+            "counts": {
+                "vertices": len(graph.vertices),
+                "group_vertices": graph.num_group_vertices(),
+                "edges": len(graph.edges),
+            },
+        }
+        report.manifest_written = self._write_if_changed(
+            self.manifest_path, _document(manifest_payload)
+        )
+        return report
+
+    def _write_if_changed(self, path: Path, text: str) -> bool:
+        """Atomically write ``text`` unless the file already holds
+        exactly those bytes; returns whether a write happened."""
+        try:
+            if path.read_text(encoding="utf-8") == text:
+                return False
+        except OSError:
+            pass
+        atomic_write_text(path, text, replace=self._replace, fsync=True)
+        return True
+
+    # -- loading --------------------------------------------------------------
+
+    def manifest(self) -> Dict[str, object]:
+        """The verified manifest payload; :class:`StoreMissing` when the
+        store has never published, :class:`StoreCorrupt` on tamper."""
+        try:
+            text = self.manifest_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise StoreMissing(
+                f"no manifest in {self.directory} — publish an analysis "
+                f"first"
+            ) from None
+        except OSError as error:
+            raise StoreCorrupt(
+                f"cannot read manifest {self.manifest_path}: {error}"
+            ) from None
+        payload, _ = _parse_document(text, f"manifest {self.manifest_path}")
+        return payload
+
+    def graph_version(self) -> Optional[str]:
+        """The currently published graph version, or ``None`` for an
+        empty store (corruption still raises)."""
+        try:
+            return str(self.manifest()["graph_version"])
+        except StoreMissing:
+            return None
+        except KeyError:
+            raise StoreCorrupt(
+                f"manifest {self.manifest_path} lacks a graph_version"
+            ) from None
+
+    def _load_segment(self, entry: Dict[str, object]) -> Dict[str, object]:
+        path = self.directory / str(entry["file"])
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise StoreCorrupt(
+                f"cannot read segment {path}: {error}"
+            ) from None
+        payload, digest = _parse_document(text, f"segment {path}")
+        if digest != entry.get("hash"):
+            raise StoreCorrupt(
+                f"segment {path} does not match the manifest: manifest "
+                f"records hash {entry.get('hash')}, file holds {digest}"
+            )
+        return payload
+
+    def load_graph(self) -> EvolutionGraph:
+        """Rebuild the published graph, fully verified.
+
+        The per-segment envelope hashes catch byte tampering, the
+        manifest cross-check catches a segment swapped for a valid
+        document of different content, and the final graph-version
+        recomputation proves the reconstruction reproduces exactly what
+        was published.
+        """
+        manifest = self.manifest()
+        graph = EvolutionGraph()
+        try:
+            graph.years = [int(year) for year in manifest["years"]]
+            segment_entries = list(manifest["segments"])
+            declared_version = str(manifest["graph_version"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreCorrupt(
+                f"manifest {self.manifest_path} is malformed: {error!r}"
+            ) from None
+        for entry in segment_entries:
+            payload = self._load_segment(entry)
+            try:
+                year = int(payload["year"])
+                for node in payload["nodes"]:
+                    graph.vertices.add(
+                        (str(node["kind"]), year, str(node["id"]))
+                    )
+                for item in payload["edges"]:
+                    source = item["source"]
+                    target = item["target"]
+                    graph.edges.append(
+                        EvolutionEdge(
+                            (str(source[0]), int(source[1]), str(source[2])),
+                            (str(target[0]), int(target[1]), str(target[2])),
+                            str(item["type"]),
+                        )
+                    )
+                for old_id, new_id in payload["preserve"]:
+                    graph._preserve_index[(year, str(old_id))] = str(new_id)
+            except (KeyError, IndexError, TypeError, ValueError) as error:
+                raise StoreCorrupt(
+                    f"segment {entry.get('file')} is malformed: {error!r}"
+                ) from None
+        actual_version = graph_version_of(graph)
+        if actual_version != declared_version:
+            raise StoreCorrupt(
+                f"reconstructed graph version {actual_version} does not "
+                f"reproduce the published {declared_version}: the store "
+                f"content and manifest disagree"
+            )
+        return graph
+
+    # -- point lookup ---------------------------------------------------------
+
+    def lookup_node(
+        self, kind: str, year: int, identifier: str
+    ) -> Optional[Dict[str, object]]:
+        """One entity-year node document — ID, prev/next links — read
+        from just its year's segment, without loading the whole graph."""
+        manifest = self.manifest()
+        wanted = node_id(kind, year, identifier)
+        for entry in manifest.get("segments", []):
+            if int(entry.get("year", -1)) != int(year):
+                continue
+            payload = self._load_segment(entry)
+            for node in payload.get("nodes", []):
+                if node.get("node") == wanted:
+                    return dict(node)
+        return None
+
+    # -- housekeeping ---------------------------------------------------------
+
+    def referenced_files(self) -> List[str]:
+        """Manifest plus every segment the current view references."""
+        manifest = self.manifest()
+        return [MANIFEST_NAME] + [
+            str(entry["file"]) for entry in manifest.get("segments", [])
+        ]
+
+    def sweep(self) -> List[Path]:
+        """Delete orphan segment files older publishes (or crashes
+        mid-publish) left behind; returns the removed paths.  Never
+        touches the current view, unknown files or in-flight temps."""
+        try:
+            keep = set(self.referenced_files())
+        except StoreMissing:
+            keep = set()
+        removed: List[Path] = []
+        if not self.directory.is_dir():
+            return removed
+        for path in sorted(self.directory.iterdir()):
+            if not path.is_file() or is_temp_artifact(path):
+                continue
+            if path.name in keep or not _SEGMENT_NAME_RE.match(path.name):
+                continue
+            path.unlink()
+            removed.append(path)
+        return removed
+
+    def describe(self) -> List[Dict[str, object]]:
+        """Inspection rows of the published view (for the CLI)."""
+        manifest = self.manifest()
+        rows: List[Dict[str, object]] = []
+        for entry in manifest.get("segments", []):
+            payload = self._load_segment(entry)
+            rows.append(
+                {
+                    "year": payload["year"],
+                    "file": entry["file"],
+                    "nodes": len(payload["nodes"]),
+                    "edges": len(payload["edges"]),
+                    "preserve": len(payload["preserve"]),
+                }
+            )
+        return rows

@@ -26,6 +26,7 @@ from .differential import (
     incremental_vs_scratch,
     run_differential,
     serial_vs_parallel,
+    service_vs_inprocess,
     sharded_vs_unsharded,
 )
 from .golden import (
@@ -60,6 +61,7 @@ __all__ = [
     "incremental_vs_scratch",
     "run_differential",
     "serial_vs_parallel",
+    "service_vs_inprocess",
     "sharded_vs_unsharded",
     "DEFAULT_SPECS",
     "GoldenCheck",

@@ -801,6 +801,126 @@ def blocking_cross_covers_standard(
     )
 
 
+def service_vs_inprocess(
+    series: Sequence[CensusDataset],
+    config: Optional[LinkageConfig] = None,
+) -> List[DifferentialOutcome]:
+    """The HTTP query surface answers exactly like in-process queries.
+
+    Analyses ``series``, publishes the result into a throwaway
+    :class:`repro.service.store.EvolutionStore`, and drives the sans-IO
+    request entry point (:meth:`EvolutionQueryService.handle_request`)
+    across every endpoint family — graph metadata, preserve chains,
+    pattern frequencies and sequences, plus per-vertex lineage,
+    neighborhood and timeline for every (bounded sample of) graph
+    vertex — comparing each served ``items`` list against the same
+    query run directly through :mod:`repro.evolution.queries` and the
+    shared row serializers.  Runs once with the
+    ``(graph_version, query)`` LRU cache enabled and once disabled:
+    the cache is licensed to change latency, never bytes.
+
+    There are no linkage mappings to diff here; any divergence is a
+    note, which fails the outcome just the same.
+    """
+    import json as _json
+
+    from ..evolution.analysis import analyse_series
+    from ..evolution.queries import (
+        frequent_change_sequences,
+        group_neighborhood,
+        household_lineage,
+        person_timeline,
+        preserve_chains,
+    )
+    from ..service import EvolutionQueryService, EvolutionStore
+    from ..service.core import (
+        edge_rows,
+        frequency_rows,
+        path_rows,
+        sequence_rows,
+        step_rows,
+    )
+
+    config = config or LinkageConfig()
+    analysis = analyse_series(list(series), config=config)
+    outcomes: List[DifferentialOutcome] = []
+    with tempfile.TemporaryDirectory(prefix="differential-service-") as tmp:
+        store = EvolutionStore(tmp)
+        store.publish(analysis)
+        for cache_enabled in (True, False):
+            service = EvolutionQueryService(store, cache_enabled=cache_enabled)
+            graph = service.graph
+            notes: List[str] = []
+
+            def check(target: str, expected_items) -> None:
+                status, body = service.handle_request("GET", target)
+                if status != 200:
+                    notes.append(f"{target}: HTTP {status}")
+                    return
+                served = _json.loads(body)["items"]
+                if served != expected_items:
+                    notes.append(
+                        f"{target}: served items diverge from the "
+                        f"in-process query"
+                    )
+
+            status, body = service.handle_request("GET", "/graph")
+            if status != 200 or _json.loads(body)["graph_version"] != (
+                service.graph_version
+            ):
+                notes.append("/graph did not echo the store's graph_version")
+            check("/chains/preserve", path_rows(preserve_chains(graph)))
+            check(
+                "/patterns/frequencies",
+                frequency_rows(graph.pattern_counts_by_pair()),
+            )
+            for length in (2, 3):
+                check(
+                    f"/patterns/sequences?length={length}",
+                    sequence_rows(
+                        frequent_change_sequences(graph, length=length)
+                    ),
+                )
+            groups = sorted(v for v in graph.vertices if v[0] == "group")
+            records = sorted(v for v in graph.vertices if v[0] == "record")
+            for _, year, household_id in groups[:40]:
+                check(
+                    f"/households/{year}/{household_id}/lineage",
+                    path_rows(household_lineage(graph, year, household_id)),
+                )
+                check(
+                    f"/households/{year}/{household_id}/neighborhood?radius=2",
+                    edge_rows(
+                        group_neighborhood(graph, year, household_id, radius=2)
+                    ),
+                )
+            for _, year, record_id in records[:40]:
+                check(
+                    f"/persons/{year}/{record_id}/timeline",
+                    step_rows(person_timeline(graph, year, record_id)),
+                )
+            # Replay one target: the cache must engage when enabled and
+            # stay silent when disabled — still byte-identically.
+            check("/chains/preserve", path_rows(preserve_chains(graph)))
+            if cache_enabled and service.stats["cache_hits"] == 0:
+                notes.append("cache-on service never hit its cache")
+            if not cache_enabled and service.stats["cache_hits"]:
+                notes.append("cache-off service reported cache hits")
+            label = "cache" if cache_enabled else "no-cache"
+            outcomes.append(
+                DifferentialOutcome(
+                    name=f"service-vs-inprocess({label})",
+                    relation=IDENTICAL,
+                    base_config=config,
+                    variant_config=config,
+                    record_diff=_diff_pairs("record link", [], []),
+                    group_diff=_diff_pairs("group link", [], []),
+                    notes=notes,
+                )
+            )
+    return outcomes
+
+
 def assert_equivalences(
     old_dataset: CensusDataset,
     new_dataset: CensusDataset,
@@ -817,8 +937,10 @@ def assert_equivalences(
     enumeration, incremental-vs-scratch series re-linkage
     (cold/no-op/revise — plus append when the series has ≥ 3 snapshots —
     serial and 2 workers, over ``series`` or, by default, the two
-    datasets as a minimal series) and sharded-vs-unsharded linkage
-    (shards 1 and 4, serial and 2 workers).  ``include_blocking``
+    datasets as a minimal series), sharded-vs-unsharded linkage
+    (shards 1 and 4, serial and 2 workers) and service-vs-inprocess
+    query identity (HTTP surface vs direct evolution queries, cache on
+    and off).  ``include_blocking``
     adds the quadratic cross-product comparison and the ``standard+qgram``
     coverage check — off by default so the suite stays usable on larger
     workloads.
@@ -847,6 +969,12 @@ def assert_equivalences(
     outcomes.extend(
         sharded_vs_unsharded(
             old_dataset, new_dataset, config, shards=(1, 4), workers=(1, 2)
+        )
+    )
+    outcomes.extend(
+        service_vs_inprocess(
+            list(series) if series is not None else [old_dataset, new_dataset],
+            config,
         )
     )
     if include_blocking:

@@ -9,10 +9,13 @@ from repro.evolution.patterns import (
     RecordPatterns,
 )
 from repro.evolution.queries import (
+    WalkDepthExceeded,
     frequent_change_sequences,
+    group_neighborhood,
     household_lineage,
     households_with_history,
     person_timeline,
+    preserve_chains,
 )
 
 
@@ -93,6 +96,124 @@ class TestFrequentSequences:
     def test_invalid_length(self, graph):
         with pytest.raises(ValueError):
             frequent_change_sequences(graph, length=0)
+
+
+class TestPreserveChains:
+    def test_maximal_chains(self, graph):
+        chains = preserve_chains(graph)
+        assert [
+            [(s.year, s.identifier) for s in chain] for chain in chains
+        ] == [[(1851, "g1"), (1861, "h1")]]
+        assert chains[0][1].edge_type == "preserve_G"
+
+    def test_min_length_filters(self, graph):
+        assert preserve_chains(graph, min_length=2) == []
+
+    def test_min_length_validated(self, graph):
+        with pytest.raises(ValueError):
+            preserve_chains(graph, min_length=0)
+
+
+class TestGroupNeighborhood:
+    def test_radius_one(self, graph):
+        edges = group_neighborhood(graph, 1861, "h1")
+        assert {
+            (e.source[2], e.target[2], e.edge_type) for e in edges
+        } == {("g1", "h1", "preserve_G"), ("h1", "k1", "split"),
+              ("h1", "k2", "split")}
+
+    def test_radius_zero_is_empty(self, graph):
+        assert group_neighborhood(graph, 1861, "h1", radius=0) == []
+
+    def test_type_filter(self, graph):
+        edges = group_neighborhood(graph, 1861, "h1", edge_types=("split",))
+        assert {e.edge_type for e in edges} == {"split"}
+
+    def test_unknown_type_rejected(self, graph):
+        with pytest.raises(ValueError):
+            group_neighborhood(graph, 1861, "h1", edge_types=("teleport",))
+
+    def test_negative_radius_rejected(self, graph):
+        with pytest.raises(ValueError):
+            group_neighborhood(graph, 1861, "h1", radius=-1)
+
+
+@pytest.fixture
+def cyclic_graph():
+    """Two snapshots preserve-linked in both directions — the shape a
+    hand-built or corrupted serialized graph can take, which an
+    unbounded walker would follow forever."""
+    graph = EvolutionGraph()
+    graph.add_snapshot(1851, ["r1"], ["g1"])
+    graph.add_snapshot(1861, ["r2"], ["h1"])
+    graph.add_pair_patterns(
+        PairPatterns(
+            1851,
+            1861,
+            RecordPatterns(preserved=[("r1", "r2")]),
+            GroupPatterns(preserved=[("g1", "h1")]),
+        )
+    )
+    graph.add_pair_patterns(
+        PairPatterns(
+            1861,
+            1851,
+            RecordPatterns(preserved=[("r2", "r1")]),
+            GroupPatterns(preserved=[("h1", "g1")]),
+        )
+    )
+    return graph
+
+
+class TestDepthGuards:
+    """Every walker must fail a cyclic graph with WalkDepthExceeded —
+    never a RecursionError or an unbounded loop (regression for the
+    unguarded recursive walkers the query service exposed)."""
+
+    def test_person_timeline_cycle(self, cyclic_graph):
+        with pytest.raises(WalkDepthExceeded):
+            person_timeline(cyclic_graph, 1851, "r1")
+
+    def test_household_lineage_cycle(self, cyclic_graph):
+        with pytest.raises(WalkDepthExceeded):
+            household_lineage(cyclic_graph, 1851, "g1")
+
+    def test_preserve_chains_cycle(self, cyclic_graph):
+        # A pure 2-cycle has no chain head; attach one so the walk enters
+        # the cycle.
+        cyclic_graph.add_snapshot(1871, [], ["z1"])
+        cyclic_graph.add_pair_patterns(
+            PairPatterns(
+                1871,
+                1851,
+                RecordPatterns(),
+                GroupPatterns(preserved=[("z1", "g1")]),
+            )
+        )
+        with pytest.raises(WalkDepthExceeded):
+            preserve_chains(cyclic_graph)
+
+    def test_depth_guard_is_tight(self, graph):
+        # The acyclic fixture is 2 hops deep: a budget of 1 trips, a
+        # budget of 2 passes and returns the full walk.
+        with pytest.raises(WalkDepthExceeded):
+            person_timeline(graph, 1851, "r1", max_depth=1)
+        assert len(person_timeline(graph, 1851, "r1", max_depth=2)) == 3
+        with pytest.raises(WalkDepthExceeded):
+            household_lineage(graph, 1851, "g1", max_depth=1)
+        assert len(household_lineage(graph, 1851, "g1", max_depth=2)) == 2
+
+    def test_sequence_length_capped_by_budget(self, graph):
+        with pytest.raises(WalkDepthExceeded):
+            frequent_change_sequences(graph, length=3, max_depth=2)
+        with pytest.raises(WalkDepthExceeded):
+            households_with_history(
+                graph, "preserve_G", "split", max_depth=1
+            )
+
+    def test_neighborhood_radius_capped_by_budget(self, graph):
+        with pytest.raises(WalkDepthExceeded):
+            group_neighborhood(graph, 1861, "h1", radius=5, max_depth=2)
 
 
 class TestHouseholdsWithHistory:

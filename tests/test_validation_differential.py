@@ -130,7 +130,8 @@ class TestDeclaredEquivalences:
         # incremental-series variants (cold/no-op/revise × workers 1, 2;
         # no append: the default 2-snapshot series has no prefix) + four
         # sharded-vs-unsharded variants (shards 1, 4 × workers 1, 2)
-        assert len(outcomes) == 19
+        # + two service-vs-inprocess variants (cache on, cache off)
+        assert len(outcomes) == 21
 
     def test_incremental_vs_scratch_arrival_sequences(self, workload):
         """The tentpole's headline proof: incremental re-linkage over a
